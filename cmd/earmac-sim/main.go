@@ -1,0 +1,89 @@
+// Command earmac-sim runs one simulation of an energy-capped routing
+// algorithm on a shared channel and prints a measurement report.
+//
+// Usage:
+//
+//	earmac-sim -alg orchestra -n 8 -rho 1/1 -beta 2 -rounds 200000
+//	earmac-sim -alg k-cycle -n 9 -k 3 -rho 1/5 -pattern single-target -src 0 -dest 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"earmac"
+)
+
+func main() {
+	var (
+		alg     = flag.String("alg", "orchestra", "algorithm: "+strings.Join(earmac.Algorithms(), ", "))
+		n       = flag.Int("n", 8, "number of stations")
+		k       = flag.Int("k", 3, "energy cap parameter for the k-parameterized algorithms")
+		rho     = flag.String("rho", "1/2", "injection rate as a fraction p/q (or an integer)")
+		beta    = flag.Int64("beta", 1, "burstiness coefficient β")
+		pattern = flag.String("pattern", "uniform", "injection pattern: "+strings.Join(earmac.Patterns(), ", "))
+		src     = flag.Int("src", 0, "source station for targeted patterns")
+		dest    = flag.Int("dest", 1, "destination station for targeted patterns")
+		seed    = flag.Int64("seed", 1, "seed for randomized patterns")
+		rounds  = flag.Int64("rounds", 100000, "rounds to simulate")
+		stop    = flag.Int64("stop-injections", 0, "stop injecting after this round (0 = never), to observe draining")
+		lenient = flag.Bool("lenient", false, "record model violations instead of aborting")
+		traceN  = flag.Int64("trace", 0, "log this many rounds of channel events to stderr")
+		traceAt = flag.Int64("trace-from", 0, "first round to trace")
+	)
+	flag.Parse()
+
+	num, den, err := parseRho(*rho)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+		os.Exit(2)
+	}
+	cfg := earmac.Config{
+		Algorithm:           *alg,
+		N:                   *n,
+		K:                   *k,
+		RhoNum:              num,
+		RhoDen:              den,
+		Beta:                *beta,
+		Pattern:             *pattern,
+		Src:                 *src,
+		Dest:                *dest,
+		Seed:                *seed,
+		Rounds:              *rounds,
+		StopInjectionsAfter: *stop,
+		Lenient:             *lenient,
+	}
+	if *traceN > 0 {
+		cfg.Trace = os.Stderr
+		cfg.TraceFrom = *traceAt
+		cfg.TraceUpTo = *traceAt + *traceN
+	}
+	rep, err := earmac.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+}
+
+func parseRho(s string) (num, den int64, err error) {
+	if p, q, ok := strings.Cut(s, "/"); ok {
+		num, err = strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad rate %q: %v", s, err)
+		}
+		den, err = strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad rate %q: %v", s, err)
+		}
+		return num, den, nil
+	}
+	num, err = strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad rate %q: %v", s, err)
+	}
+	return num, 1, nil
+}

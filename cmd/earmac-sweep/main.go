@@ -1,0 +1,94 @@
+// Command earmac-sweep runs parameter sweeps and emits CSV for plotting:
+// injection rate ρ against latency/queues (the universality curves),
+// energy cap k against latency (the paper's open tradeoff question, §7),
+// or system size n against latency (the polynomial growth of the
+// bounds).
+//
+// Usage:
+//
+//	earmac-sweep -mode rho  -alg count-hop -n 6            > rho.csv
+//	earmac-sweep -mode cap  -alg k-cycle  -n 13            > cap.csv
+//	earmac-sweep -mode size -alg orchestra -rho 1/1        > size.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"earmac"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "rho", "sweep variable: rho, cap, or size")
+		alg    = flag.String("alg", "count-hop", "algorithm")
+		n      = flag.Int("n", 6, "number of stations (fixed for rho/cap sweeps)")
+		k      = flag.Int("k", 3, "energy cap parameter (fixed for rho/size sweeps)")
+		rho    = flag.String("rho", "1/2", "injection rate (fixed for cap/size sweeps)")
+		beta   = flag.Int64("beta", 1, "burstiness coefficient")
+		rounds = flag.Int64("rounds", 100000, "rounds per point")
+		seed   = flag.Int64("seed", 1, "pattern seed")
+	)
+	flag.Parse()
+
+	num, den := int64(1), int64(2)
+	if p, q, ok := strings.Cut(*rho, "/"); ok {
+		num, _ = strconv.ParseInt(p, 10, 64)
+		den, _ = strconv.ParseInt(q, 10, 64)
+	}
+
+	run := func(alg string, n, k int, num, den int64) (earmac.Report, error) {
+		return earmac.Run(earmac.Config{
+			Algorithm: alg, N: n, K: k,
+			RhoNum: num, RhoDen: den, Beta: *beta,
+			Rounds: *rounds, Seed: *seed,
+			Lenient: true, DisableChecks: true,
+		})
+	}
+
+	fmt.Println("x,rho,n,k,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
+	emit := func(x string, rep earmac.Report, num, den int64, n, k int) {
+		fmt.Printf("%s,%d/%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
+			x, num, den, n, k, rep.Stable, rep.MaxQueue, rep.FinalQueue, rep.QueueSlope,
+			rep.MaxLatency, rep.MeanLatency, rep.P99Latency, rep.MeanEnergy)
+	}
+
+	switch *mode {
+	case "rho":
+		// ρ from 1/10 up to 19/20 plus ρ = 1.
+		fracs := [][2]int64{{1, 10}, {1, 5}, {3, 10}, {2, 5}, {1, 2}, {3, 5}, {7, 10}, {4, 5}, {9, 10}, {19, 20}, {1, 1}}
+		for _, f := range fracs {
+			rep, err := run(*alg, *n, *k, f[0], f[1])
+			if err != nil {
+				fail(err)
+			}
+			emit(fmt.Sprintf("%g", float64(f[0])/float64(f[1])), rep, f[0], f[1], *n, *k)
+		}
+	case "cap":
+		for kk := 2; kk <= *n-1; kk++ {
+			rep, err := run(*alg, *n, kk, num, den)
+			if err != nil {
+				fail(err)
+			}
+			emit(strconv.Itoa(kk), rep, num, den, *n, kk)
+		}
+	case "size":
+		for _, nn := range []int{4, 6, 8, 10, 12, 14, 16} {
+			rep, err := run(*alg, nn, *k, num, den)
+			if err != nil {
+				fail(err)
+			}
+			emit(strconv.Itoa(nn), rep, num, den, nn, *k)
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "earmac-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Command earmac-table regenerates the paper's Table 1 — the summary of
+// performance bounds and impossibility results that constitutes its
+// evaluation — by running every row as a simulation and printing the
+// measured figures next to the claimed bounds.
+//
+// Usage:
+//
+//	earmac-table          # quick horizons (~seconds per row)
+//	earmac-table -full    # 4× horizons
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"earmac/internal/expt"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run 4× longer horizons")
+	flag.Parse()
+
+	scale := expt.Quick
+	if *full {
+		scale = expt.Full
+	}
+	fmt.Println("Reproduction of Table 1, \"Energy Efficient Adversarial Routing in Shared Channels\" (SPAA 2019)")
+	fmt.Println()
+	outs, err := expt.RunAll(expt.Table1(scale), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earmac-table:", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for _, o := range outs {
+		if !o.OK {
+			bad++
+		}
+	}
+	fmt.Println()
+	fmt.Printf("%d/%d rows reproduced\n", len(outs)-bad, len(outs))
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

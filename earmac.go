@@ -1,0 +1,266 @@
+// Package earmac is an executable reproduction of "Energy Efficient
+// Adversarial Routing in Shared Channels" (Chlebus, Hradovich,
+// Jurdziński, Klonowski, Kowalski — SPAA 2019): deterministic distributed
+// routing algorithms on a multiple access channel under an energy cap,
+// driven by leaky-bucket adversarial packet injection.
+//
+// The package is a façade over the internal simulator. A Config selects
+// an algorithm, a system size, an adversary type (ρ, β) and injection
+// pattern, and a horizon; Run executes the simulation in the exact model
+// of the paper — validating the energy cap, plain-packet discipline,
+// schedule obliviousness, and exactly-once packet ownership — and returns
+// a Report of stability, latency, and energy measurements.
+//
+//	rep, err := earmac.Run(earmac.Config{
+//		Algorithm: "orchestra",
+//		N:         8,
+//		RhoNum:    1, RhoDen: 1, // injection rate 1
+//		Beta:      2,
+//		Rounds:    200000,
+//	})
+//
+// Available algorithms (see DESIGN.md for the paper mapping): orchestra,
+// count-hop, adjust-window, k-cycle, k-clique, k-subsets, k-subsets-rrw,
+// and the broadcast baselines mbtf, rrw, ofrrw.
+package earmac
+
+import (
+	"fmt"
+	"io"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/expt"
+	"earmac/internal/metrics"
+	"earmac/internal/ratio"
+	"earmac/internal/trace"
+)
+
+// Config selects a simulation. Zero fields take the documented defaults.
+type Config struct {
+	// Algorithm is one of Algorithms(). Default "orchestra".
+	Algorithm string
+	// N is the number of stations. Default 8.
+	N int
+	// K is the energy-cap parameter of k-cycle, k-clique, k-subsets and
+	// k-subsets-rrw (ignored by the fixed-cap algorithms). Default 3.
+	K int
+	// RhoNum/RhoDen give the injection rate ρ as an exact fraction.
+	// Default 1/2.
+	RhoNum, RhoDen int64
+	// Beta is the burstiness coefficient β ≥ 1. Default 1.
+	Beta int64
+	// Pattern is one of Patterns(). Default "uniform".
+	Pattern string
+	// Src and Dest parameterize the targeted patterns (single-target,
+	// hot-source).
+	Src, Dest int
+	// Seed makes randomized patterns deterministic. Default 1.
+	Seed int64
+	// Rounds is the horizon. Default 100000.
+	Rounds int64
+	// StopInjectionsAfter ends injection at that round so the system can
+	// drain (0 = inject throughout).
+	StopInjectionsAfter int64
+	// Lenient records model violations in the report instead of failing.
+	Lenient bool
+	// DisableChecks turns off the packet-conservation invariant checker
+	// (on by default; it costs O(queue) every ~10k rounds).
+	DisableChecks bool
+	// Trace, when non-nil, receives a per-round event log (who was on,
+	// what was transmitted, deliveries) for rounds [TraceFrom, TraceUpTo).
+	Trace     io.Writer
+	TraceFrom int64
+	TraceUpTo int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = "orchestra"
+	}
+	if c.N == 0 {
+		c.N = 8
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.RhoNum == 0 && c.RhoDen == 0 {
+		c.RhoNum, c.RhoDen = 1, 2
+	}
+	if c.RhoDen == 0 {
+		c.RhoDen = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 1
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 100000
+	}
+	return c
+}
+
+// Report holds the measurements of one simulation.
+type Report struct {
+	Algorithm   string
+	N           int
+	EnergyCap   int
+	PlainPacket bool
+	Direct      bool
+	Oblivious   bool
+
+	Rounds    int64
+	Injected  int64
+	Delivered int64
+	Pending   int64
+
+	MaxQueue    int64
+	FinalQueue  int64
+	QueueSlope  float64
+	GrowthRatio float64
+	Stable      bool
+	// QueueImbalance is the largest per-station queue peak relative to
+	// the mean peak (1 = balanced; large = one station absorbed the load).
+	QueueImbalance float64
+
+	MaxLatency  int64
+	MeanLatency float64
+	P50Latency  int64 // histogram upper bound
+	P99Latency  int64 // histogram upper bound
+
+	MeanEnergy float64
+	MaxEnergy  int
+
+	HeardRounds     int64
+	SilentRounds    int64
+	CollisionRounds int64
+	LightRounds     int64
+	ControlBits     int64
+
+	Violations []string
+}
+
+// Summary renders a human-readable digest of the report.
+func (r Report) Summary() string {
+	caps := ""
+	if r.PlainPacket {
+		caps += " plain-packet"
+	}
+	if r.Direct {
+		caps += " direct"
+	}
+	if r.Oblivious {
+		caps += " oblivious"
+	}
+	s := fmt.Sprintf("%s (n=%d, cap %d,%s)\n", r.Algorithm, r.N, r.EnergyCap, caps)
+	s += fmt.Sprintf("  rounds %d: injected %d, delivered %d, pending %d\n",
+		r.Rounds, r.Injected, r.Delivered, r.Pending)
+	s += fmt.Sprintf("  queue: max %d, final %d, slope %.5f pkt/round → %s\n",
+		r.MaxQueue, r.FinalQueue, r.QueueSlope, stability(r.Stable))
+	s += fmt.Sprintf("  latency: max %d, mean %.1f, p50 ≤ %d, p99 ≤ %d\n",
+		r.MaxLatency, r.MeanLatency, r.P50Latency, r.P99Latency)
+	s += fmt.Sprintf("  energy: mean %.2f on-stations/round (cap %d, peak %d)\n",
+		r.MeanEnergy, r.EnergyCap, r.MaxEnergy)
+	s += fmt.Sprintf("  channel: %d heard (%d light), %d silent, %d collisions, %d control bits\n",
+		r.HeardRounds, r.LightRounds, r.SilentRounds, r.CollisionRounds, r.ControlBits)
+	if len(r.Violations) > 0 {
+		s += fmt.Sprintf("  VIOLATIONS: %d (first: %s)\n", len(r.Violations), r.Violations[0])
+	}
+	return s
+}
+
+func stability(ok bool) string {
+	if ok {
+		return "stable"
+	}
+	return "UNSTABLE"
+}
+
+// Run executes one simulation per the config.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	sys, err := expt.Build(cfg.Algorithm, cfg.N, cfg.K)
+	if err != nil {
+		return Report{}, err
+	}
+	pat, err := expt.BuildPattern(cfg.Pattern, cfg.N, cfg.Seed, cfg.Src, cfg.Dest)
+	if err != nil {
+		return Report{}, err
+	}
+	if cfg.StopInjectionsAfter > 0 {
+		pat = adversary.Stop(pat, cfg.StopInjectionsAfter)
+	}
+	typ := adversary.Type{Rho: ratio.New(cfg.RhoNum, cfg.RhoDen), Beta: ratio.FromInt(cfg.Beta)}
+	adv := adversary.New(typ, pat)
+
+	tr := metrics.NewTracker()
+	tr.TrackStations(cfg.N)
+	if se := cfg.Rounds / 512; se > tr.SampleEvery {
+		tr.SampleEvery = se
+	}
+	check := int64(10007)
+	if cfg.DisableChecks {
+		check = 0
+	}
+	var tracer core.Tracer
+	if cfg.Trace != nil {
+		tracer = &trace.Logger{W: cfg.Trace, From: cfg.TraceFrom, To: cfg.TraceUpTo}
+	}
+	sim := core.NewSim(sys, adv, core.Options{
+		Strict:     !cfg.Lenient,
+		CheckEvery: check,
+		Tracker:    tr,
+		Tracer:     tracer,
+	})
+	if err := sim.Run(cfg.Rounds); err != nil {
+		return Report{}, err
+	}
+
+	return Report{
+		Algorithm:   sys.Info.Name,
+		N:           cfg.N,
+		EnergyCap:   sys.Info.EnergyCap,
+		PlainPacket: sys.Info.PlainPacket,
+		Direct:      sys.Info.Direct,
+		Oblivious:   sys.Info.Oblivious,
+
+		Rounds:    tr.Rounds,
+		Injected:  tr.Injected,
+		Delivered: tr.Delivered,
+		Pending:   tr.Pending(),
+
+		MaxQueue:       tr.MaxQueue,
+		FinalQueue:     tr.FinalQueue(),
+		QueueSlope:     tr.QueueSlope(),
+		GrowthRatio:    tr.GrowthRatio(),
+		Stable:         tr.LooksStable(),
+		QueueImbalance: tr.QueueImbalance(),
+
+		MaxLatency:  tr.MaxLatency,
+		MeanLatency: tr.MeanLatency(),
+		P50Latency:  tr.LatencyPercentile(0.5),
+		P99Latency:  tr.LatencyPercentile(0.99),
+
+		MeanEnergy: tr.MeanEnergy(),
+		MaxEnergy:  tr.MaxEnergy,
+
+		HeardRounds:     tr.HeardRounds,
+		SilentRounds:    tr.SilentRounds,
+		CollisionRounds: tr.CollisionRounds,
+		LightRounds:     tr.LightRounds,
+		ControlBits:     tr.ControlBits,
+
+		Violations: tr.Violations,
+	}, nil
+}
+
+// Algorithms lists the available algorithm names.
+func Algorithms() []string { return expt.Algorithms() }
+
+// Patterns lists the available injection pattern names.
+func Patterns() []string { return expt.Patterns() }

@@ -1,0 +1,124 @@
+// Adversary-duel: the paper's three impossibility results, staged. Each
+// theorem is a game between a routing algorithm and an adversary pinned
+// exactly at/above the proven threshold:
+//
+//   - Theorem 2: with energy cap 2, injection rate 1 overwhelms any
+//     algorithm (watch Count-Hop's queue grow; Orchestra, with cap 3,
+//     absorbs the identical workload).
+//   - Theorem 6: a k-energy-oblivious schedule leaves some station on
+//     only a k/n fraction of rounds; flooding it above k/n wins.
+//   - Theorem 9: a direct-routing oblivious schedule co-schedules some
+//     ordered pair at most a k(k−1)/(n(n−1)) fraction; a single flow
+//     above that rate wins.
+//
+// Below the thresholds, the same algorithms are demonstrably stable.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/expt"
+	"earmac/internal/metrics"
+	"earmac/internal/ratio"
+)
+
+type duel struct {
+	label  string
+	build  func() (*core.System, error)
+	adv    func(sys *core.System) core.Adversary
+	rounds int64
+	expect string // "stable" or "unstable"
+}
+
+func main() {
+	duels := []duel{
+		{
+			label: "Thm 2 ceiling: Count-Hop (cap 2) vs ρ=1 uniform",
+			build: func() (*core.System, error) { return expt.Build("count-hop", 5, 0) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.New(adversary.T(1, 1, 1), adversary.Uniform(5, 3))
+			},
+			rounds: 120000, expect: "unstable",
+		},
+		{
+			label: "Thm 2 ceiling: Count-Hop (cap 2) vs the Lemma-1 adaptive adversary",
+			build: func() (*core.System, error) { return expt.Build("count-hop", 5, 0) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.NewLemma1(sys.N(), 20)
+			},
+			rounds: 120000, expect: "unstable",
+		},
+		{
+			label: "…but Orchestra (cap 3) absorbs the same ρ=1 workload",
+			build: func() (*core.System, error) { return expt.Build("orchestra", 5, 0) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.New(adversary.T(1, 1, 1), adversary.Uniform(5, 3))
+			},
+			rounds: 120000, expect: "stable",
+		},
+		{
+			label: "Thm 6 ceiling: 3-Cycle (n=7) vs LeastOn flood at ρ=1/2 > k/n=3/7",
+			build: func() (*core.System, error) { return expt.Build("k-cycle", 7, 3) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.LeastOn(sys.Schedule, adversary.T(1, 2, 1))
+			},
+			rounds: 120000, expect: "unstable",
+		},
+		{
+			label: "…but 3-Cycle is stable at ρ=1/4 < (k−1)/(n−1)",
+			build: func() (*core.System, error) { return expt.Build("k-cycle", 7, 3) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.New(adversary.T(1, 4, 2), adversary.Uniform(7, 5))
+			},
+			rounds: 120000, expect: "stable",
+		},
+		{
+			label: "Thm 9 ceiling: 3-Subsets (n=6) vs LeastPair flood at ρ=1/4 > 1/5",
+			build: func() (*core.System, error) { return expt.Build("k-subsets", 6, 3) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.LeastPair(sys.Schedule, adversary.T(1, 4, 1))
+			},
+			rounds: 150000, expect: "unstable",
+		},
+		{
+			label: "…but 3-Subsets is stable at exactly ρ=1/5 = k(k−1)/(n(n−1))",
+			build: func() (*core.System, error) { return expt.Build("k-subsets", 6, 3) },
+			adv: func(sys *core.System) core.Adversary {
+				return adversary.New(adversary.Type{Rho: ratio.New(1, 5), Beta: ratio.FromInt(2)},
+					adversary.Uniform(6, 5))
+			},
+			rounds: 150000, expect: "stable",
+		},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DUEL\tEXPECTED\tOBSERVED\tQUEUE SLOPE\tFINAL QUEUE")
+	for _, d := range duels {
+		sys, err := d.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := metrics.NewTracker()
+		tr.SampleEvery = d.rounds / 512
+		sim := core.NewSim(sys, d.adv(sys), core.Options{Strict: true, Tracker: tr})
+		if err := sim.Run(d.rounds); err != nil {
+			log.Fatal(err)
+		}
+		observed := "stable"
+		if !tr.LooksStable() {
+			observed = "unstable"
+		}
+		marker := ""
+		if observed != d.expect {
+			marker = "  (!)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s%s\t%.5f\t%d\n",
+			d.label, d.expect, observed, marker, tr.QueueSlope(), tr.FinalQueue())
+	}
+	tw.Flush()
+}

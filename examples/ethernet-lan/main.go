@@ -1,0 +1,78 @@
+// Ethernet-LAN: the paper's motivating scenario. A shared Ethernet
+// segment (multiple access channel) with 12 stations is typically
+// under-utilized, so keeping every NIC powered is wasted energy. This
+// example routes the same moderate workload (ρ = 1/3, bursty) with each
+// of the paper's algorithms and an always-on baseline, and compares
+// delivered latency against the energy actually spent — the
+// latency-versus-energy menu a deployment would choose from.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"earmac"
+)
+
+type contender struct {
+	label string
+	cfg   earmac.Config
+}
+
+func main() {
+	const (
+		n      = 12
+		rounds = 300000
+	)
+	base := earmac.Config{
+		N:      n,
+		RhoNum: 1, RhoDen: 3,
+		Beta:   4,
+		Rounds: rounds,
+		Seed:   7,
+	}
+	with := func(alg string, k int) earmac.Config {
+		c := base
+		c.Algorithm = alg
+		c.K = k
+		return c
+	}
+	// Adjust-Window's delivery cadence is its window, which at n=12 is
+	// about a million rounds (lgL·9n³ before the Main stage fits); it
+	// needs a proportionately longer horizon to show steady state.
+	adjWin := with("adjust-window", 0)
+	adjWin.Rounds = 4500000
+	adjWin.DisableChecks = true
+
+	contenders := []contender{
+		{"always-on RRW (no energy cap)", with("rrw", 0)},
+		{"Orchestra (cap 3)", with("orchestra", 0)},
+		{"Count-Hop (cap 2)", with("count-hop", 0)},
+		{"Adjust-Window (cap 2)*", adjWin},
+		{"6-Cycle (cap 6, oblivious)", with("k-cycle", 6)},
+		{"6-Clique (cap 6, oblivious, direct)", with("k-clique", 6)},
+	}
+
+	fmt.Printf("Shared Ethernet segment, %d stations, load ρ=1/3 with bursts (β=4), %d rounds\n\n", n, rounds)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ALGORITHM\tENERGY/ROUND\tvs ALWAYS-ON\tMEAN LAT\tP99 LAT\tMAX QUEUE\tSTABLE")
+	var baseline float64
+	for i, c := range contenders {
+		rep, err := earmac.Run(c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseline = rep.MeanEnergy
+		}
+		saving := (1 - rep.MeanEnergy/baseline) * 100
+		fmt.Fprintf(tw, "%s\t%.2f\t%+.0f%%\t%.0f\t%d\t%d\t%v\n",
+			c.label, rep.MeanEnergy, -saving, rep.MeanLatency, rep.P99Latency, rep.MaxQueue, rep.Stable)
+	}
+	tw.Flush()
+	fmt.Println("\n* Adjust-Window measured over 4.5M rounds — its delivery unit is a ~1M-round window at n=12.")
+	fmt.Println("Reading: the capped algorithms cut energy by 50–85% at this load;")
+	fmt.Println("the price is latency, growing as the cap shrinks (see examples/energy-tradeoff).")
+}

@@ -1,0 +1,73 @@
+// Package adversary implements the paper's leaky-bucket adversarial model
+// of packet injection (§2) plus the constructive adversaries realizing the
+// impossibility theorems. An adversary of type (ρ, β) may inject at most
+// ρ·t + β packets in any contiguous window of t rounds; ρ is the injection
+// rate and β the burstiness coefficient.
+package adversary
+
+import (
+	"fmt"
+
+	"earmac/internal/ratio"
+)
+
+// Type is the adversary's (ρ, β) pair.
+type Type struct {
+	Rho  ratio.Rat
+	Beta ratio.Rat
+}
+
+// T builds a Type from integer fractions: rho = rn/rd, beta = b.
+func T(rn, rd, b int64) Type {
+	return Type{Rho: ratio.New(rn, rd), Beta: ratio.FromInt(b)}
+}
+
+func (t Type) String() string { return fmt.Sprintf("(ρ=%v, β=%v)", t.Rho, t.Beta) }
+
+// Bucket enforces the leaky-bucket constraint with exact rational credit.
+// The credit starts at β, gains ρ per round, and is capped back to β after
+// each round's injections, which yields exactly the paper's bound: at most
+// ρ·t + β injections in any window of t rounds, and at most ⌊β + ρ⌋ in a
+// single round.
+type Bucket struct {
+	typ    Type
+	credit ratio.Rat
+}
+
+// NewBucket returns a bucket with full initial credit β.
+func NewBucket(typ Type) *Bucket {
+	if typ.Rho.Sign() < 0 || typ.Beta.Sign() < 0 {
+		panic("adversary: negative rate or burstiness")
+	}
+	return &Bucket{typ: typ, credit: typ.Beta}
+}
+
+// Type returns the bucket's (ρ, β).
+func (b *Bucket) Type() Type { return b.typ }
+
+// Tick advances one round: the credit gains ρ and the number of packets
+// injectable this round is returned.
+func (b *Bucket) Tick() int {
+	b.credit = b.credit.Add(b.typ.Rho)
+	f := b.credit.Floor()
+	if f < 0 {
+		return 0
+	}
+	return int(f)
+}
+
+// Spend consumes credit for m injections this round and re-caps the
+// remaining credit at β. It panics if m exceeds the budget returned by
+// Tick — the adversary must never exceed its type.
+func (b *Bucket) Spend(m int) {
+	b.credit = b.credit.Sub(ratio.FromInt(int64(m)))
+	if b.credit.Sign() < 0 {
+		panic(fmt.Sprintf("adversary: overspent bucket by %v", b.credit.Neg()))
+	}
+	if b.typ.Beta.Less(b.credit) {
+		b.credit = b.typ.Beta
+	}
+}
+
+// Credit returns the current credit (for tests).
+func (b *Bucket) Credit() ratio.Rat { return b.credit }

@@ -1,0 +1,157 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"earmac/internal/core"
+)
+
+// Pattern decides where packets go. Draw is called once per round with
+// the bucket's budget (maximum packets injectable this round) and returns
+// at most that many injections. Patterns are deterministic: randomized
+// ones take an explicit seed.
+type Pattern interface {
+	Draw(round int64, budget int) []core.Injection
+}
+
+// PatternFunc adapts a function to a Pattern.
+type PatternFunc func(round int64, budget int) []core.Injection
+
+// Draw implements Pattern.
+func (f PatternFunc) Draw(round int64, budget int) []core.Injection { return f(round, budget) }
+
+// Adv is a leaky-bucket adversary combining a Type with a Pattern; it
+// implements core.Adversary.
+type Adv struct {
+	bucket *Bucket
+	pat    Pattern
+}
+
+// New builds an adversary of the given type driven by the pattern.
+func New(typ Type, pat Pattern) *Adv {
+	return &Adv{bucket: NewBucket(typ), pat: pat}
+}
+
+// Inject implements core.Adversary: it offers the pattern this round's
+// budget and debits the bucket for what the pattern used.
+func (a *Adv) Inject(round int64) []core.Injection {
+	budget := a.bucket.Tick()
+	if budget == 0 {
+		a.bucket.Spend(0)
+		return nil
+	}
+	injs := a.pat.Draw(round, budget)
+	if len(injs) > budget {
+		injs = injs[:budget]
+	}
+	a.bucket.Spend(len(injs))
+	return injs
+}
+
+// Uniform injects at the full permitted rate with sources and destinations
+// drawn uniformly (and independently) from [0, n).
+func Uniform(n int, seed int64) Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		injs := make([]core.Injection, budget)
+		for i := range injs {
+			injs[i] = core.Injection{Station: rng.Intn(n), Dest: rng.Intn(n)}
+		}
+		return injs
+	})
+}
+
+// SingleTarget floods one fixed source station with packets for one fixed
+// destination — the paper's worst case for Orchestra's move-big-to-front
+// mechanism and the flooding strategy of the lower-bound proofs.
+func SingleTarget(src, dest int) Pattern {
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		injs := make([]core.Injection, budget)
+		for i := range injs {
+			injs[i] = core.Injection{Station: src, Dest: dest}
+		}
+		return injs
+	})
+}
+
+// HotSource injects everything into one station with destinations cycling
+// over all other stations.
+func HotSource(src, n int) Pattern {
+	next := 0
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		injs := make([]core.Injection, budget)
+		for i := range injs {
+			d := next % n
+			if d == src {
+				next++
+				d = next % n
+			}
+			next++
+			injs[i] = core.Injection{Station: src, Dest: d}
+		}
+		return injs
+	})
+}
+
+// RoundRobin cycles the source over all stations and addresses each packet
+// to the next station in cyclic order — maximally spread traffic.
+func RoundRobin(n int) Pattern {
+	c := 0
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		injs := make([]core.Injection, budget)
+		for i := range injs {
+			s := c % n
+			injs[i] = core.Injection{Station: s, Dest: (s + 1) % n}
+			c++
+		}
+		return injs
+	})
+}
+
+// Bursty saves credit and dumps the whole budget every period rounds,
+// exercising the burstiness component β of the adversary type.
+func Bursty(inner Pattern, period int64) Pattern {
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		if round%period != period-1 {
+			return nil
+		}
+		return inner.Draw(round, budget)
+	})
+}
+
+// Paced scales the effective rate: it draws from the inner pattern only
+// every stride rounds, letting the bucket otherwise sit at cap. Useful to
+// drive a (ρ, β) adversary below its permitted rate.
+func Paced(inner Pattern, stride int64) Pattern {
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		if stride > 1 && round%stride != 0 {
+			return nil
+		}
+		return inner.Draw(round, budget)
+	})
+}
+
+// Diurnal gates an inner pattern with a duty cycle: injections flow only
+// during the first dutyNum/dutyDen fraction of each period — the
+// under-utilized-LAN traffic shape of the paper's Ethernet motivation.
+// The leaky bucket still enforces the overall (ρ, β) type; during the
+// active phase the bucket's accumulated credit drains as a burst.
+func Diurnal(inner Pattern, period, dutyNum, dutyDen int64) Pattern {
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		if (round%period)*dutyDen >= period*dutyNum {
+			return nil
+		}
+		return inner.Draw(round, budget)
+	})
+}
+
+// Stop disables injections from the given round on, so the system can be
+// drained to verify eventual delivery.
+func Stop(inner Pattern, after int64) Pattern {
+	return PatternFunc(func(round int64, budget int) []core.Injection {
+		if round >= after {
+			return nil
+		}
+		return inner.Draw(round, budget)
+	})
+}

@@ -1,0 +1,158 @@
+package counthop
+
+import (
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/metrics"
+)
+
+func run(t *testing.T, n int, adv core.Adversary, rounds int64) *metrics.Tracker {
+	t.Helper()
+	sys, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := metrics.NewTracker()
+	tr.SampleEvery = 256
+	sim := core.NewSim(sys, adv, core.Options{Strict: true, CheckEvery: 997, Tracker: tr})
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRejectsTinySystems(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("New(1) should fail")
+	}
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+}
+
+func TestStableAtHalfRate(t *testing.T) {
+	tr := run(t, 6, adversary.New(adversary.T(1, 2, 2), adversary.Uniform(6, 42)), 60000)
+	if !tr.LooksStable() {
+		t.Errorf("unstable at ρ=1/2:\n%s", tr.Summary())
+	}
+	if tr.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if tr.MaxEnergy > 2 {
+		t.Errorf("energy %d exceeds cap 2", tr.MaxEnergy)
+	}
+	if len(tr.Violations) > 0 {
+		t.Errorf("violations: %v", tr.Violations)
+	}
+}
+
+func TestLatencyWithinPaperBoundShape(t *testing.T) {
+	// Paper: latency ≤ 2(n²+β)/(1−ρ). Our stage-total dissemination makes
+	// the per-phase overhead 2n(n−1) instead of (n−1)², so the bound we
+	// must meet is 2(2n(n−1)+n+β)/(1−ρ) (bootstrap adds n).
+	n := 6
+	rho := adversary.T(1, 2, 2) // ρ=1/2, β=2
+	tr := run(t, n, adversary.New(rho, adversary.Uniform(n, 7)), 60000)
+	bound := int64(2*(2*n*(n-1)+n+2)) * 2 // ÷(1−ρ) = ×2
+	if tr.MaxLatency > bound {
+		t.Errorf("max latency %d exceeds bound %d:\n%s", tr.MaxLatency, bound, tr.Summary())
+	}
+}
+
+func TestStableNearRateOne(t *testing.T) {
+	// ρ = 9/10 still universal; phases self-scale.
+	tr := run(t, 4, adversary.New(adversary.T(9, 10, 1), adversary.Uniform(4, 3)), 120000)
+	if !tr.LooksStable() {
+		t.Errorf("unstable at ρ=9/10:\n%s", tr.Summary())
+	}
+}
+
+func TestUnstableAtRateOne(t *testing.T) {
+	// Theorem 2: with energy cap 2 no algorithm is stable at ρ = 1. Every
+	// phase pays 2n(n−1) control rounds, so queues must grow.
+	tr := run(t, 5, adversary.New(adversary.T(1, 1, 1), adversary.Uniform(5, 9)), 60000)
+	if tr.LooksStable() {
+		t.Errorf("unexpectedly stable at ρ=1:\n%s", tr.Summary())
+	}
+	if tr.QueueSlope() <= 0 {
+		t.Errorf("queue slope %f not positive at ρ=1", tr.QueueSlope())
+	}
+}
+
+func TestDrainsCompletely(t *testing.T) {
+	n := 5
+	adv := adversary.New(adversary.T(1, 2, 3),
+		adversary.Stop(adversary.Uniform(n, 11), 20000))
+	tr := run(t, n, adv, 40000)
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d after drain:\n%s", tr.Pending(), tr.Summary())
+	}
+}
+
+func TestSelfAddressedPackets(t *testing.T) {
+	// Packets injected at their own destination still flow through the
+	// schedule (the station transmits to itself during its slot).
+	n := 4
+	adv := adversary.New(adversary.T(1, 4, 1),
+		adversary.Stop(adversary.SingleTarget(2, 2), 8000))
+	tr := run(t, n, adv, 20000)
+	if tr.Pending() != 0 {
+		t.Errorf("self-addressed packets stuck: pending=%d", tr.Pending())
+	}
+	if tr.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestCoordinatorPacketsDelivered(t *testing.T) {
+	// Packets injected into the coordinator (station 0) use its own slots.
+	n := 4
+	adv := adversary.New(adversary.T(1, 4, 1),
+		adversary.Stop(adversary.HotSource(0, n), 8000))
+	tr := run(t, n, adv, 20000)
+	if tr.Pending() != 0 {
+		t.Errorf("coordinator packets stuck: pending=%d", tr.Pending())
+	}
+}
+
+func TestPacketsToCoordinatorDelivered(t *testing.T) {
+	n := 4
+	adv := adversary.New(adversary.T(1, 4, 1),
+		adversary.Stop(adversary.SingleTarget(3, 0), 8000))
+	tr := run(t, n, adv, 20000)
+	if tr.Pending() != 0 {
+		t.Errorf("packets to coordinator stuck: pending=%d", tr.Pending())
+	}
+}
+
+func TestMinimalSystemN2(t *testing.T) {
+	adv := adversary.New(adversary.T(1, 3, 1),
+		adversary.Stop(adversary.Uniform(2, 5), 5000))
+	tr := run(t, 2, adv, 12000)
+	if tr.Pending() != 0 {
+		t.Errorf("n=2 pending = %d:\n%s", tr.Pending(), tr.Summary())
+	}
+}
+
+func TestBurstAbsorbed(t *testing.T) {
+	n := 5
+	adv := adversary.New(adversary.T(1, 4, 20),
+		adversary.Stop(adversary.Bursty(adversary.Uniform(n, 13), 500), 15000))
+	tr := run(t, n, adv, 40000)
+	if tr.Pending() != 0 {
+		t.Errorf("burst not drained: pending=%d", tr.Pending())
+	}
+}
+
+func TestEnergyNeverExceedsTwo(t *testing.T) {
+	tr := run(t, 7, adversary.New(adversary.T(2, 3, 2), adversary.Uniform(7, 17)), 30000)
+	if tr.MaxEnergy > 2 {
+		t.Errorf("MaxEnergy = %d", tr.MaxEnergy)
+	}
+	// The channel must actually be used.
+	if tr.DeliveryRounds == 0 {
+		t.Error("no delivery rounds")
+	}
+}

@@ -1,0 +1,246 @@
+// Package kclique implements algorithm k-Clique (paper §6): a plain-
+// packet, k-energy-oblivious, direct-routing algorithm with latency
+// 8(n²/k)(1 + β/2k) for injection rates ρ ≤ k²/(2n(2n−k)).
+//
+// The stations are partitioned into 2n/k disjoint half-sets of size k/2;
+// every unordered pair of half-sets forms a clique of k stations. The
+// pairs are arranged in a fixed cycle and take turns being active for one
+// round each — all k members on, a fixed schedule, hence oblivious.
+// Within a pair, OF-RRW runs: the token holder transmits its old packets
+// assigned to this pair; the destination of an assigned packet always
+// belongs to the pair, so every heard packet is consumed immediately —
+// routing is direct, no relays.
+//
+// Per the paper, k is assumed even and dividing 2n with k ≤ 2n/3; the
+// constructor clamps a requested cap down to the largest feasible k.
+package kclique
+
+import (
+	"fmt"
+
+	"earmac/internal/broadcast"
+	"earmac/internal/core"
+	"earmac/internal/mac"
+	"earmac/internal/pktq"
+	"earmac/internal/sched"
+)
+
+// Layout is the static half-set / pair structure.
+type Layout struct {
+	N        int
+	K        int // effective cap: even, divides 2n, ≤ 2n/3
+	Sets     int // 2n/k half-sets
+	NumPairs int
+
+	pairIndex [][]int // set a, set b → pair index (a < b)
+	pairs     [][2]int
+	members   [][]int // pair → sorted stations
+	pairsOf   [][]int // station → pair indices containing it
+	inPair    []map[int]bool
+}
+
+// FeasibleK returns the largest k' ≤ k that is even, divides 2n, and
+// satisfies k' ≤ 2n/3; 0 if none exists.
+func FeasibleK(n, k int) int {
+	if k > 2*n/3 {
+		k = 2 * n / 3
+	}
+	for ; k >= 2; k-- {
+		if k%2 == 0 && (2*n)%k == 0 {
+			return k
+		}
+	}
+	return 0
+}
+
+// NewLayout computes the pair structure for n stations under cap k.
+func NewLayout(n, k int) (*Layout, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("kclique: need n >= 3, got %d", n)
+	}
+	ek := FeasibleK(n, k)
+	if ek == 0 {
+		return nil, fmt.Errorf("kclique: no feasible even k ≤ %d dividing 2n for n=%d", k, n)
+	}
+	c := 2 * n / ek
+	lay := &Layout{
+		N: n, K: ek, Sets: c,
+		pairIndex: make([][]int, c),
+		pairsOf:   make([][]int, n),
+	}
+	for a := 0; a < c; a++ {
+		lay.pairIndex[a] = make([]int, c)
+		for b := range lay.pairIndex[a] {
+			lay.pairIndex[a][b] = -1
+		}
+	}
+	half := ek / 2
+	for a := 0; a < c; a++ {
+		for b := a + 1; b < c; b++ {
+			idx := len(lay.pairs)
+			lay.pairIndex[a][b] = idx
+			lay.pairIndex[b][a] = idx
+			lay.pairs = append(lay.pairs, [2]int{a, b})
+			m := make([]int, 0, ek)
+			for s := a * half; s < (a+1)*half; s++ {
+				m = append(m, s)
+			}
+			for s := b * half; s < (b+1)*half; s++ {
+				m = append(m, s)
+			}
+			lay.members = append(lay.members, m)
+			in := make(map[int]bool, ek)
+			for _, s := range m {
+				in[s] = true
+				lay.pairsOf[s] = append(lay.pairsOf[s], idx)
+			}
+			lay.inPair = append(lay.inPair, in)
+		}
+	}
+	lay.NumPairs = len(lay.pairs)
+	return lay, nil
+}
+
+// SetOf returns the half-set of a station.
+func (l *Layout) SetOf(s int) int { return s / (l.K / 2) }
+
+// ActivePair returns the pair switched on in the given round.
+func (l *Layout) ActivePair(round int64) int {
+	return int(round % int64(l.NumPairs))
+}
+
+// PairFor returns the pair a packet src→dest is assigned to: the unique
+// pair of both endpoints' half-sets, or — when the endpoints share a
+// half-set — the pair of that set and the cyclically next one.
+func (l *Layout) PairFor(src, dest int) int {
+	a, b := l.SetOf(src), l.SetOf(dest)
+	if a == b {
+		b = (a + 1) % l.Sets
+	}
+	return l.pairIndex[a][b]
+}
+
+// Schedule returns the oblivious on/off schedule (period = #pairs).
+func (l *Layout) Schedule() sched.Schedule {
+	return sched.Func{
+		N: l.N,
+		P: int64(l.NumPairs),
+		F: func(st int, round int64) bool {
+			return l.inPair[l.ActivePair(round)][st]
+		},
+	}
+}
+
+// CriticalRate returns k²/(2n(2n−k)), the rate up to which the paper
+// bounds the latency (half the pair-activation frequency 1/m).
+func (l *Layout) CriticalRate() (num, den int64) {
+	return int64(l.K) * int64(l.K), 2 * int64(l.N) * (2*int64(l.N) - int64(l.K))
+}
+
+type pairQueue struct {
+	q     *pktq.Queue
+	tagOf map[int64]int64
+}
+
+type station struct {
+	id  int
+	lay *Layout
+
+	rings map[int]*broadcast.Ring
+	subs  map[int]*pairQueue
+
+	pendingTx int64
+}
+
+func newStation(id int, lay *Layout) *station {
+	s := &station{id: id, lay: lay, rings: map[int]*broadcast.Ring{}, subs: map[int]*pairQueue{}, pendingTx: -1}
+	for _, p := range lay.pairsOf[id] {
+		s.rings[p] = broadcast.NewRing(lay.members[p])
+		s.subs[p] = &pairQueue{q: pktq.New(), tagOf: map[int64]int64{}}
+	}
+	return s
+}
+
+func (s *station) Inject(p mac.Packet) {
+	pair := s.lay.PairFor(s.id, p.Dest)
+	sub := s.subs[pair]
+	sub.q.Push(p)
+	sub.tagOf[p.ID] = s.rings[pair].Phase()
+}
+
+func (s *station) Act(round int64) core.Action {
+	s.pendingTx = -1
+	pair := s.lay.ActivePair(round)
+	ring, member := s.rings[pair]
+	if !member {
+		return core.Off()
+	}
+	if ring.Holder() != s.id {
+		return core.Listen()
+	}
+	sub := s.subs[pair]
+	front, ok := sub.q.Front()
+	if !ok || sub.tagOf[front.ID] >= ring.Phase() {
+		return core.Listen() // silence advances the token
+	}
+	s.pendingTx = front.ID
+	return core.Transmit(mac.PacketMsg(front))
+}
+
+func (s *station) Observe(round int64, fb mac.Feedback) {
+	pair := s.lay.ActivePair(round)
+	ring := s.rings[pair]
+	switch fb.Kind {
+	case mac.FbHeard:
+		ring.ObserveHeard()
+		if s.pendingTx >= 0 {
+			sub := s.subs[pair]
+			sub.q.Remove(s.pendingTx)
+			delete(sub.tagOf, s.pendingTx)
+			s.pendingTx = -1
+		}
+	case mac.FbSilence:
+		ring.ObserveSilence()
+	}
+}
+
+func (s *station) QueueLen() int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.q.Len()
+	}
+	return total
+}
+
+func (s *station) HeldPackets() []mac.Packet {
+	var out []mac.Packet
+	for _, p := range s.lay.pairsOf[s.id] {
+		out = append(out, s.subs[p].q.Snapshot()...)
+	}
+	return out
+}
+
+// New builds a k-Clique system for n ≥ 3 stations under energy cap k.
+// The effective cap (after feasibility clamping) is reported by the
+// system's Info.EnergyCap.
+func New(n, k int) (*core.System, error) {
+	lay, err := NewLayout(n, k)
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]core.Protocol, n)
+	for i := 0; i < n; i++ {
+		stations[i] = newStation(i, lay)
+	}
+	return &core.System{
+		Info: core.AlgorithmInfo{
+			Name:        fmt.Sprintf("%d-clique", lay.K),
+			EnergyCap:   lay.K,
+			PlainPacket: true,
+			Direct:      true,
+			Oblivious:   true,
+		},
+		Stations: stations,
+		Schedule: lay.Schedule(),
+	}, nil
+}

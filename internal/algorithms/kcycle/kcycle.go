@@ -1,0 +1,276 @@
+// Package kcycle implements algorithm k-Cycle (paper §5): a plain-packet,
+// k-energy-oblivious, indirect-routing algorithm with latency O(n) for
+// injection rates below (k−1)/(n−1).
+//
+// The n stations are covered by ℓ = ⌈n/(k−1)⌉ groups of (up to) k
+// consecutive stations; consecutive groups share one station, their
+// connector, and the last group wraps around to share station 0 with the
+// first. Groups take turns being active for δ = ⌈4(n−1)k/(n−k)⌉ rounds
+// each, in round-robin order, with all member stations switched on — a
+// fixed schedule, hence energy-oblivious. Within its activity rounds a
+// group runs OF-RRW: a token cycles through the members; the holder
+// transmits its old packets associated with this group; a silent round
+// advances the token; a full token cycle ends the group's phase. A heard
+// packet is consumed if its destination belongs to the active group and
+// otherwise adopted by the group's connector, hopping group to group
+// around the cycle until it reaches its destination's group.
+//
+// Packets carry a group association (see DESIGN.md §4): injected packets
+// belong to a group containing both endpoints when one exists, otherwise
+// to the injection station's forward group; adopted packets move to the
+// next group. This realizes the paper's store-and-forward intent without
+// bouncing packets at connectors.
+package kcycle
+
+import (
+	"fmt"
+
+	"earmac/internal/broadcast"
+	"earmac/internal/core"
+	"earmac/internal/mac"
+	"earmac/internal/pktq"
+	"earmac/internal/sched"
+)
+
+// Layout is the static group structure shared by all stations.
+type Layout struct {
+	N     int
+	K     int // effective k after the paper's clamp 2k ≤ n+1
+	L     int // number of groups
+	Delta int64
+
+	members   [][]int // group → sorted member stations
+	groupsOf  [][]int // station → groups it belongs to
+	connector []int   // group → connector station shared with next group
+	forward   []int   // station → its forward group (where it is first)
+	inGroup   []map[int]bool
+}
+
+// NewLayout computes the group structure. The requested cap k is clamped
+// to ⌊(n+1)/2⌋ per the paper ("if n ≤ 2k then k gets decreased such that
+// 2k = n + 1").
+func NewLayout(n, k int) (*Layout, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("kcycle: need n >= 3, got %d", n)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("kcycle: need k >= 2, got %d", k)
+	}
+	if k > (n+1)/2 {
+		k = (n + 1) / 2
+	}
+	l := (n + k - 2) / (k - 1) // ⌈n/(k−1)⌉
+	lay := &Layout{
+		N: n, K: k, L: l,
+		Delta:     int64((4*(n-1)*k + (n - k) - 1) / (n - k)), // ⌈4(n−1)k/(n−k)⌉
+		members:   make([][]int, l),
+		groupsOf:  make([][]int, n),
+		connector: make([]int, l),
+		forward:   make([]int, n),
+		inGroup:   make([]map[int]bool, l),
+	}
+	for i := range lay.forward {
+		lay.forward[i] = -1
+	}
+	for g := 0; g < l; g++ {
+		start := g * (k - 1)
+		var m []int
+		if g < l-1 {
+			for s := start; s < start+k; s++ {
+				m = append(m, s)
+			}
+			lay.connector[g] = start + k - 1
+		} else {
+			// Last group: remaining stations plus the wrap to station 0.
+			m = append(m, 0)
+			for s := start; s < n; s++ {
+				m = append(m, s)
+			}
+			lay.connector[g] = 0
+		}
+		lay.members[g] = m
+		lay.inGroup[g] = make(map[int]bool, len(m))
+		for _, s := range m {
+			lay.inGroup[g][s] = true
+			lay.groupsOf[s] = append(lay.groupsOf[s], g)
+		}
+		// The group's first station (in cycle direction) treats g as its
+		// forward group.
+		lay.forward[start%n] = g
+	}
+	// Station 0 is first in group 0.
+	lay.forward[0] = 0
+	for s := 0; s < n; s++ {
+		if lay.forward[s] == -1 {
+			lay.forward[s] = lay.groupsOf[s][0]
+		}
+	}
+	return lay, nil
+}
+
+// ActiveGroup returns the group switched on in the given round.
+func (l *Layout) ActiveGroup(round int64) int {
+	return int((round / l.Delta) % int64(l.L))
+}
+
+// Schedule returns the oblivious on/off schedule.
+func (l *Layout) Schedule() sched.Schedule {
+	return sched.Func{
+		N: l.N,
+		P: l.Delta * int64(l.L),
+		F: func(st int, round int64) bool {
+			return l.inGroup[l.ActiveGroup(round)][st]
+		},
+	}
+}
+
+// HomeGroup returns the group a packet injected at src with the given
+// destination is initially associated with.
+func (l *Layout) HomeGroup(src, dest int) int {
+	for _, g := range l.groupsOf[src] {
+		if l.inGroup[g][dest] {
+			return g
+		}
+	}
+	return l.forward[src]
+}
+
+// NextGroup returns the group after g in the forwarding cycle.
+func (l *Layout) NextGroup(g int) int { return (g + 1) % l.L }
+
+// grpQueue is one station's packet queue for one of its groups, with
+// per-packet phase tags implementing OF-RRW's old/new distinction.
+type grpQueue struct {
+	q     *pktq.Queue
+	tagOf map[int64]int64
+}
+
+func newGrpQueue() *grpQueue {
+	return &grpQueue{q: pktq.New(), tagOf: make(map[int64]int64)}
+}
+
+func (gq *grpQueue) push(p mac.Packet, phase int64) {
+	gq.q.Push(p)
+	gq.tagOf[p.ID] = phase
+}
+
+func (gq *grpQueue) remove(id int64) {
+	gq.q.Remove(id)
+	delete(gq.tagOf, id)
+}
+
+// oldFront returns the oldest packet if it is old for the given phase.
+// Tags are non-decreasing in arrival order, so a new front means the
+// whole queue is new.
+func (gq *grpQueue) oldFront(phase int64) (mac.Packet, bool) {
+	p, ok := gq.q.Front()
+	if !ok || gq.tagOf[p.ID] >= phase {
+		return mac.Packet{}, false
+	}
+	return p, true
+}
+
+type station struct {
+	id  int
+	lay *Layout
+
+	rings map[int]*broadcast.Ring // one replica per group membership
+	subs  map[int]*grpQueue
+
+	pendingTx    int64
+	pendingGroup int
+}
+
+func newStation(id int, lay *Layout) *station {
+	s := &station{id: id, lay: lay, rings: map[int]*broadcast.Ring{}, subs: map[int]*grpQueue{}, pendingTx: -1}
+	for _, g := range lay.groupsOf[id] {
+		s.rings[g] = broadcast.NewRing(lay.members[g])
+		s.subs[g] = newGrpQueue()
+	}
+	return s
+}
+
+func (s *station) Inject(p mac.Packet) {
+	g := s.lay.HomeGroup(s.id, p.Dest)
+	s.subs[g].push(p, s.rings[g].Phase())
+}
+
+func (s *station) Act(round int64) core.Action {
+	s.pendingTx = -1
+	g := s.lay.ActiveGroup(round)
+	ring, member := s.rings[g]
+	if !member {
+		return core.Off()
+	}
+	if ring.Holder() != s.id {
+		return core.Listen()
+	}
+	p, ok := s.subs[g].oldFront(ring.Phase())
+	if !ok {
+		return core.Listen() // silent round: token will advance
+	}
+	s.pendingTx = p.ID
+	s.pendingGroup = g
+	return core.Transmit(mac.PacketMsg(p))
+}
+
+func (s *station) Observe(round int64, fb mac.Feedback) {
+	g := s.lay.ActiveGroup(round)
+	ring := s.rings[g]
+	switch fb.Kind {
+	case mac.FbHeard:
+		ring.ObserveHeard()
+		if s.pendingTx >= 0 {
+			s.subs[g].remove(s.pendingTx)
+			s.pendingTx = -1
+		}
+		p := fb.Msg.Packet
+		if !s.lay.inGroup[g][p.Dest] && s.id == s.lay.connector[g] {
+			// Adopt and advance the packet to the next group.
+			ng := s.lay.NextGroup(g)
+			s.subs[ng].push(p, s.rings[ng].Phase())
+		}
+	case mac.FbSilence:
+		ring.ObserveSilence()
+	}
+}
+
+func (s *station) QueueLen() int {
+	total := 0
+	for _, gq := range s.subs {
+		total += gq.q.Len()
+	}
+	return total
+}
+
+func (s *station) HeldPackets() []mac.Packet {
+	var out []mac.Packet
+	for _, g := range s.lay.groupsOf[s.id] {
+		out = append(out, s.subs[g].q.Snapshot()...)
+	}
+	return out
+}
+
+// New builds a k-Cycle system for n ≥ 3 stations under energy cap k ≥ 2.
+// The effective cap (after the paper's clamp) is reported by the system's
+// Info.EnergyCap.
+func New(n, k int) (*core.System, error) {
+	lay, err := NewLayout(n, k)
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]core.Protocol, n)
+	for i := 0; i < n; i++ {
+		stations[i] = newStation(i, lay)
+	}
+	return &core.System{
+		Info: core.AlgorithmInfo{
+			Name:        fmt.Sprintf("%d-cycle", lay.K),
+			EnergyCap:   lay.K,
+			PlainPacket: true,
+			Oblivious:   true,
+		},
+		Stations: stations,
+		Schedule: lay.Schedule(),
+	}, nil
+}

@@ -1,0 +1,253 @@
+// Package orchestra implements algorithm Orchestra (paper §3.1): a
+// direct-routing algorithm with energy cap 3 that is stable at the
+// maximum injection rate 1, keeping at most 2n³ + β packets queued
+// (Theorem 1). By Theorem 2 the cap 3 is optimal: cap 2 cannot sustain
+// rate 1.
+//
+// Time is divided into seasons of n−1 rounds. One station per season, the
+// conductor, transmits in every round; the remaining stations (musicians)
+// switch on only to learn (one round per season each, in name order) or
+// to receive a packet (per the schedule the same conductor taught them in
+// its previous conducting season) — so at most three stations are on in a
+// round: conductor, learner, receiver.
+//
+// At the start of its conducting season, a conductor computes from its
+// old, not-yet-scheduled packets (in injection order, up to n−1 of them)
+// the schedule for its *next* conducting season, and teaches it during
+// the current season: the message of round j carries, as control bits,
+// the receive-round mask for the j-th musician plus a toggle bit
+// announcing whether the conductor is big (≥ n²−1 old packets). Big
+// conductors are moved to the front of the replicated baton list at
+// season end and keep the baton while big; otherwise the baton passes to
+// the next station in cyclic list order.
+//
+// Packets injected into the conductor stay new for the season (they only
+// become schedulable afterwards); packets injected into musicians are old
+// immediately. The receive-round mask needs n−1 control bits per message,
+// more than the paper's O(log n) budget — an encoding the paper leaves
+// open; see DESIGN.md §4.
+package orchestra
+
+import (
+	"fmt"
+
+	"earmac/internal/batonlist"
+	"earmac/internal/core"
+	"earmac/internal/mac"
+	"earmac/internal/pktq"
+)
+
+type station struct {
+	id, n int
+
+	list *batonlist.List // replicated baton list
+
+	staging []mac.Packet // injected this round, classified on next Act
+	pending *pktq.Queue  // old packets not yet scheduled (injection order)
+	fresh   []mac.Packet // injected while conducting: new for the season
+
+	sigmaCur  []mac.Packet // schedule executing in my current/next conducting season
+	delivered int          // prefix of sigmaCur already delivered
+	sigmaNext []mac.Packet // schedule being taught this conducting season
+
+	taught     map[int][]bool // conductor → receive mask for its next conducting season
+	activeMask []bool         // snapshot of taught[conductor] for the current season
+
+	curSeason   int64
+	announceBig bool // conductor: my big status this season
+	seasonBig   bool // learned/own big status, applied to the list at season end
+	pendingTx   bool
+}
+
+// New builds an Orchestra system for n ≥ 2 stations.
+func New(n int) (*core.System, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("orchestra: need n >= 2, got %d", n)
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	stations := make([]core.Protocol, n)
+	for i := 0; i < n; i++ {
+		stations[i] = &station{
+			id: i, n: n,
+			list:      batonlist.New(ids),
+			pending:   pktq.New(),
+			taught:    make(map[int][]bool),
+			curSeason: -1,
+		}
+	}
+	return &core.System{
+		Info: core.AlgorithmInfo{
+			Name:      "orchestra",
+			EnergyCap: 3,
+			Direct:    true,
+		},
+		Stations: stations,
+	}, nil
+}
+
+func (s *station) seasonLen() int64 { return int64(s.n - 1) }
+
+// learnerOf returns the station learning in round j of a season: the j-th
+// musician in name order given the current conductor.
+func (s *station) learnerOf(j int64, conductor int) int {
+	if int(j) < conductor {
+		return int(j)
+	}
+	return int(j) + 1
+}
+
+func (s *station) Inject(p mac.Packet) { s.staging = append(s.staging, p) }
+
+// drainStaging classifies packets injected this round: new if this
+// station is currently conducting, old otherwise.
+func (s *station) drainStaging() {
+	if len(s.staging) == 0 {
+		return
+	}
+	conducting := s.list.Holder() == s.id
+	for _, p := range s.staging {
+		if conducting {
+			s.fresh = append(s.fresh, p)
+		} else {
+			s.pending.Push(p)
+		}
+	}
+	s.staging = s.staging[:0]
+}
+
+func (s *station) endSeason() {
+	if s.curSeason < 0 {
+		return
+	}
+	wasConductor := s.list.Holder() == s.id
+	if s.seasonBig {
+		s.list.MoveHolderToFront()
+	} else {
+		s.list.Advance()
+	}
+	s.seasonBig = false
+	if wasConductor {
+		if s.delivered != len(s.sigmaCur) {
+			panic(fmt.Sprintf("orchestra: station %d ends its season with %d/%d scheduled packets delivered",
+				s.id, s.delivered, len(s.sigmaCur)))
+		}
+		s.sigmaCur, s.sigmaNext = s.sigmaNext, nil
+		s.delivered = 0
+		for _, p := range s.fresh {
+			s.pending.Push(p)
+		}
+		s.fresh = nil
+	}
+}
+
+func (s *station) startSeason(season int64) {
+	s.curSeason = season
+	conductor := s.list.Holder()
+	s.activeMask = nil
+	s.announceBig = false
+	if conductor != s.id {
+		s.activeMask = s.taught[conductor]
+		return
+	}
+	// Conducting: bigness is judged on old packets (pending plus packets
+	// already scheduled but not delivered), then the next season's
+	// schedule is drawn from the unscheduled old packets in injection
+	// order.
+	oldCount := s.pending.Len() + (len(s.sigmaCur) - s.delivered)
+	s.announceBig = oldCount >= s.n*s.n-1
+	s.seasonBig = s.announceBig
+	slots := int(s.seasonLen())
+	if s.pending.Len() < slots {
+		slots = s.pending.Len()
+	}
+	s.sigmaNext = make([]mac.Packet, 0, slots)
+	for i := 0; i < slots; i++ {
+		p, _ := s.pending.PopFront()
+		s.sigmaNext = append(s.sigmaNext, p)
+	}
+}
+
+func (s *station) Act(round int64) core.Action {
+	season := round / s.seasonLen()
+	j := round % s.seasonLen()
+	if season != s.curSeason {
+		s.endSeason()
+		s.startSeason(season)
+	}
+	s.drainStaging()
+	s.pendingTx = false
+
+	conductor := s.list.Holder()
+	if s.id == conductor {
+		// Control bits: toggle bit plus the learner's receive mask for my
+		// next conducting season.
+		learner := s.learnerOf(j, conductor)
+		ctrl := mac.MakeControl(1 + s.n - 1)
+		ctrl.SetBit(0, s.announceBig)
+		for slot, p := range s.sigmaNext {
+			if p.Dest == learner {
+				ctrl.SetBit(1+slot, true)
+			}
+		}
+		if int(j) < len(s.sigmaCur) {
+			s.pendingTx = true
+			return core.Transmit(mac.Message{HasPacket: true, Packet: s.sigmaCur[j], Ctrl: ctrl})
+		}
+		return core.Transmit(mac.CtrlMsg(ctrl)) // light round
+	}
+
+	// Musician: on to learn in my learning round, on to receive per the
+	// active mask.
+	if s.learnerOf(j, conductor) == s.id {
+		return core.Listen()
+	}
+	if s.activeMask != nil && s.activeMask[j] {
+		return core.Listen()
+	}
+	return core.Off()
+}
+
+func (s *station) Observe(round int64, fb mac.Feedback) {
+	if fb.Kind != mac.FbHeard {
+		// The conductor transmits every round; silence or collision would
+		// be a protocol bug.
+		panic(fmt.Sprintf("orchestra: station %d observed %v", s.id, fb.Kind))
+	}
+	j := round % s.seasonLen()
+	conductor := s.list.Holder()
+	if s.id == conductor {
+		if s.pendingTx {
+			s.delivered++
+			s.pendingTx = false
+		}
+		return
+	}
+	if s.learnerOf(j, conductor) == s.id {
+		mask := make([]bool, s.seasonLen())
+		for slot := range mask {
+			mask[slot] = fb.Msg.Ctrl.Bit(1 + slot)
+		}
+		s.taught[conductor] = mask
+		if fb.Msg.Ctrl.Bit(0) {
+			s.seasonBig = true
+		}
+	}
+}
+
+func (s *station) QueueLen() int {
+	return len(s.staging) + s.pending.Len() + len(s.fresh) +
+		(len(s.sigmaCur) - s.delivered) + len(s.sigmaNext)
+}
+
+func (s *station) HeldPackets() []mac.Packet {
+	out := make([]mac.Packet, 0, s.QueueLen())
+	out = append(out, s.staging...)
+	out = append(out, s.pending.Snapshot()...)
+	out = append(out, s.fresh...)
+	out = append(out, s.sigmaCur[s.delivered:]...)
+	out = append(out, s.sigmaNext...)
+	return out
+}

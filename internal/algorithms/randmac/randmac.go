@@ -1,0 +1,184 @@
+// Package randmac implements a randomized slotted-ALOHA-style baseline
+// under the paper's energy cap — NOT an algorithm from the paper, but the
+// natural contender its determinism should be measured against (the
+// repository's extension ablation; see DESIGN.md §5).
+//
+// In every round a pseudorandom set of k stations is switched on, drawn
+// from a PRG seeded by the round number that is part of the algorithm's
+// code — so the schedule is fixed in advance and the algorithm is
+// k-energy-oblivious in the paper's sense, like k-Clique. A switched-on
+// station holding a packet whose destination is also on transmits it with
+// probability 1/k (the classic ALOHA gamble); collisions waste the round
+// and everyone retries later. Routing is direct and plain-packet.
+//
+// Two inefficiencies compound, and the benchmarks quantify both: a given
+// (src, dest) pair is co-scheduled only a k(k−1)/(n(n−1)) fraction of
+// rounds (the same combinatorial ceiling as Theorem 9, but met here only
+// in expectation), and contention loses a further 1/e-style factor to
+// collisions — which the paper's deterministic token schedules avoid
+// entirely.
+package randmac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"earmac/internal/core"
+	"earmac/internal/mac"
+	"earmac/internal/pktq"
+	"earmac/internal/sched"
+)
+
+// period makes the pseudorandom schedule formally periodic (and thus a
+// sched.Schedule); it is long enough that no experiment horizon wraps
+// meaningfully.
+const period = 1 << 14
+
+// splitmix64 is the standard 64-bit mix, used to derive each round's
+// on-set deterministically from the shared seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Layout is the shared pseudorandom schedule.
+type Layout struct {
+	N, K int
+	Seed uint64
+}
+
+// NewLayout validates the configuration.
+func NewLayout(n, k int, seed uint64) (*Layout, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("randmac: need n >= 2, got %d", n)
+	}
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("randmac: need 2 <= k <= n, got k=%d", k)
+	}
+	return &Layout{N: n, K: k, Seed: seed}, nil
+}
+
+// OnSet returns the k stations switched on in the given round, identical
+// across all replicas: the first k entries of a seeded Fisher-Yates
+// shuffle of [0, n).
+func (l *Layout) OnSet(round int64) []int {
+	state := l.Seed ^ splitmix64(uint64(round%period)+1)
+	perm := make([]int, l.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < l.K; i++ {
+		state = splitmix64(state)
+		j := i + int(state%uint64(l.N-i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:l.K]
+}
+
+// Schedule returns the oblivious on/off schedule.
+func (l *Layout) Schedule() sched.Schedule {
+	return sched.Func{
+		N: l.N,
+		P: period,
+		F: func(st int, round int64) bool {
+			for _, s := range l.OnSet(round) {
+				if s == st {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+type station struct {
+	id  int
+	lay *Layout
+	q   *pktq.Queue
+	rng *rand.Rand
+
+	pendingTx int64
+}
+
+func (s *station) Inject(p mac.Packet) { s.q.Push(p) }
+
+func (s *station) Act(round int64) core.Action {
+	s.pendingTx = -1
+	onSet := s.lay.OnSet(round)
+	myTurn := false
+	for _, st := range onSet {
+		if st == s.id {
+			myTurn = true
+			break
+		}
+	}
+	if !myTurn {
+		return core.Off()
+	}
+	// Oldest packet whose destination is switched on right now (packet
+	// IDs increase with injection order).
+	var best mac.Packet
+	found := false
+	for _, d := range onSet {
+		if p, ok := s.q.FrontTo(d); ok && (!found || p.ID < best.ID) {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return core.Listen()
+	}
+	// The ALOHA gamble: transmit with probability 1/k.
+	if s.rng.Intn(s.lay.K) != 0 {
+		return core.Listen()
+	}
+	s.pendingTx = best.ID
+	return core.Transmit(mac.PacketMsg(best))
+}
+
+func (s *station) Observe(round int64, fb mac.Feedback) {
+	if fb.Kind == mac.FbHeard && s.pendingTx >= 0 {
+		s.q.Remove(s.pendingTx)
+	}
+	// On a collision the packet stays queued and will be retried.
+	s.pendingTx = -1
+}
+
+func (s *station) QueueLen() int { return s.q.Len() }
+
+func (s *station) HeldPackets() []mac.Packet { return s.q.Snapshot() }
+
+// New builds the randomized baseline for n stations under energy cap k.
+func New(n, k int) (*core.System, error) {
+	return NewSeeded(n, k, 0x6ea7_c0de)
+}
+
+// NewSeeded builds the baseline with an explicit schedule seed.
+func NewSeeded(n, k int, seed uint64) (*core.System, error) {
+	lay, err := NewLayout(n, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	stations := make([]core.Protocol, n)
+	for i := 0; i < n; i++ {
+		stations[i] = &station{
+			id:        i,
+			lay:       lay,
+			q:         pktq.New(),
+			rng:       rand.New(rand.NewSource(int64(seed) + int64(i)*7919)),
+			pendingTx: -1,
+		}
+	}
+	return &core.System{
+		Info: core.AlgorithmInfo{
+			Name:        fmt.Sprintf("%d-aloha", k),
+			EnergyCap:   k,
+			PlainPacket: true,
+			Direct:      true,
+			Oblivious:   true,
+		},
+		Stations: stations,
+		Schedule: lay.Schedule(),
+	}, nil
+}

@@ -1,0 +1,175 @@
+package randmac
+
+import (
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/metrics"
+	"earmac/internal/sched"
+)
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(1, 1, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewLayout(5, 1, 0); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewLayout(5, 6, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestOnSetProperties(t *testing.T) {
+	lay, err := NewLayout(9, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 500; r++ {
+		set := lay.OnSet(r)
+		if len(set) != 4 {
+			t.Fatalf("round %d: on-set size %d", r, len(set))
+		}
+		seen := map[int]bool{}
+		for _, s := range set {
+			if s < 0 || s >= 9 {
+				t.Fatalf("round %d: station %d out of range", r, s)
+			}
+			if seen[s] {
+				t.Fatalf("round %d: duplicate station %d", r, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestOnSetDeterministicAndPeriodic(t *testing.T) {
+	a, _ := NewLayout(8, 3, 7)
+	b, _ := NewLayout(8, 3, 7)
+	for r := int64(0); r < 100; r++ {
+		x, y := a.OnSet(r), b.OnSet(r)
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatal("on-set not deterministic")
+			}
+		}
+		z := a.OnSet(r + period)
+		for i := range x {
+			if x[i] != z[i] {
+				t.Fatal("on-set not periodic")
+			}
+		}
+	}
+	c, _ := NewLayout(8, 3, 8)
+	diff := false
+	for r := int64(0); r < 20; r++ {
+		x, y := a.OnSet(r), c.OnSet(r)
+		for i := range x {
+			if x[i] != y[i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleRespectsCap(t *testing.T) {
+	lay, _ := NewLayout(8, 3, 1)
+	s := lay.Schedule()
+	// Validating the full 2^14 period is slow-ish; sample a prefix.
+	probe := sched.Func{N: 8, P: 2048, F: s.On}
+	if err := sched.Validate(probe, 3); err != nil {
+		t.Error(err)
+	}
+	if got := sched.MaxSimultaneous(probe); got != 3 {
+		t.Errorf("max simultaneous %d, want 3", got)
+	}
+}
+
+func run(t *testing.T, n, k int, adv core.Adversary, rounds int64) *metrics.Tracker {
+	t.Helper()
+	sys, err := New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := metrics.NewTracker()
+	tr.SampleEvery = 512
+	sim := core.NewSim(sys, adv, core.Options{Strict: true, CheckEvery: 4999, Tracker: tr})
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStableAtLowRate(t *testing.T) {
+	tr := run(t, 8, 4, adversary.New(adversary.T(1, 50, 2), adversary.Uniform(8, 3)), 150000)
+	if !tr.LooksStable() {
+		t.Errorf("unstable at ρ=1/50:\n%s", tr.Summary())
+	}
+	if tr.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if len(tr.Violations) > 0 {
+		t.Errorf("violations: %v", tr.Violations)
+	}
+}
+
+func TestCollisionsActuallyHappen(t *testing.T) {
+	// The whole point of the baseline: contention produces collisions,
+	// which the paper's deterministic algorithms never suffer.
+	tr := run(t, 8, 4, adversary.New(adversary.T(1, 10, 4), adversary.Uniform(8, 5)), 60000)
+	if tr.CollisionRounds == 0 {
+		t.Error("no collisions at moderate load — baseline is not contending")
+	}
+}
+
+func TestUnstableUnderTargetedFlow(t *testing.T) {
+	// A single src→dest flow is co-scheduled a k(k−1)/(n(n−1)) ≈ 0.21
+	// fraction of rounds, but the ALOHA gamble converts only ~1/k of
+	// those into deliveries (~0.05/round). The flow collapses already at
+	// ρ = 1/10 — half the rate the deterministic k-Subsets sustains on
+	// the very same pair (Theorem 8) — which is the measured price of
+	// randomization.
+	tr := run(t, 8, 4, adversary.New(adversary.T(1, 10, 2), adversary.SingleTarget(0, 7)), 120000)
+	if tr.LooksStable() {
+		t.Errorf("ALOHA unexpectedly stable under a ρ=1/10 targeted flow:\n%s", tr.Summary())
+	}
+	if tr.QueueSlope() <= 0 {
+		t.Errorf("queue slope %f not positive", tr.QueueSlope())
+	}
+}
+
+func TestUniformCapacityBeatsTargeted(t *testing.T) {
+	// Average-case vs worst-case: the same baseline that collapses under
+	// a ρ=1/10 targeted flow absorbs spread traffic at ρ=1/5 — the gap
+	// the paper's worst-case adversarial model is about.
+	tr := run(t, 8, 4, adversary.New(adversary.T(1, 5, 2), adversary.Uniform(8, 7)), 120000)
+	if !tr.LooksStable() {
+		t.Errorf("ALOHA should absorb uniform ρ=1/5:\n%s", tr.Summary())
+	}
+}
+
+func TestDrainsAtLowRate(t *testing.T) {
+	adv := adversary.New(adversary.T(1, 60, 1),
+		adversary.Stop(adversary.Uniform(8, 11), 60000))
+	tr := run(t, 8, 4, adv, 200000)
+	if tr.Pending() != 0 {
+		t.Errorf("pending = %d after long drain:\n%s", tr.Pending(), tr.Summary())
+	}
+}
+
+func TestDirectAndPlainPacketDeclared(t *testing.T) {
+	sys, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Info.Direct || !sys.Info.PlainPacket || !sys.Info.Oblivious {
+		t.Errorf("property flags wrong: %+v", sys.Info)
+	}
+	if sys.Info.EnergyCap != 3 {
+		t.Errorf("cap = %d", sys.Info.EnergyCap)
+	}
+}

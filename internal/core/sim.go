@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"earmac/internal/mac"
+	"earmac/internal/metrics"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Strict makes model violations return errors instead of only being
+	// recorded in the tracker. Tests run strict; long benchmarks may not.
+	Strict bool
+	// CheckEvery enables the packet-conservation invariant check every so
+	// many rounds (0 disables). Checking requires all stations to
+	// implement PacketHolder and costs O(total queue) per check.
+	CheckEvery int64
+	// Tracker receives statistics; a fresh one is created when nil.
+	Tracker *metrics.Tracker
+	// Tracer, when non-nil, receives a full view of every round.
+	Tracer Tracer
+}
+
+// Sim drives one system against one adversary.
+type Sim struct {
+	sys     *System
+	adv     Adversary
+	opt     Options
+	tracker *metrics.Tracker
+
+	round    int64
+	nextID   int64
+	actions  []Action
+	on       []bool
+	queueLen []int
+	// live maps in-flight packet IDs to their packets; maintained only
+	// when conservation checking is enabled.
+	live      map[int64]mac.Packet
+	delivered map[int64]bool
+}
+
+// NewSim prepares a simulation starting at round 0.
+func NewSim(sys *System, adv Adversary, opt Options) *Sim {
+	t := opt.Tracker
+	if t == nil {
+		t = metrics.NewTracker()
+	}
+	s := &Sim{
+		sys:      sys,
+		adv:      adv,
+		opt:      opt,
+		tracker:  t,
+		actions:  make([]Action, sys.N()),
+		on:       make([]bool, sys.N()),
+		queueLen: make([]int, sys.N()),
+	}
+	if opt.CheckEvery > 0 {
+		s.live = make(map[int64]mac.Packet)
+		s.delivered = make(map[int64]bool)
+	}
+	return s
+}
+
+// Tracker returns the statistics collector.
+func (s *Sim) Tracker() *metrics.Tracker { return s.tracker }
+
+// Round returns the number of completed rounds.
+func (s *Sim) Round() int64 { return s.round }
+
+// System returns the simulated system.
+func (s *Sim) System() *System { return s.sys }
+
+func (s *Sim) violate(format string, args ...any) error {
+	s.tracker.Violate(format, args...)
+	if s.opt.Strict {
+		return fmt.Errorf("round %d: "+format, append([]any{s.round}, args...)...)
+	}
+	return nil
+}
+
+// Run executes the given number of rounds. In strict mode it stops at the
+// first model violation.
+func (s *Sim) Run(rounds int64) error {
+	for i := int64(0); i < rounds; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes one round.
+func (s *Sim) Step() error {
+	n := s.sys.N()
+	t := s.round
+
+	// 1. Adversarial injection.
+	var injs []Injection
+	if s.adv != nil {
+		injs = s.adv.Inject(t)
+	}
+	for _, in := range injs {
+		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
+			if err := s.violate("injection out of range: %+v", in); err != nil {
+				return err
+			}
+			continue
+		}
+		p := mac.Packet{ID: s.nextID, Src: in.Station, Dest: in.Dest, Injected: t}
+		s.nextID++
+		if s.live != nil {
+			s.live[p.ID] = p
+		}
+		s.sys.Stations[in.Station].Inject(p)
+		s.tracker.ObserveInjections(1)
+	}
+
+	// 2. Station actions.
+	energy := 0
+	transmitters := 0
+	lastTx := -1
+	for i, st := range s.sys.Stations {
+		a := st.Act(t)
+		s.actions[i] = a
+		s.on[i] = a.On
+		if a.On {
+			energy++
+		}
+		if a.Transmit {
+			if !a.On {
+				if err := s.violate("station %d transmits while off", i); err != nil {
+					return err
+				}
+				a.Transmit = false
+				s.actions[i] = a
+				continue
+			}
+			transmitters++
+			lastTx = i
+		}
+	}
+
+	// 3. Model validation.
+	if energy > s.sys.Info.EnergyCap {
+		if err := s.violate("%d stations on exceeds energy cap %d", energy, s.sys.Info.EnergyCap); err != nil {
+			return err
+		}
+	}
+	if s.sys.Schedule != nil {
+		for i := 0; i < n; i++ {
+			if s.on[i] != s.sys.Schedule.On(i, t) {
+				if err := s.violate("station %d violates oblivious schedule: on=%v", i, s.on[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if s.sys.Info.PlainPacket && transmitters == 1 {
+		msg := s.actions[lastTx].Msg
+		if !msg.HasPacket || len(msg.Ctrl) > 0 {
+			if err := s.violate("station %d violates plain-packet discipline (packet=%v, ctrl=%d bits)",
+				lastTx, msg.HasPacket, msg.Ctrl.Bits()); err != nil {
+				return err
+			}
+		}
+	}
+
+	// 4. Channel resolution and ground-truth delivery.
+	var fb mac.Feedback
+	var deliveredPkts []mac.Packet
+	switch {
+	case transmitters == 0:
+		fb = mac.Feedback{Kind: mac.FbSilence}
+		s.tracker.SilentRounds++
+	case transmitters == 1:
+		msg := s.actions[lastTx].Msg
+		fb = mac.Feedback{Kind: mac.FbHeard, Msg: msg}
+		s.tracker.HeardRounds++
+		s.tracker.ControlBits += int64(msg.Ctrl.Bits())
+		if msg.IsLight() {
+			s.tracker.LightRounds++
+		} else if s.on[msg.Packet.Dest] {
+			p := msg.Packet
+			s.tracker.DeliveryRounds++
+			s.tracker.ObserveDelivery(t - p.Injected)
+			deliveredPkts = append(deliveredPkts, p)
+			if s.live != nil {
+				if s.delivered[p.ID] {
+					if err := s.violate("packet %v delivered twice", p); err != nil {
+						return err
+					}
+				}
+				s.delivered[p.ID] = true
+				delete(s.live, p.ID)
+			}
+		}
+	default:
+		fb = mac.Feedback{Kind: mac.FbCollision}
+		s.tracker.CollisionRounds++
+	}
+
+	// 5. Feedback to switched-on stations.
+	for i, st := range s.sys.Stations {
+		if s.on[i] {
+			st.Observe(t, fb)
+		}
+	}
+
+	if obs, ok := s.adv.(RoundObserver); ok && obs != nil {
+		obs.ObserveRound(t, s.on)
+	}
+	if obs, ok := s.adv.(FeedbackObserver); ok && obs != nil {
+		obs.ObserveFeedback(t, fb)
+	}
+	if s.opt.Tracer != nil {
+		s.opt.Tracer.TraceRound(t, s.actions, fb, deliveredPkts)
+	}
+
+	var totalQueue int64
+	for i, st := range s.sys.Stations {
+		l := st.QueueLen()
+		s.queueLen[i] = l
+		totalQueue += int64(l)
+	}
+	if obs, ok := s.adv.(QueueObserver); ok && obs != nil {
+		obs.ObserveQueues(t, s.queueLen)
+	}
+	s.tracker.ObserveStationQueues(s.queueLen)
+	s.tracker.ObserveRound(t, totalQueue, energy)
+	s.round++
+
+	if s.opt.CheckEvery > 0 && s.round%s.opt.CheckEvery == 0 {
+		if err := s.CheckConservation(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckConservation verifies exactly-once packet ownership: every
+// in-flight packet is held by exactly one station, no station holds a
+// delivered or unknown packet, and (for algorithms declared direct) every
+// packet still sits in the station it was injected into. It requires
+// conservation tracking (Options.CheckEvery > 0) and stations
+// implementing PacketHolder.
+func (s *Sim) CheckConservation() error {
+	if s.live == nil {
+		return fmt.Errorf("core: conservation tracking disabled (set Options.CheckEvery)")
+	}
+	seen := make(map[int64]int, len(s.live))
+	for i, st := range s.sys.Stations {
+		h, ok := st.(PacketHolder)
+		if !ok {
+			return fmt.Errorf("core: station %d does not implement PacketHolder", i)
+		}
+		for _, p := range h.HeldPackets() {
+			seen[p.ID]++
+			if seen[p.ID] > 1 {
+				if err := s.violate("packet %v held by more than one station", p); err != nil {
+					return err
+				}
+			}
+			if s.delivered[p.ID] {
+				if err := s.violate("station %d holds already-delivered packet %v", i, p); err != nil {
+					return err
+				}
+			} else if _, isLive := s.live[p.ID]; !isLive {
+				if err := s.violate("station %d holds unknown packet %v", i, p); err != nil {
+					return err
+				}
+			}
+			if s.sys.Info.Direct && i != p.Src {
+				if err := s.violate("direct algorithm relayed packet %v to station %d", p, i); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for id, p := range s.live {
+		if seen[id] != 1 {
+			if err := s.violate("in-flight packet %v held by %d stations", p, seen[id]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LivePackets returns the number of injected-but-undelivered packets
+// (available only with conservation tracking).
+func (s *Sim) LivePackets() int { return len(s.live) }

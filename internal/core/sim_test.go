@@ -1,0 +1,367 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"earmac/internal/mac"
+	"earmac/internal/sched"
+)
+
+// scriptProto follows a fixed per-round action script and records what it
+// hears. Injected packets accumulate in a simple queue; the script can
+// transmit the oldest one with txPacket.
+type scriptProto struct {
+	acts       []Action
+	txPacket   []bool // for rounds where acts[i].Transmit: attach oldest queued packet
+	queue      []mac.Packet
+	heard      []mac.Feedback
+	rounds     []int64
+	removeOnTx bool
+}
+
+func (p *scriptProto) Inject(pkt mac.Packet) { p.queue = append(p.queue, pkt) }
+
+func (p *scriptProto) Act(round int64) Action {
+	if int(round) >= len(p.acts) {
+		return Off()
+	}
+	a := p.acts[round]
+	if a.Transmit && int(round) < len(p.txPacket) && p.txPacket[round] && len(p.queue) > 0 {
+		a.Msg = mac.PacketMsg(p.queue[0])
+		if p.removeOnTx {
+			p.queue = p.queue[1:]
+		}
+	}
+	return a
+}
+
+func (p *scriptProto) Observe(round int64, fb mac.Feedback) {
+	p.heard = append(p.heard, fb)
+	p.rounds = append(p.rounds, round)
+	// Consume packets addressed to us... scriptProto has no identity; tests
+	// handle removal via removeOnTx on the sender side.
+}
+
+func (p *scriptProto) QueueLen() int { return len(p.queue) }
+
+func (p *scriptProto) HeldPackets() []mac.Packet {
+	out := make([]mac.Packet, len(p.queue))
+	copy(out, p.queue)
+	return out
+}
+
+// injectOnce injects a fixed list at round 0.
+type injectOnce struct{ injs []Injection }
+
+func (a *injectOnce) Inject(round int64) []Injection {
+	if round == 0 {
+		return a.injs
+	}
+	return nil
+}
+
+func sys(cap int, protos ...Protocol) *System {
+	return &System{
+		Info:     AlgorithmInfo{Name: "test", EnergyCap: cap},
+		Stations: protos,
+	}
+}
+
+func TestSilenceFeedback(t *testing.T) {
+	a := &scriptProto{acts: []Action{Listen()}}
+	b := &scriptProto{acts: []Action{Off()}}
+	s := NewSim(sys(2, a, b), &injectOnce{}, Options{Strict: true})
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.heard) != 1 || a.heard[0].Kind != mac.FbSilence {
+		t.Errorf("listener heard %+v, want silence", a.heard)
+	}
+	if len(b.heard) != 0 {
+		t.Error("off station received feedback")
+	}
+	if s.Tracker().SilentRounds != 1 {
+		t.Error("silent round not counted")
+	}
+}
+
+func TestSuccessfulTransmissionHeardByAllOn(t *testing.T) {
+	ctrl := mac.MakeControl(4)
+	ctrl.SetBit(1, true)
+	tx := &scriptProto{acts: []Action{Transmit(mac.CtrlMsg(ctrl))}}
+	rx := &scriptProto{acts: []Action{Listen()}}
+	off := &scriptProto{acts: []Action{Off()}}
+	s := NewSim(sys(2, tx, rx, off), &injectOnce{}, Options{Strict: true})
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// The transmitter hears its own message.
+	for name, p := range map[string]*scriptProto{"tx": tx, "rx": rx} {
+		if len(p.heard) != 1 || p.heard[0].Kind != mac.FbHeard {
+			t.Fatalf("%s heard %+v", name, p.heard)
+		}
+		if !p.heard[0].Msg.Ctrl.Bit(1) {
+			t.Errorf("%s control bits corrupted", name)
+		}
+	}
+	if len(off.heard) != 0 {
+		t.Error("off station heard a message")
+	}
+	if s.Tracker().LightRounds != 1 {
+		t.Error("light round not counted")
+	}
+	if s.Tracker().ControlBits != 8 {
+		t.Errorf("ControlBits = %d, want 8", s.Tracker().ControlBits)
+	}
+}
+
+func TestCollision(t *testing.T) {
+	tx1 := &scriptProto{acts: []Action{Transmit(mac.CtrlMsg(nil))}}
+	tx2 := &scriptProto{acts: []Action{Transmit(mac.CtrlMsg(nil))}}
+	s := NewSim(sys(2, tx1, tx2), &injectOnce{}, Options{Strict: true})
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if tx1.heard[0].Kind != mac.FbCollision || tx2.heard[0].Kind != mac.FbCollision {
+		t.Error("colliding transmitters should hear collision")
+	}
+	if s.Tracker().CollisionRounds != 1 {
+		t.Error("collision round not counted")
+	}
+}
+
+func TestDeliveryRequiresDestinationOn(t *testing.T) {
+	// Station 0 transmits a packet to station 1 twice; station 1 is off in
+	// round 0 and on in round 1. Only the second transmission delivers.
+	tx := &scriptProto{
+		acts:       []Action{Transmit(mac.Message{}), Transmit(mac.Message{})},
+		txPacket:   []bool{true, true},
+		removeOnTx: false,
+	}
+	rx := &scriptProto{acts: []Action{Off(), Listen()}}
+	s := NewSim(sys(2, tx, rx), &injectOnce{injs: []Injection{{Station: 0, Dest: 1}}}, Options{Strict: true})
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker().Delivered != 0 {
+		t.Fatal("delivered although destination off")
+	}
+	tx.removeOnTx = true // deliver and remove on second attempt
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker().Delivered != 1 {
+		t.Fatal("not delivered although destination on")
+	}
+	if s.Tracker().MaxLatency != 1 {
+		t.Errorf("latency = %d, want 1", s.Tracker().MaxLatency)
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	// A station transmitting a self-addressed packet while on delivers it
+	// to itself (it hears its own message).
+	tx := &scriptProto{
+		acts:       []Action{Transmit(mac.Message{})},
+		txPacket:   []bool{true},
+		removeOnTx: true,
+	}
+	s := NewSim(sys(1, tx), &injectOnce{injs: []Injection{{Station: 0, Dest: 0}}}, Options{Strict: true})
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker().Delivered != 1 {
+		t.Error("self-addressed packet not delivered")
+	}
+}
+
+func TestEnergyCapViolation(t *testing.T) {
+	a := &scriptProto{acts: []Action{Listen()}}
+	b := &scriptProto{acts: []Action{Listen()}}
+	c := &scriptProto{acts: []Action{Listen()}}
+	s := NewSim(sys(2, a, b, c), &injectOnce{}, Options{Strict: true})
+	err := s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "energy cap") {
+		t.Errorf("want energy cap violation, got %v", err)
+	}
+	// Non-strict mode records it instead.
+	a2 := &scriptProto{acts: []Action{Listen()}}
+	b2 := &scriptProto{acts: []Action{Listen()}}
+	c2 := &scriptProto{acts: []Action{Listen()}}
+	s2 := NewSim(sys(2, a2, b2, c2), &injectOnce{}, Options{})
+	if err := s2.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Tracker().Violations) != 1 {
+		t.Error("violation not recorded in non-strict mode")
+	}
+}
+
+func TestTransmitWhileOffViolation(t *testing.T) {
+	bad := &scriptProto{acts: []Action{{On: false, Transmit: true}}}
+	s := NewSim(sys(2, bad), &injectOnce{}, Options{Strict: true})
+	err := s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "transmits while off") {
+		t.Errorf("want transmit-while-off violation, got %v", err)
+	}
+}
+
+func TestPlainPacketViolation(t *testing.T) {
+	// A plain-packet algorithm transmitting control bits is flagged.
+	tx := &scriptProto{acts: []Action{Transmit(mac.CtrlMsg(mac.MakeControl(3)))}}
+	system := sys(2, tx)
+	system.Info.PlainPacket = true
+	s := NewSim(system, &injectOnce{}, Options{Strict: true})
+	err := s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "plain-packet") {
+		t.Errorf("want plain-packet violation, got %v", err)
+	}
+}
+
+func TestObliviousScheduleViolation(t *testing.T) {
+	// Schedule says station 0 must be off in round 0, but it listens.
+	st := &scriptProto{acts: []Action{Listen()}}
+	system := sys(2, st)
+	system.Schedule = sched.Func{N: 1, P: 1, F: func(int, int64) bool { return false }}
+	s := NewSim(system, &injectOnce{}, Options{Strict: true})
+	err := s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "oblivious schedule") {
+		t.Errorf("want schedule violation, got %v", err)
+	}
+}
+
+func TestInjectionOutOfRange(t *testing.T) {
+	st := &scriptProto{acts: []Action{Off()}}
+	s := NewSim(sys(2, st), &injectOnce{injs: []Injection{{Station: 5, Dest: 0}}}, Options{Strict: true})
+	err := s.Run(1)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("want out-of-range violation, got %v", err)
+	}
+}
+
+func TestConservationDetectsLoss(t *testing.T) {
+	// A protocol that silently drops its packet: conservation must flag the
+	// lost packet.
+	drop := &scriptProto{acts: []Action{Off()}}
+	s := NewSim(sys(2, drop), &injectOnce{injs: []Injection{{Station: 0, Dest: 0}}}, Options{Strict: true, CheckEvery: 1})
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	drop.queue = nil // lose the packet
+	err := s.Step()
+	if err == nil || !strings.Contains(err.Error(), "held by 0 stations") {
+		t.Errorf("want lost-packet violation, got %v", err)
+	}
+}
+
+func TestConservationDetectsDuplicate(t *testing.T) {
+	a := &scriptProto{acts: []Action{Off(), Off()}}
+	b := &scriptProto{acts: []Action{Off(), Off()}}
+	s := NewSim(sys(2, a, b), &injectOnce{injs: []Injection{{Station: 0, Dest: 1}}}, Options{Strict: true, CheckEvery: 1})
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	b.queue = append(b.queue, a.queue[0]) // duplicate ownership
+	err := s.Step()
+	if err == nil || !strings.Contains(err.Error(), "more than one station") {
+		t.Errorf("want duplicate-holder violation, got %v", err)
+	}
+}
+
+func TestConservationDetectsIndirectHopInDirectAlgorithm(t *testing.T) {
+	a := &scriptProto{acts: []Action{Off(), Off()}}
+	b := &scriptProto{acts: []Action{Off(), Off()}}
+	system := sys(2, a, b)
+	system.Info.Direct = true
+	s := NewSim(system, &injectOnce{injs: []Injection{{Station: 0, Dest: 1}}}, Options{Strict: true, CheckEvery: 1})
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Move the packet to station 1 as if relayed.
+	b.queue = a.queue
+	a.queue = nil
+	err := s.Step()
+	if err == nil || !strings.Contains(err.Error(), "direct algorithm relayed") {
+		t.Errorf("want direct-violation, got %v", err)
+	}
+}
+
+func TestConservationCleanRun(t *testing.T) {
+	tx := &scriptProto{
+		acts:       []Action{Transmit(mac.Message{}), Off()},
+		txPacket:   []bool{true},
+		removeOnTx: true,
+	}
+	rx := &scriptProto{acts: []Action{Listen(), Off()}}
+	s := NewSim(sys(2, tx, rx), &injectOnce{injs: []Injection{{Station: 0, Dest: 1}}},
+		Options{Strict: true, CheckEvery: 1})
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.LivePackets() != 0 {
+		t.Errorf("LivePackets = %d after delivery", s.LivePackets())
+	}
+}
+
+type recordingAdv struct {
+	injectOnce
+	observed [][]bool
+}
+
+func (r *recordingAdv) ObserveRound(round int64, on []bool) {
+	cp := make([]bool, len(on))
+	copy(cp, on)
+	r.observed = append(r.observed, cp)
+}
+
+func TestRoundObserverSeesOnVector(t *testing.T) {
+	a := &scriptProto{acts: []Action{Listen(), Off()}}
+	b := &scriptProto{acts: []Action{Off(), Listen()}}
+	adv := &recordingAdv{}
+	s := NewSim(sys(2, a, b), adv, Options{Strict: true})
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]bool{{true, false}, {false, true}}
+	for r := range want {
+		for i := range want[r] {
+			if adv.observed[r][i] != want[r][i] {
+				t.Errorf("observed[%d] = %v, want %v", r, adv.observed[r], want[r])
+			}
+		}
+	}
+}
+
+type countingTracer struct{ rounds int }
+
+func (c *countingTracer) TraceRound(int64, []Action, mac.Feedback, []mac.Packet) { c.rounds++ }
+
+func TestTracerCalledEveryRound(t *testing.T) {
+	a := &scriptProto{acts: []Action{Off(), Off(), Off()}}
+	tr := &countingTracer{}
+	s := NewSim(sys(1, a), &injectOnce{}, Options{Strict: true, Tracer: tr})
+	if err := s.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.rounds != 3 {
+		t.Errorf("tracer called %d times, want 3", tr.rounds)
+	}
+}
+
+func TestQueueTrackedPerRound(t *testing.T) {
+	a := &scriptProto{acts: []Action{Off(), Off()}}
+	s := NewSim(sys(1, a), &injectOnce{injs: []Injection{{0, 0}, {0, 0}, {0, 0}}}, Options{Strict: true})
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker().MaxQueue != 3 {
+		t.Errorf("MaxQueue = %d, want 3", s.Tracker().MaxQueue)
+	}
+	if s.Tracker().Injected != 3 {
+		t.Errorf("Injected = %d, want 3", s.Tracker().Injected)
+	}
+	if s.Round() != 2 {
+		t.Errorf("Round = %d", s.Round())
+	}
+}

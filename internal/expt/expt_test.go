@@ -1,0 +1,245 @@
+package expt
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"earmac/internal/core"
+	"earmac/internal/ratio"
+)
+
+func TestPaperBoundFormulas(t *testing.T) {
+	if got := OrchestraQueueBound(6, 2); got != 434 {
+		t.Errorf("OrchestraQueueBound(6,2) = %v, want 434", got)
+	}
+	if got := CountHopLatencyBound(6, 2, ratio.New(1, 2)); got != 152 {
+		t.Errorf("CountHopLatencyBound = %v, want 152", got)
+	}
+	if got := KCycleLatencyBound(7, 2); got != 238 {
+		t.Errorf("KCycleLatencyBound = %v, want 238", got)
+	}
+	if got := KCliqueLatencyBound(8, 4, 2); got != 160 {
+		t.Errorf("KCliqueLatencyBound = %v, want 160", got)
+	}
+	if got := KSubsetsQueueBound(6, 3, 2); got != 1520 {
+		t.Errorf("KSubsetsQueueBound = %v, want 1520 (2·20·38)", got)
+	}
+	// Adjust-Window: (18·64·lg²4 + 4)/(1/2) with lg4 = ⌈log₂5⌉ = 3.
+	want := (18*64*9 + 4.0) * 2
+	if got := AdjustWindowLatencyBound(4, 2, ratio.New(1, 2)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("AdjustWindowLatencyBound = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryBuildsEverything(t *testing.T) {
+	for _, name := range Algorithms() {
+		sys, err := Build(name, 6, 3)
+		if err != nil {
+			t.Errorf("Build(%q): %v", name, err)
+			continue
+		}
+		if sys.N() != 6 {
+			t.Errorf("Build(%q): n = %d", name, sys.N())
+		}
+		if sys.Info.Oblivious && sys.Schedule == nil {
+			t.Errorf("Build(%q): oblivious without schedule", name)
+		}
+	}
+	if _, err := Build("nonsense", 4, 2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPatternRegistry(t *testing.T) {
+	for _, name := range Patterns() {
+		p, err := BuildPattern(name, 5, 1, 0, 1)
+		if err != nil {
+			t.Errorf("BuildPattern(%q): %v", name, err)
+			continue
+		}
+		injs := p.Draw(255, 2) // round 255 hits the bursty period too
+		for _, in := range injs {
+			if in.Station < 0 || in.Station >= 5 || in.Dest < 0 || in.Dest >= 5 {
+				t.Errorf("pattern %q out of range: %+v", name, in)
+			}
+		}
+	}
+	if _, err := BuildPattern("nope", 5, 1, 0, 1); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestTable1SpecsComplete(t *testing.T) {
+	specs := Table1(Quick)
+	if len(specs) != 11 {
+		t.Fatalf("Table1 has %d specs, want 11 (9 rows, T1.2 in three variants)", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.ID] {
+			t.Errorf("duplicate spec ID %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Build == nil || s.Rounds <= 0 || s.PaperClaim == "" {
+			t.Errorf("spec %s incomplete", s.ID)
+		}
+	}
+	for _, want := range []string{"T1.1", "T1.2a", "T1.2b", "T1.2c", "T1.3", "T1.4", "T1.5", "T1.6", "T1.7", "T1.8", "T1.9"} {
+		if !seen[want] {
+			t.Errorf("missing spec %s", want)
+		}
+	}
+}
+
+func TestFullScaleQuadruplesRounds(t *testing.T) {
+	q := Table1(Quick)
+	f := Table1(Full)
+	for i := range q {
+		if f[i].Rounds != 4*q[i].Rounds {
+			t.Errorf("%s: full rounds %d != 4× quick %d", q[i].ID, f[i].Rounds, q[i].Rounds)
+		}
+	}
+}
+
+func TestRunSingleRowReproduces(t *testing.T) {
+	// Smoke-run the cheapest row end to end (T1.5, k-Cycle).
+	specs := Table1(Quick)
+	var spec Spec
+	for _, s := range specs {
+		if s.ID == "T1.5" {
+			spec = s
+		}
+	}
+	o, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.OK {
+		t.Errorf("T1.5 did not reproduce: measured %v vs bound %v, stable=%v",
+			o.Measured, o.Bound, o.Stable)
+	}
+	if o.Delivered == 0 || o.MeanEnergy <= 0 {
+		t.Error("outcome missing measurements")
+	}
+}
+
+func TestRunUnstableRow(t *testing.T) {
+	specs := Table1(Quick)
+	for _, s := range specs {
+		if s.ID != "T1.6" {
+			continue
+		}
+		o, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.OK {
+			t.Errorf("T1.6 did not reproduce: stable=%v slope=%v", o.Stable, o.Slope)
+		}
+	}
+}
+
+func TestRunAllRendersTable(t *testing.T) {
+	// Render just two rows to keep the test fast.
+	specs := Table1(Quick)
+	subset := []Spec{}
+	for _, s := range specs {
+		if s.ID == "T1.5" || s.ID == "T1.7" {
+			subset = append(subset, s)
+		}
+	}
+	var buf bytes.Buffer
+	outs, err := RunAll(subset, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	rendered := buf.String()
+	for _, want := range []string{"ID", "T1.5", "T1.7", "REPRODUCED"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("table missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	var spec Spec
+	for _, s := range Table1(Quick) {
+		if s.ID == "T1.7" {
+			spec = s
+		}
+	}
+	agg, err := Replicate(spec, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Outcomes) != 3 {
+		t.Fatalf("got %d outcomes", len(agg.Outcomes))
+	}
+	if !agg.AllOK {
+		t.Error("T1.7 failed to reproduce under some seed")
+	}
+	if agg.MinMeasured > agg.MeanMeasured || agg.MeanMeasured > agg.MaxMeasured {
+		t.Errorf("aggregate ordering wrong: min=%v mean=%v max=%v",
+			agg.MinMeasured, agg.MeanMeasured, agg.MaxMeasured)
+	}
+	if agg.MaxMeasured > spec.Bound {
+		t.Errorf("worst seed %v exceeds bound %v", agg.MaxMeasured, spec.Bound)
+	}
+}
+
+func TestReplicateNeedsSeeds(t *testing.T) {
+	if _, err := Replicate(Spec{}, nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+}
+
+func TestRenderRowMismatch(t *testing.T) {
+	o := Outcome{
+		Spec: Spec{ID: "X", Label: "fake", N: 4, Kind: KindLatency,
+			Bound: 10, PaperClaim: "c", Rho: ratio.New(1, 2)},
+		MaxLatency: 99,
+		OK:         false,
+	}
+	row := renderRow(o)
+	if !strings.Contains(row, "MISMATCH") || !strings.Contains(row, "max lat 99") {
+		t.Errorf("row = %q", row)
+	}
+}
+
+func TestRunPropagatesBuildError(t *testing.T) {
+	_, err := Run(Spec{ID: "bad", Build: func() (*core.System, error) {
+		return nil, fmt.Errorf("nope")
+	}})
+	if err == nil {
+		t.Error("build error swallowed")
+	}
+}
+
+func TestRunKindStable(t *testing.T) {
+	o, err := Run(Spec{
+		ID: "S", Label: "rrw stability smoke",
+		N: 4, Rho: ratio.New(1, 2), Beta: 1,
+		Rounds: 20000, Kind: KindStable,
+		Build: func() (*core.System, error) { return Build("rrw", 4, 0) },
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.OK || !o.Stable {
+		t.Errorf("KindStable outcome: %+v", o)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindStable.String() != "stable" || KindUnstable.String() != "unstable" ||
+		KindLatency.String() != "latency" || KindQueueBound.String() != "queue-bound" {
+		t.Error("Kind strings wrong")
+	}
+}

@@ -1,0 +1,45 @@
+package expt
+
+import "fmt"
+
+// Aggregate summarizes replicated runs of one spec across seeds.
+type Aggregate struct {
+	Outcomes []Outcome
+	// AllOK reports whether every replication reproduced the claim.
+	AllOK bool
+	// MinMeasured/MaxMeasured/MeanMeasured aggregate the headline figure.
+	MinMeasured  float64
+	MaxMeasured  float64
+	MeanMeasured float64
+}
+
+// Replicate runs the spec once per seed (the seed perturbs the injection
+// pattern; the algorithms themselves are deterministic) and aggregates
+// the outcomes. Bounds in the paper are worst-case, so the aggregate's
+// MaxMeasured is the figure to hold against them.
+func Replicate(s Spec, seeds []int64) (Aggregate, error) {
+	if len(seeds) == 0 {
+		return Aggregate{}, fmt.Errorf("expt: no seeds")
+	}
+	agg := Aggregate{AllOK: true}
+	var sum float64
+	for i, seed := range seeds {
+		spec := s
+		spec.Seed = seed
+		o, err := Run(spec)
+		if err != nil {
+			return agg, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		agg.Outcomes = append(agg.Outcomes, o)
+		agg.AllOK = agg.AllOK && o.OK
+		if i == 0 || o.Measured < agg.MinMeasured {
+			agg.MinMeasured = o.Measured
+		}
+		if i == 0 || o.Measured > agg.MaxMeasured {
+			agg.MaxMeasured = o.Measured
+		}
+		sum += o.Measured
+	}
+	agg.MeanMeasured = sum / float64(len(seeds))
+	return agg, nil
+}

@@ -1,0 +1,80 @@
+// Package mac defines the multiple access channel model of the paper:
+// packets, messages, control bits, and per-round channel feedback.
+//
+// A multiple access channel is shared by n stations operating in
+// synchronous rounds. In each round every switched-on station either
+// transmits one message or listens. If exactly one station transmits, all
+// switched-on stations (including the transmitter) hear the message; if
+// two or more transmit, the round is a collision and nothing is heard; if
+// none transmits, the round is silent. Switched-off stations receive no
+// feedback at all.
+package mac
+
+import "fmt"
+
+// Packet is a unit of traffic injected by the adversary into some station
+// (Src) that must be delivered to its destination station (Dest). The
+// simulator assigns IDs; the payload ("content" in the paper) is opaque
+// and does not affect routing, so it is not modeled.
+type Packet struct {
+	ID       int64 // unique per simulation, assigned at injection
+	Src      int   // station the packet was injected into
+	Dest     int   // station that must consume the packet
+	Injected int64 // round of injection (for latency accounting)
+}
+
+func (p Packet) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d@%d", p.ID, p.Src, p.Dest, p.Injected)
+}
+
+// Message is what one station puts on the channel in one round: at most
+// one packet plus a string of control bits. Plain-packet algorithms must
+// transmit exactly a packet and no control bits.
+type Message struct {
+	HasPacket bool
+	Packet    Packet
+	Ctrl      Control
+}
+
+// IsLight reports whether the message carries control bits only.
+// A round in which a light message is heard is called a light round.
+func (m Message) IsLight() bool { return !m.HasPacket }
+
+// PacketMsg builds a plain-packet message.
+func PacketMsg(p Packet) Message { return Message{HasPacket: true, Packet: p} }
+
+// CtrlMsg builds a light (control-bits-only) message.
+func CtrlMsg(c Control) Message { return Message{Ctrl: c} }
+
+// FeedbackKind is what a switched-on station senses from the channel in a
+// round.
+type FeedbackKind uint8
+
+const (
+	// FbSilence: no station transmitted.
+	FbSilence FeedbackKind = iota
+	// FbHeard: exactly one station transmitted; the message was heard.
+	FbHeard
+	// FbCollision: two or more stations transmitted; noise was heard.
+	FbCollision
+)
+
+func (k FeedbackKind) String() string {
+	switch k {
+	case FbSilence:
+		return "silence"
+	case FbHeard:
+		return "heard"
+	case FbCollision:
+		return "collision"
+	default:
+		return fmt.Sprintf("FeedbackKind(%d)", uint8(k))
+	}
+}
+
+// Feedback is delivered to every switched-on station at the end of a
+// round. Msg is meaningful only when Kind == FbHeard.
+type Feedback struct {
+	Kind FeedbackKind
+	Msg  Message
+}

@@ -1,0 +1,307 @@
+// Package metrics collects the performance measures the paper reports:
+// queue sizes (stability), packet delays (latency), and energy use, plus
+// channel-utilization counters useful for diagnosing algorithms. A single
+// Tracker is fed by the simulator once per round and once per delivery.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// QueueSample is one sampled point of the total-queue time series.
+type QueueSample struct {
+	Round int64
+	Queue int64
+}
+
+// Tracker accumulates simulation statistics. The zero value is not
+// usable; call NewTracker.
+type Tracker struct {
+	// SampleEvery controls the queue time-series resolution: one sample is
+	// kept every SampleEvery rounds (default 1024 in NewTracker).
+	SampleEvery int64
+
+	Rounds    int64
+	Injected  int64
+	Delivered int64
+
+	MaxQueue      int64
+	MaxQueueRound int64
+	finalQueue    int64
+
+	MaxLatency int64
+	latencySum int64
+	// latHist[b] counts deliveries with latency in [2^b, 2^(b+1)).
+	latHist [64]int64
+
+	EnergySum int64
+	MaxEnergy int
+
+	SilentRounds    int64 // nothing transmitted
+	HeardRounds     int64 // exactly one transmitter
+	CollisionRounds int64 // two or more transmitters
+	LightRounds     int64 // heard, but control bits only
+	DeliveryRounds  int64 // heard and the packet reached its destination
+	ControlBits     int64 // total control bits on heard messages
+
+	Violations []string // model violations (energy cap, plain-packet, ...)
+
+	samples []QueueSample
+
+	// Per-station peaks, enabled by TrackStations: fairness diagnostics
+	// for the starvation phenomena of Table 1's latency-∞ rows.
+	stationMax []int64
+}
+
+// TrackStations enables per-station queue peak tracking for n stations.
+func (t *Tracker) TrackStations(n int) { t.stationMax = make([]int64, n) }
+
+// ObserveStationQueues records one round's per-station queue lengths
+// (no-op unless TrackStations was called).
+func (t *Tracker) ObserveStationQueues(lens []int) {
+	if t.stationMax == nil {
+		return
+	}
+	for i, l := range lens {
+		if int64(l) > t.stationMax[i] {
+			t.stationMax[i] = int64(l)
+		}
+	}
+}
+
+// StationMaxQueues returns the per-station queue peaks (nil unless
+// TrackStations was called).
+func (t *Tracker) StationMaxQueues() []int64 { return t.stationMax }
+
+// QueueImbalance returns the ratio of the largest per-station peak to the
+// mean peak — 1 means perfectly balanced load, large values indicate one
+// station absorbed the brunt. Returns 0 unless TrackStations was called
+// and some packet was queued.
+func (t *Tracker) QueueImbalance() float64 {
+	if t.stationMax == nil {
+		return 0
+	}
+	var sum, max int64
+	for _, m := range t.stationMax {
+		sum += m
+		if m > max {
+			max = m
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(t.stationMax))
+	return float64(max) / mean
+}
+
+// NewTracker returns a Tracker sampling the queue curve every 1024 rounds.
+func NewTracker() *Tracker {
+	return &Tracker{SampleEvery: 1024}
+}
+
+// ObserveRound records one completed round.
+func (t *Tracker) ObserveRound(round int64, queue int64, energy int) {
+	t.Rounds++
+	t.EnergySum += int64(energy)
+	if energy > t.MaxEnergy {
+		t.MaxEnergy = energy
+	}
+	if queue > t.MaxQueue {
+		t.MaxQueue = queue
+		t.MaxQueueRound = round
+	}
+	t.finalQueue = queue
+	if t.SampleEvery > 0 && round%t.SampleEvery == 0 {
+		t.samples = append(t.samples, QueueSample{Round: round, Queue: queue})
+	}
+}
+
+// ObserveInjections records packets injected this round.
+func (t *Tracker) ObserveInjections(count int) { t.Injected += int64(count) }
+
+// ObserveDelivery records one delivered packet by its delay.
+func (t *Tracker) ObserveDelivery(latency int64) {
+	t.Delivered++
+	if latency > t.MaxLatency {
+		t.MaxLatency = latency
+	}
+	t.latencySum += latency
+	t.latHist[bucketOf(latency)]++
+}
+
+func bucketOf(latency int64) int {
+	if latency <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(latency)) - 1
+}
+
+// Violate records a model violation.
+func (t *Tracker) Violate(format string, args ...any) {
+	if len(t.Violations) < 100 {
+		t.Violations = append(t.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// FinalQueue returns the queue size at the last observed round.
+func (t *Tracker) FinalQueue() int64 { return t.finalQueue }
+
+// Pending returns injected minus delivered packets.
+func (t *Tracker) Pending() int64 { return t.Injected - t.Delivered }
+
+// MeanLatency returns the average delivery delay.
+func (t *Tracker) MeanLatency() float64 {
+	if t.Delivered == 0 {
+		return 0
+	}
+	return float64(t.latencySum) / float64(t.Delivered)
+}
+
+// LatencyPercentile returns an upper bound for the p-quantile of delivery
+// delay (p in [0,1]) from the power-of-two histogram: the top of the
+// bucket containing the quantile.
+func (t *Tracker) LatencyPercentile(p float64) int64 {
+	if t.Delivered == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(t.Delivered)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := 0; b < len(t.latHist); b++ {
+		cum += t.latHist[b]
+		if cum >= target {
+			if b == 63 {
+				return math.MaxInt64
+			}
+			return (int64(1) << uint(b+1)) - 1
+		}
+	}
+	return t.MaxLatency
+}
+
+// MeanEnergy returns the average number of switched-on stations per round.
+func (t *Tracker) MeanEnergy() float64 {
+	if t.Rounds == 0 {
+		return 0
+	}
+	return float64(t.EnergySum) / float64(t.Rounds)
+}
+
+// Samples returns the sampled queue-size curve.
+func (t *Tracker) Samples() []QueueSample { return t.samples }
+
+// QueueSlope estimates the long-run growth rate of the total queue in
+// packets per round by least-squares over the second half of the sampled
+// curve (the first half is discarded as warm-up). A stable execution has
+// slope ≈ 0; the impossibility adversaries force a clearly positive slope.
+func (t *Tracker) QueueSlope() float64 {
+	s := t.samples
+	if len(s) < 4 {
+		return 0
+	}
+	s = s[len(s)/2:]
+	var n, sumX, sumY, sumXY, sumXX float64
+	for _, pt := range s {
+		x, y := float64(pt.Round), float64(pt.Queue)
+		n++
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	return (n*sumXY - sumX*sumY) / den
+}
+
+// GrowthRatio compares the mean queue in the last quarter of the run to
+// the mean in the second quarter. Values near 1 indicate a bounded queue;
+// values well above 1 indicate growth. Returns 1 when there is not enough
+// data or the early mean is zero.
+func (t *Tracker) GrowthRatio() float64 {
+	s := t.samples
+	if len(s) < 8 {
+		return 1
+	}
+	q := len(s) / 4
+	early := s[q : 2*q]
+	late := s[3*q:]
+	mean := func(pts []QueueSample) float64 {
+		var sum float64
+		for _, p := range pts {
+			sum += float64(p.Queue)
+		}
+		return sum / float64(len(pts))
+	}
+	e := mean(early)
+	if e == 0 {
+		if mean(late) == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return mean(late) / e
+}
+
+// LooksStable applies the growth heuristic used by the experiment harness:
+// bounded queues keep the late/early ratio below 1.5 and the slope near 0.
+func (t *Tracker) LooksStable() bool {
+	return t.GrowthRatio() < 1.5
+}
+
+// Summary renders a human-readable digest.
+func (t *Tracker) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d injected=%d delivered=%d pending=%d\n",
+		t.Rounds, t.Injected, t.Delivered, t.Pending())
+	fmt.Fprintf(&b, "queue: max=%d (round %d) final=%d slope=%.6f growth=%.2f\n",
+		t.MaxQueue, t.MaxQueueRound, t.finalQueue, t.QueueSlope(), t.GrowthRatio())
+	fmt.Fprintf(&b, "latency: max=%d mean=%.1f p50<=%d p99<=%d\n",
+		t.MaxLatency, t.MeanLatency(), t.LatencyPercentile(0.5), t.LatencyPercentile(0.99))
+	fmt.Fprintf(&b, "energy: mean=%.3f max=%d\n", t.MeanEnergy(), t.MaxEnergy)
+	fmt.Fprintf(&b, "channel: heard=%d silent=%d collisions=%d light=%d deliveries=%d ctrlbits=%d\n",
+		t.HeardRounds, t.SilentRounds, t.CollisionRounds, t.LightRounds, t.DeliveryRounds, t.ControlBits)
+	if len(t.Violations) > 0 {
+		fmt.Fprintf(&b, "VIOLATIONS (%d):\n", len(t.Violations))
+		for _, v := range t.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// LatencyBuckets returns the non-empty latency histogram as (upperBound,
+// count) pairs in increasing order.
+func (t *Tracker) LatencyBuckets() []struct {
+	UpTo  int64
+	Count int64
+} {
+	var out []struct {
+		UpTo  int64
+		Count int64
+	}
+	for b, c := range t.latHist {
+		if c == 0 {
+			continue
+		}
+		up := int64(math.MaxInt64)
+		if b < 63 {
+			up = (int64(1) << uint(b+1)) - 1
+		}
+		out = append(out, struct {
+			UpTo  int64
+			Count int64
+		}{up, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpTo < out[j].UpTo })
+	return out
+}

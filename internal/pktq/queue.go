@@ -1,0 +1,226 @@
+// Package pktq provides the packet queue held by every station: a FIFO in
+// injection-arrival order with per-destination indexing. The paper assumes
+// a station "can scan its queue and access any packet in negligible time";
+// this implementation makes the operations the algorithms actually use
+// O(1) (push, pops, removal by ID, per-destination counts).
+package pktq
+
+import (
+	"fmt"
+
+	"earmac/internal/mac"
+)
+
+type node struct {
+	pkt          mac.Packet
+	prev, next   *node // global arrival order
+	dprev, dnext *node // arrival order within the same destination
+}
+
+type destList struct {
+	head, tail *node
+	count      int
+}
+
+// Queue is a packet queue. The zero value is not usable; call New.
+type Queue struct {
+	byID   map[int64]*node
+	byDest map[int]*destList
+	head   *node
+	tail   *node
+	size   int
+}
+
+// New returns an empty queue.
+func New() *Queue {
+	return &Queue{
+		byID:   make(map[int64]*node),
+		byDest: make(map[int]*destList),
+	}
+}
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return q.size }
+
+// Has reports whether the packet with the given ID is queued.
+func (q *Queue) Has(id int64) bool { _, ok := q.byID[id]; return ok }
+
+// Get returns the queued packet with the given ID.
+func (q *Queue) Get(id int64) (mac.Packet, bool) {
+	n, ok := q.byID[id]
+	if !ok {
+		return mac.Packet{}, false
+	}
+	return n.pkt, true
+}
+
+// Count returns the number of queued packets with the given destination.
+func (q *Queue) Count(dest int) int {
+	dl := q.byDest[dest]
+	if dl == nil {
+		return 0
+	}
+	return dl.count
+}
+
+// CountLess returns the number of queued packets whose destination is
+// strictly smaller than dest (used by the Adjust-Window gossip stage).
+func (q *Queue) CountLess(dest int) int {
+	total := 0
+	for d, dl := range q.byDest {
+		if d < dest {
+			total += dl.count
+		}
+	}
+	return total
+}
+
+// Push appends a packet. Pushing a duplicate ID panics: packet ownership
+// is exactly-once by design and a duplicate indicates an algorithm bug.
+func (q *Queue) Push(p mac.Packet) {
+	if _, dup := q.byID[p.ID]; dup {
+		panic(fmt.Sprintf("pktq: duplicate packet %v", p))
+	}
+	n := &node{pkt: p}
+	q.byID[p.ID] = n
+	if q.tail == nil {
+		q.head, q.tail = n, n
+	} else {
+		n.prev = q.tail
+		q.tail.next = n
+		q.tail = n
+	}
+	dl := q.byDest[p.Dest]
+	if dl == nil {
+		dl = &destList{}
+		q.byDest[p.Dest] = dl
+	}
+	if dl.tail == nil {
+		dl.head, dl.tail = n, n
+	} else {
+		n.dprev = dl.tail
+		dl.tail.dnext = n
+		dl.tail = n
+	}
+	dl.count++
+	q.size++
+}
+
+// Front returns the oldest queued packet without removing it.
+func (q *Queue) Front() (mac.Packet, bool) {
+	if q.head == nil {
+		return mac.Packet{}, false
+	}
+	return q.head.pkt, true
+}
+
+// FrontTo returns the oldest queued packet destined to dest without
+// removing it.
+func (q *Queue) FrontTo(dest int) (mac.Packet, bool) {
+	dl := q.byDest[dest]
+	if dl == nil || dl.head == nil {
+		return mac.Packet{}, false
+	}
+	return dl.head.pkt, true
+}
+
+// PopFront removes and returns the oldest queued packet.
+func (q *Queue) PopFront() (mac.Packet, bool) {
+	if q.head == nil {
+		return mac.Packet{}, false
+	}
+	p := q.head.pkt
+	q.unlink(q.head)
+	return p, true
+}
+
+// PopFrontTo removes and returns the oldest packet destined to dest.
+func (q *Queue) PopFrontTo(dest int) (mac.Packet, bool) {
+	dl := q.byDest[dest]
+	if dl == nil || dl.head == nil {
+		return mac.Packet{}, false
+	}
+	p := dl.head.pkt
+	q.unlink(dl.head)
+	return p, true
+}
+
+// PopPrefer removes and returns the oldest packet destined to dest if one
+// exists, and otherwise the oldest packet overall. Used by coded transfer,
+// where sending a packet addressed to the listener delivers it for free.
+func (q *Queue) PopPrefer(dest int) (mac.Packet, bool) {
+	if p, ok := q.PopFrontTo(dest); ok {
+		return p, true
+	}
+	return q.PopFront()
+}
+
+// Remove deletes the packet with the given ID, reporting whether it was
+// present.
+func (q *Queue) Remove(id int64) bool {
+	n, ok := q.byID[id]
+	if !ok {
+		return false
+	}
+	q.unlink(n)
+	return true
+}
+
+func (q *Queue) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	dl := q.byDest[n.pkt.Dest]
+	if n.dprev != nil {
+		n.dprev.dnext = n.dnext
+	} else {
+		dl.head = n.dnext
+	}
+	if n.dnext != nil {
+		n.dnext.dprev = n.dprev
+	} else {
+		dl.tail = n.dprev
+	}
+	dl.count--
+	if dl.count == 0 {
+		delete(q.byDest, n.pkt.Dest)
+	}
+	delete(q.byID, n.pkt.ID)
+	q.size--
+	n.prev, n.next, n.dprev, n.dnext = nil, nil, nil, nil
+}
+
+// Snapshot returns the queued packets in arrival order.
+func (q *Queue) Snapshot() []mac.Packet {
+	out := make([]mac.Packet, 0, q.size)
+	for n := q.head; n != nil; n = n.next {
+		out = append(out, n.pkt)
+	}
+	return out
+}
+
+// IDs returns the queued packet IDs in arrival order.
+func (q *Queue) IDs() []int64 {
+	out := make([]int64, 0, q.size)
+	for n := q.head; n != nil; n = n.next {
+		out = append(out, n.pkt.ID)
+	}
+	return out
+}
+
+// Each calls f on every queued packet in arrival order; f returning false
+// stops the iteration.
+func (q *Queue) Each(f func(mac.Packet) bool) {
+	for n := q.head; n != nil; n = n.next {
+		if !f(n.pkt) {
+			return
+		}
+	}
+}

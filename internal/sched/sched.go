@@ -1,0 +1,145 @@
+// Package sched models the fixed on/off schedules of energy-oblivious
+// algorithms. Per the paper (§2), an algorithm is energy-oblivious when it
+// determines in advance, for each station and round, whether the station
+// is on; it is k-energy-oblivious when at most k stations are on per
+// round. The impossibility adversaries of Theorems 6 and 9 are constructed
+// directly from these schedules (by double counting station-rounds and
+// station-pair-rounds), so the package also provides that analysis.
+package sched
+
+import "fmt"
+
+// Schedule is a periodic, statically-known on/off assignment.
+type Schedule interface {
+	// NumStations returns the system size n.
+	NumStations() int
+	// Period returns the period after which the schedule repeats.
+	Period() int64
+	// On reports whether the station is switched on in the given round.
+	On(station int, round int64) bool
+}
+
+// Func adapts a function to a Schedule.
+type Func struct {
+	N int
+	P int64
+	F func(station int, round int64) bool
+}
+
+func (f Func) NumStations() int            { return f.N }
+func (f Func) Period() int64               { return f.P }
+func (f Func) On(st int, round int64) bool { return f.F(st, round%f.P) }
+
+// OnCounts returns, for each station, the number of rounds per period in
+// which it is switched on.
+func OnCounts(s Schedule) []int64 {
+	n := s.NumStations()
+	counts := make([]int64, n)
+	for t := int64(0); t < s.Period(); t++ {
+		for i := 0; i < n; i++ {
+			if s.On(i, t) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// PairCounts returns, for each ordered pair (w, z) with w != z, the number
+// of rounds per period in which both are on simultaneously. The diagonal
+// holds the per-station on-counts.
+func PairCounts(s Schedule) [][]int64 {
+	n := s.NumStations()
+	counts := make([][]int64, n)
+	for i := range counts {
+		counts[i] = make([]int64, n)
+	}
+	on := make([]int, 0, n)
+	for t := int64(0); t < s.Period(); t++ {
+		on = on[:0]
+		for i := 0; i < n; i++ {
+			if s.On(i, t) {
+				on = append(on, i)
+			}
+		}
+		for _, w := range on {
+			for _, z := range on {
+				counts[w][z]++
+			}
+		}
+	}
+	return counts
+}
+
+// MaxSimultaneous returns the maximum number of stations switched on in
+// any round of a period — the energy the schedule actually needs.
+func MaxSimultaneous(s Schedule) int {
+	max := 0
+	n := s.NumStations()
+	for t := int64(0); t < s.Period(); t++ {
+		c := 0
+		for i := 0; i < n; i++ {
+			if s.On(i, t) {
+				c++
+			}
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Validate checks that the schedule never exceeds the energy cap.
+func Validate(s Schedule, cap int) error {
+	n := s.NumStations()
+	for t := int64(0); t < s.Period(); t++ {
+		c := 0
+		for i := 0; i < n; i++ {
+			if s.On(i, t) {
+				c++
+			}
+		}
+		if c > cap {
+			return fmt.Errorf("sched: %d stations on in round %d exceeds cap %d", c, t, cap)
+		}
+	}
+	return nil
+}
+
+// MinOnStation returns the station with the fewest on-rounds per period
+// (ties broken by smallest name) and its on-count. This is the target the
+// Theorem 6 adversary floods: that station can transmit at most
+// (k/n)·t packets in t rounds.
+func MinOnStation(s Schedule) (station int, onRounds int64) {
+	counts := OnCounts(s)
+	station, onRounds = 0, counts[0]
+	for i, c := range counts {
+		if c < onRounds {
+			station, onRounds = i, c
+		}
+	}
+	return station, onRounds
+}
+
+// MinOnPair returns the ordered pair (w, z), w != z, that is switched on
+// together in the fewest rounds per period, and that co-on count. This is
+// the pair the Theorem 9 adversary floods (inject at w, addressed to z):
+// direct delivery w→z requires both on simultaneously.
+func MinOnPair(s Schedule) (w, z int, coOn int64) {
+	counts := PairCounts(s)
+	n := s.NumStations()
+	w, z = 0, 1
+	coOn = counts[0][1]
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if counts[a][b] < coOn {
+				w, z, coOn = a, b, counts[a][b]
+			}
+		}
+	}
+	return w, z, coOn
+}
