@@ -5,12 +5,22 @@
 //
 //	earmac-sim -alg orchestra -n 8 -rho 1/1 -beta 2 -rounds 200000
 //	earmac-sim -alg k-cycle -n 9 -k 3 -rho 1/5 -pattern single-target -src 0 -dest 8
+//	earmac-sim -alg count-hop -n 6 -json          # Report in the shared JSON schema
+//	earmac-sim -alg orchestra -rounds 5000000 -progress
+//
+// The run honours SIGINT: interrupting prints the measurements gathered
+// so far and exits 130 so scripts can tell a truncated horizon from a
+// completed one.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -19,20 +29,22 @@ import (
 
 func main() {
 	var (
-		alg     = flag.String("alg", "orchestra", "algorithm: "+strings.Join(earmac.Algorithms(), ", "))
-		n       = flag.Int("n", 8, "number of stations")
-		k       = flag.Int("k", 3, "energy cap parameter for the k-parameterized algorithms")
-		rho     = flag.String("rho", "1/2", "injection rate as a fraction p/q (or an integer)")
-		beta    = flag.Int64("beta", 1, "burstiness coefficient β")
-		pattern = flag.String("pattern", "uniform", "injection pattern: "+strings.Join(earmac.Patterns(), ", "))
-		src     = flag.Int("src", 0, "source station for targeted patterns")
-		dest    = flag.Int("dest", 1, "destination station for targeted patterns")
-		seed    = flag.Int64("seed", 1, "seed for randomized patterns")
-		rounds  = flag.Int64("rounds", 100000, "rounds to simulate")
-		stop    = flag.Int64("stop-injections", 0, "stop injecting after this round (0 = never), to observe draining")
-		lenient = flag.Bool("lenient", false, "record model violations instead of aborting")
-		traceN  = flag.Int64("trace", 0, "log this many rounds of channel events to stderr")
-		traceAt = flag.Int64("trace-from", 0, "first round to trace")
+		alg      = flag.String("alg", "orchestra", "algorithm: "+strings.Join(earmac.Algorithms(), ", "))
+		n        = flag.Int("n", 8, "number of stations")
+		k        = flag.Int("k", 3, "energy cap parameter for the k-parameterized algorithms")
+		rho      = flag.String("rho", "1/2", "injection rate as a fraction p/q (or an integer)")
+		beta     = flag.Int64("beta", 1, "burstiness coefficient β")
+		pattern  = flag.String("pattern", "uniform", "injection pattern: "+strings.Join(earmac.Patterns(), ", "))
+		src      = flag.Int("src", 0, "source station for targeted patterns")
+		dest     = flag.Int("dest", 1, "destination station for targeted patterns")
+		seed     = flag.Int64("seed", 1, "seed for randomized patterns")
+		rounds   = flag.Int64("rounds", 100000, "rounds to simulate")
+		stop     = flag.Int64("stop-injections", 0, "stop injecting after this round (0 = never), to observe draining")
+		lenient  = flag.Bool("lenient", false, "record model violations instead of aborting")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON (shared Report schema)")
+		progress = flag.Bool("progress", false, "log interim progress snapshots to stderr")
+		traceN   = flag.Int64("trace", 0, "log this many rounds of channel events to stderr")
+		traceAt  = flag.Int64("trace-from", 0, "first round to trace")
 	)
 	flag.Parse()
 
@@ -61,12 +73,42 @@ func main() {
 		cfg.TraceFrom = *traceAt
 		cfg.TraceUpTo = *traceAt + *traceN
 	}
-	rep, err := earmac.Run(cfg)
-	if err != nil {
+	if *progress {
+		cfg.OnProgress = func(p earmac.Progress) {
+			fmt.Fprintf(os.Stderr, "earmac-sim: round %d/%d, pending %d, max queue %d\n",
+				p.Round, p.Total, p.Report.Pending, p.Report.MaxQueue)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+		os.Exit(2)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	rep, err := earmac.RunContext(ctx, cfg)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
 		os.Exit(1)
 	}
-	fmt.Print(rep.Summary())
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "earmac-sim: interrupted after %d rounds; partial report follows\n", rep.Rounds)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep.Summary())
+	}
+	if interrupted {
+		// Distinguish a truncated horizon from a completed run for scripts.
+		os.Exit(130)
+	}
 }
 
 func parseRho(s string) (num, den int64, err error) {

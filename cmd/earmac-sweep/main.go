@@ -2,19 +2,26 @@
 // injection rate ρ against latency/queues (the universality curves),
 // energy cap k against latency (the paper's open tradeoff question, §7),
 // or system size n against latency (the polynomial growth of the
-// bounds).
+// bounds). The sweep is a Suite: every point runs as an independent cell
+// on a bounded worker pool, with deterministic output order.
 //
 // Usage:
 //
 //	earmac-sweep -mode rho  -alg count-hop -n 6            > rho.csv
 //	earmac-sweep -mode cap  -alg k-cycle  -n 13            > cap.csv
 //	earmac-sweep -mode size -alg orchestra -rho 1/1        > size.csv
+//	earmac-sweep -mode rho  -alg count-hop -n 6 -json      > rho.json
+//	earmac-sweep -mode cap  -alg k-cycle  -n 13 -parallel 8
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -23,14 +30,16 @@ import (
 
 func main() {
 	var (
-		mode   = flag.String("mode", "rho", "sweep variable: rho, cap, or size")
-		alg    = flag.String("alg", "count-hop", "algorithm")
-		n      = flag.Int("n", 6, "number of stations (fixed for rho/cap sweeps)")
-		k      = flag.Int("k", 3, "energy cap parameter (fixed for rho/size sweeps)")
-		rho    = flag.String("rho", "1/2", "injection rate (fixed for cap/size sweeps)")
-		beta   = flag.Int64("beta", 1, "burstiness coefficient")
-		rounds = flag.Int64("rounds", 100000, "rounds per point")
-		seed   = flag.Int64("seed", 1, "pattern seed")
+		mode     = flag.String("mode", "rho", "sweep variable: rho, cap, or size")
+		alg      = flag.String("alg", "count-hop", "algorithm")
+		n        = flag.Int("n", 6, "number of stations (fixed for rho/cap sweeps)")
+		k        = flag.Int("k", 3, "energy cap parameter (fixed for rho/size sweeps)")
+		rho      = flag.String("rho", "1/2", "injection rate (fixed for cap/size sweeps)")
+		beta     = flag.Int64("beta", 1, "burstiness coefficient")
+		rounds   = flag.Int64("rounds", 100000, "rounds per point")
+		seed     = flag.Int64("seed", 1, "base pattern seed (each point derives its own)")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut  = flag.Bool("json", false, "emit the full SuiteReport as JSON instead of CSV")
 	)
 	flag.Parse()
 
@@ -38,53 +47,85 @@ func main() {
 	if p, q, ok := strings.Cut(*rho, "/"); ok {
 		num, _ = strconv.ParseInt(p, 10, 64)
 		den, _ = strconv.ParseInt(q, 10, 64)
+	} else if v, err := strconv.ParseInt(*rho, 10, 64); err == nil {
+		num, den = v, 1
 	}
 
-	run := func(alg string, n, k int, num, den int64) (earmac.Report, error) {
-		return earmac.Run(earmac.Config{
-			Algorithm: alg, N: n, K: k,
+	grid := earmac.Grid{
+		Base: earmac.Config{
+			Algorithm: *alg, N: *n, K: *k,
 			RhoNum: num, RhoDen: den, Beta: *beta,
 			Rounds: *rounds, Seed: *seed,
 			Lenient: true, DisableChecks: true,
-		})
+		},
 	}
-
-	fmt.Println("x,rho,n,k,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
-	emit := func(x string, rep earmac.Report, num, den int64, n, k int) {
-		fmt.Printf("%s,%d/%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
-			x, num, den, n, k, rep.Stable, rep.MaxQueue, rep.FinalQueue, rep.QueueSlope,
-			rep.MaxLatency, rep.MeanLatency, rep.P99Latency, rep.MeanEnergy)
-	}
-
 	switch *mode {
 	case "rho":
 		// ρ from 1/10 up to 19/20 plus ρ = 1.
-		fracs := [][2]int64{{1, 10}, {1, 5}, {3, 10}, {2, 5}, {1, 2}, {3, 5}, {7, 10}, {4, 5}, {9, 10}, {19, 20}, {1, 1}}
-		for _, f := range fracs {
-			rep, err := run(*alg, *n, *k, f[0], f[1])
-			if err != nil {
-				fail(err)
-			}
-			emit(fmt.Sprintf("%g", float64(f[0])/float64(f[1])), rep, f[0], f[1], *n, *k)
+		grid.Rhos = []earmac.Rho{
+			{Num: 1, Den: 10}, {Num: 1, Den: 5}, {Num: 3, Den: 10}, {Num: 2, Den: 5},
+			{Num: 1, Den: 2}, {Num: 3, Den: 5}, {Num: 7, Den: 10}, {Num: 4, Den: 5},
+			{Num: 9, Den: 10}, {Num: 19, Den: 20}, {Num: 1, Den: 1},
 		}
 	case "cap":
 		for kk := 2; kk <= *n-1; kk++ {
-			rep, err := run(*alg, *n, kk, num, den)
-			if err != nil {
-				fail(err)
-			}
-			emit(strconv.Itoa(kk), rep, num, den, *n, kk)
+			grid.Ks = append(grid.Ks, kk)
 		}
 	case "size":
-		for _, nn := range []int{4, 6, 8, 10, 12, 14, 16} {
-			rep, err := run(*alg, nn, *k, num, den)
-			if err != nil {
-				fail(err)
-			}
-			emit(strconv.Itoa(nn), rep, num, den, nn, *k)
-		}
+		grid.Ns = []int{4, 6, 8, 10, 12, 14, 16}
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	suite := earmac.NewSuite(grid)
+	rep, err := suite.Run(ctx, earmac.SuiteOptions{Workers: *parallel})
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fail(err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "earmac-sweep: interrupted; emitting the %d completed points\n",
+			rep.Cells-rep.Skipped)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+		if interrupted {
+			os.Exit(130)
+		}
+		return
+	}
+
+	fmt.Println("x,rho,n,k,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
+	for _, res := range rep.Results {
+		if res.Verdict == earmac.VerdictSkipped {
+			continue
+		}
+		if res.Error != "" {
+			fail(fmt.Errorf("cell %d (%s): %s", res.Index, res.Config.Algorithm, res.Error))
+		}
+		cfg, r := res.Config, res.Report
+		var x string
+		switch *mode {
+		case "rho":
+			x = fmt.Sprintf("%g", float64(cfg.RhoNum)/float64(cfg.RhoDen))
+		case "cap":
+			x = strconv.Itoa(cfg.K)
+		case "size":
+			x = strconv.Itoa(cfg.N)
+		}
+		fmt.Printf("%s,%d/%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
+			x, cfg.RhoNum, cfg.RhoDen, cfg.N, cfg.K, r.Stable, r.MaxQueue, r.FinalQueue, r.QueueSlope,
+			r.MaxLatency, r.MeanLatency, r.P99Latency, r.MeanEnergy)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

@@ -19,59 +19,78 @@
 //		Rounds:    200000,
 //	})
 //
-// Available algorithms (see DESIGN.md for the paper mapping): orchestra,
-// count-hop, adjust-window, k-cycle, k-clique, k-subsets, k-subsets-rrw,
-// and the broadcast baselines mbtf, rrw, ofrrw.
+// RunContext adds cancellation and periodic progress snapshots; Suite
+// runs a whole grid of configurations (Grid crosses algorithms × sizes ×
+// rates × patterns) across a bounded worker pool with deterministic
+// result ordering.
+//
+// Algorithms and injection patterns live in registries populated by
+// self-registration (see RegisterAlgorithm and RegisterPattern); each
+// entry carries metadata — energy cap, the paper's plain-packet / direct
+// / oblivious taxonomy flags, valid parameter ranges — so capabilities
+// can be enumerated and filtered without instantiating a system. See
+// DESIGN.md for the algorithm → paper-theorem mapping and the model
+// invariants the simulator checks.
 package earmac
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"earmac/internal/adversary"
 	"earmac/internal/core"
-	"earmac/internal/expt"
 	"earmac/internal/metrics"
 	"earmac/internal/ratio"
+	"earmac/internal/registry"
+	"earmac/internal/report"
 	"earmac/internal/trace"
 )
 
 // Config selects a simulation. Zero fields take the documented defaults.
+// The JSON tags define the schema used by SuiteReport serialization.
 type Config struct {
 	// Algorithm is one of Algorithms(). Default "orchestra".
-	Algorithm string
+	Algorithm string `json:"algorithm,omitempty"`
 	// N is the number of stations. Default 8.
-	N int
+	N int `json:"n,omitempty"`
 	// K is the energy-cap parameter of k-cycle, k-clique, k-subsets and
 	// k-subsets-rrw (ignored by the fixed-cap algorithms). Default 3.
-	K int
+	K int `json:"k,omitempty"`
 	// RhoNum/RhoDen give the injection rate ρ as an exact fraction.
 	// Default 1/2.
-	RhoNum, RhoDen int64
+	RhoNum int64 `json:"rho_num,omitempty"`
+	RhoDen int64 `json:"rho_den,omitempty"`
 	// Beta is the burstiness coefficient β ≥ 1. Default 1.
-	Beta int64
+	Beta int64 `json:"beta,omitempty"`
 	// Pattern is one of Patterns(). Default "uniform".
-	Pattern string
+	Pattern string `json:"pattern,omitempty"`
 	// Src and Dest parameterize the targeted patterns (single-target,
 	// hot-source).
-	Src, Dest int
+	Src  int `json:"src,omitempty"`
+	Dest int `json:"dest,omitempty"`
 	// Seed makes randomized patterns deterministic. Default 1.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// Rounds is the horizon. Default 100000.
-	Rounds int64
+	Rounds int64 `json:"rounds,omitempty"`
 	// StopInjectionsAfter ends injection at that round so the system can
 	// drain (0 = inject throughout).
-	StopInjectionsAfter int64
+	StopInjectionsAfter int64 `json:"stop_injections_after,omitempty"`
 	// Lenient records model violations in the report instead of failing.
-	Lenient bool
+	Lenient bool `json:"lenient,omitempty"`
 	// DisableChecks turns off the packet-conservation invariant checker
 	// (on by default; it costs O(queue) every ~10k rounds).
-	DisableChecks bool
+	DisableChecks bool `json:"disable_checks,omitempty"`
 	// Trace, when non-nil, receives a per-round event log (who was on,
 	// what was transmitted, deliveries) for rounds [TraceFrom, TraceUpTo).
-	Trace     io.Writer
-	TraceFrom int64
-	TraceUpTo int64
+	Trace     io.Writer `json:"-"`
+	TraceFrom int64     `json:"-"`
+	TraceUpTo int64     `json:"-"`
+	// OnProgress, when non-nil, receives an interim snapshot every
+	// ProgressEvery rounds during RunContext (and at the final round).
+	OnProgress func(Progress) `json:"-"`
+	// ProgressEvery is the snapshot period in rounds. Default Rounds/64
+	// (at least 1).
+	ProgressEvery int64 `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -105,92 +124,38 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Report holds the measurements of one simulation.
-type Report struct {
-	Algorithm   string
-	N           int
-	EnergyCap   int
-	PlainPacket bool
-	Direct      bool
-	Oblivious   bool
+// Report holds the measurements of one simulation. It is the shared
+// schema (internal/report) that Suite results and the -json CLI outputs
+// also serialize.
+type Report = report.Report
 
-	Rounds    int64
-	Injected  int64
-	Delivered int64
-	Pending   int64
-
-	MaxQueue    int64
-	FinalQueue  int64
-	QueueSlope  float64
-	GrowthRatio float64
-	Stable      bool
-	// QueueImbalance is the largest per-station queue peak relative to
-	// the mean peak (1 = balanced; large = one station absorbed the load).
-	QueueImbalance float64
-
-	MaxLatency  int64
-	MeanLatency float64
-	P50Latency  int64 // histogram upper bound
-	P99Latency  int64 // histogram upper bound
-
-	MeanEnergy float64
-	MaxEnergy  int
-
-	HeardRounds     int64
-	SilentRounds    int64
-	CollisionRounds int64
-	LightRounds     int64
-	ControlBits     int64
-
-	Violations []string
+// Progress is an interim snapshot handed to Config.OnProgress during
+// RunContext. Report is assembled from the tracker mid-run: cumulative
+// counters are exact, derived figures (slope, stability) reflect the
+// samples so far.
+type Progress struct {
+	// Round is the number of completed rounds.
+	Round int64 `json:"round"`
+	// Total is the configured horizon.
+	Total int64 `json:"total"`
+	// Report is the interim measurement snapshot.
+	Report Report `json:"report"`
 }
 
-// Summary renders a human-readable digest of the report.
-func (r Report) Summary() string {
-	caps := ""
-	if r.PlainPacket {
-		caps += " plain-packet"
+// prepare validates the defaulted config and assembles the simulator.
+func prepare(cfg Config) (*core.Sim, *core.System, *metrics.Tracker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, nil, err
 	}
-	if r.Direct {
-		caps += " direct"
-	}
-	if r.Oblivious {
-		caps += " oblivious"
-	}
-	s := fmt.Sprintf("%s (n=%d, cap %d,%s)\n", r.Algorithm, r.N, r.EnergyCap, caps)
-	s += fmt.Sprintf("  rounds %d: injected %d, delivered %d, pending %d\n",
-		r.Rounds, r.Injected, r.Delivered, r.Pending)
-	s += fmt.Sprintf("  queue: max %d, final %d, slope %.5f pkt/round → %s\n",
-		r.MaxQueue, r.FinalQueue, r.QueueSlope, stability(r.Stable))
-	s += fmt.Sprintf("  latency: max %d, mean %.1f, p50 ≤ %d, p99 ≤ %d\n",
-		r.MaxLatency, r.MeanLatency, r.P50Latency, r.P99Latency)
-	s += fmt.Sprintf("  energy: mean %.2f on-stations/round (cap %d, peak %d)\n",
-		r.MeanEnergy, r.EnergyCap, r.MaxEnergy)
-	s += fmt.Sprintf("  channel: %d heard (%d light), %d silent, %d collisions, %d control bits\n",
-		r.HeardRounds, r.LightRounds, r.SilentRounds, r.CollisionRounds, r.ControlBits)
-	if len(r.Violations) > 0 {
-		s += fmt.Sprintf("  VIOLATIONS: %d (first: %s)\n", len(r.Violations), r.Violations[0])
-	}
-	return s
-}
-
-func stability(ok bool) string {
-	if ok {
-		return "stable"
-	}
-	return "UNSTABLE"
-}
-
-// Run executes one simulation per the config.
-func Run(cfg Config) (Report, error) {
-	cfg = cfg.withDefaults()
-	sys, err := expt.Build(cfg.Algorithm, cfg.N, cfg.K)
+	sys, err := registry.Build(cfg.Algorithm, cfg.N, cfg.K)
 	if err != nil {
-		return Report{}, err
+		return nil, nil, nil, err
 	}
-	pat, err := expt.BuildPattern(cfg.Pattern, cfg.N, cfg.Seed, cfg.Src, cfg.Dest)
+	pat, err := adversary.BuildPattern(cfg.Pattern, adversary.PatternParams{
+		N: cfg.N, Seed: cfg.Seed, Src: cfg.Src, Dest: cfg.Dest,
+	})
 	if err != nil {
-		return Report{}, err
+		return nil, nil, nil, err
 	}
 	if cfg.StopInjectionsAfter > 0 {
 		pat = adversary.Stop(pat, cfg.StopInjectionsAfter)
@@ -217,50 +182,60 @@ func Run(cfg Config) (Report, error) {
 		Tracker:    tr,
 		Tracer:     tracer,
 	})
-	if err := sim.Run(cfg.Rounds); err != nil {
-		return Report{}, err
-	}
-
-	return Report{
-		Algorithm:   sys.Info.Name,
-		N:           cfg.N,
-		EnergyCap:   sys.Info.EnergyCap,
-		PlainPacket: sys.Info.PlainPacket,
-		Direct:      sys.Info.Direct,
-		Oblivious:   sys.Info.Oblivious,
-
-		Rounds:    tr.Rounds,
-		Injected:  tr.Injected,
-		Delivered: tr.Delivered,
-		Pending:   tr.Pending(),
-
-		MaxQueue:       tr.MaxQueue,
-		FinalQueue:     tr.FinalQueue(),
-		QueueSlope:     tr.QueueSlope(),
-		GrowthRatio:    tr.GrowthRatio(),
-		Stable:         tr.LooksStable(),
-		QueueImbalance: tr.QueueImbalance(),
-
-		MaxLatency:  tr.MaxLatency,
-		MeanLatency: tr.MeanLatency(),
-		P50Latency:  tr.LatencyPercentile(0.5),
-		P99Latency:  tr.LatencyPercentile(0.99),
-
-		MeanEnergy: tr.MeanEnergy(),
-		MaxEnergy:  tr.MaxEnergy,
-
-		HeardRounds:     tr.HeardRounds,
-		SilentRounds:    tr.SilentRounds,
-		CollisionRounds: tr.CollisionRounds,
-		LightRounds:     tr.LightRounds,
-		ControlBits:     tr.ControlBits,
-
-		Violations: tr.Violations,
-	}, nil
+	return sim, sys, tr, nil
 }
 
-// Algorithms lists the available algorithm names.
-func Algorithms() []string { return expt.Algorithms() }
+// Run executes one simulation per the config. It is a thin wrapper over
+// RunContext with a background context.
+func Run(cfg Config) (Report, error) {
+	return RunContext(context.Background(), cfg)
+}
 
-// Patterns lists the available injection pattern names.
-func Patterns() []string { return expt.Patterns() }
+// ctxCheckEvery bounds how many rounds run between cancellation checks.
+const ctxCheckEvery = 16384
+
+// RunContext executes one simulation per the config, honouring ctx
+// cancellation and invoking cfg.OnProgress periodically. On cancellation
+// it returns the partial Report measured so far alongside the context's
+// error.
+func RunContext(ctx context.Context, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	sim, sys, tr, err := prepare(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		if every = cfg.Rounds / 64; every < 1 {
+			every = 1
+		}
+	}
+	nextMark := every
+	for done := int64(0); done < cfg.Rounds; {
+		if err := ctx.Err(); err != nil {
+			return report.FromTracker(sys.Info, cfg.N, tr), err
+		}
+		chunk := cfg.Rounds - done
+		if chunk > ctxCheckEvery {
+			chunk = ctxCheckEvery
+		}
+		if cfg.OnProgress != nil && done+chunk > nextMark {
+			chunk = nextMark - done
+		}
+		if err := sim.Run(chunk); err != nil {
+			return Report{}, err
+		}
+		done += chunk
+		if cfg.OnProgress != nil && (done == nextMark || done == cfg.Rounds) {
+			cfg.OnProgress(Progress{
+				Round:  done,
+				Total:  cfg.Rounds,
+				Report: report.FromTracker(sys.Info, cfg.N, tr),
+			})
+			for nextMark <= done {
+				nextMark += every
+			}
+		}
+	}
+	return report.FromTracker(sys.Info, cfg.N, tr), nil
+}

@@ -20,11 +20,13 @@ import (
 	"os"
 	"text/tabwriter"
 
+	// Blank-import the façade so every built-in algorithm self-registers.
+	_ "earmac"
 	"earmac/internal/adversary"
 	"earmac/internal/core"
-	"earmac/internal/expt"
 	"earmac/internal/metrics"
 	"earmac/internal/ratio"
+	"earmac/internal/registry"
 )
 
 type duel struct {
@@ -39,7 +41,7 @@ func main() {
 	duels := []duel{
 		{
 			label: "Thm 2 ceiling: Count-Hop (cap 2) vs ρ=1 uniform",
-			build: func() (*core.System, error) { return expt.Build("count-hop", 5, 0) },
+			build: func() (*core.System, error) { return registry.Build("count-hop", 5, 0) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.New(adversary.T(1, 1, 1), adversary.Uniform(5, 3))
 			},
@@ -47,7 +49,7 @@ func main() {
 		},
 		{
 			label: "Thm 2 ceiling: Count-Hop (cap 2) vs the Lemma-1 adaptive adversary",
-			build: func() (*core.System, error) { return expt.Build("count-hop", 5, 0) },
+			build: func() (*core.System, error) { return registry.Build("count-hop", 5, 0) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.NewLemma1(sys.N(), 20)
 			},
@@ -55,7 +57,7 @@ func main() {
 		},
 		{
 			label: "…but Orchestra (cap 3) absorbs the same ρ=1 workload",
-			build: func() (*core.System, error) { return expt.Build("orchestra", 5, 0) },
+			build: func() (*core.System, error) { return registry.Build("orchestra", 5, 0) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.New(adversary.T(1, 1, 1), adversary.Uniform(5, 3))
 			},
@@ -63,7 +65,7 @@ func main() {
 		},
 		{
 			label: "Thm 6 ceiling: 3-Cycle (n=7) vs LeastOn flood at ρ=1/2 > k/n=3/7",
-			build: func() (*core.System, error) { return expt.Build("k-cycle", 7, 3) },
+			build: func() (*core.System, error) { return registry.Build("k-cycle", 7, 3) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.LeastOn(sys.Schedule, adversary.T(1, 2, 1))
 			},
@@ -71,7 +73,7 @@ func main() {
 		},
 		{
 			label: "…but 3-Cycle is stable at ρ=1/4 < (k−1)/(n−1)",
-			build: func() (*core.System, error) { return expt.Build("k-cycle", 7, 3) },
+			build: func() (*core.System, error) { return registry.Build("k-cycle", 7, 3) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.New(adversary.T(1, 4, 2), adversary.Uniform(7, 5))
 			},
@@ -79,7 +81,7 @@ func main() {
 		},
 		{
 			label: "Thm 9 ceiling: 3-Subsets (n=6) vs LeastPair flood at ρ=1/4 > 1/5",
-			build: func() (*core.System, error) { return expt.Build("k-subsets", 6, 3) },
+			build: func() (*core.System, error) { return registry.Build("k-subsets", 6, 3) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.LeastPair(sys.Schedule, adversary.T(1, 4, 1))
 			},
@@ -87,7 +89,7 @@ func main() {
 		},
 		{
 			label: "…but 3-Subsets is stable at exactly ρ=1/5 = k(k−1)/(n(n−1))",
-			build: func() (*core.System, error) { return expt.Build("k-subsets", 6, 3) },
+			build: func() (*core.System, error) { return registry.Build("k-subsets", 6, 3) },
 			adv: func(sys *core.System) core.Adversary {
 				return adversary.New(adversary.Type{Rho: ratio.New(1, 5), Beta: ratio.FromInt(2)},
 					adversary.Uniform(6, 5))

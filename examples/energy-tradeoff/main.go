@@ -4,10 +4,12 @@
 // drives k-Cycle and k-Clique at a fixed fraction of their respective
 // critical rates and reports the delivered latency — showing latency
 // falling polynomially as the system is allowed more simultaneous
-// energy.
+// energy. All cells run concurrently as one Suite; results come back in
+// deterministic order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,38 +25,56 @@ func main() {
 	fmt.Printf("Latency as a function of the energy cap k (n=%d stations)\n", n)
 	fmt.Printf("Each algorithm runs at half its critical injection rate for that cap.\n\n")
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "k\tALGORITHM\tρ (half-critical)\tMEAN LAT\tP99 LAT\tPAPER BOUND\tENERGY/ROUND")
+	// The rate depends on the cap, so the cells are built directly rather
+	// than from a rectangular Grid; the Suite machinery is the same.
+	var suite earmac.Suite
+	var rows []func(rep earmac.Report) string
 	for k := 2; k <= 6; k++ {
 		// k-Cycle: critical rate (k−1)/(n−1); run at (k−1)/(2(n−1)).
+		k := k
 		rho := ratio.New(int64(k-1), int64(2*(n-1)))
-		rep, err := earmac.Run(earmac.Config{
+		suite.Configs = append(suite.Configs, earmac.Config{
 			Algorithm: "k-cycle", N: n, K: k,
 			RhoNum: rho.Num(), RhoDen: rho.Den(),
 			Beta: 2, Rounds: 200000, Seed: int64(k),
 		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(tw, "%d\tk-cycle\t%v\t%.0f\t%d\t%.0f\t%.2f\n",
-			k, rho, rep.MeanLatency, rep.P99Latency, expt.KCycleLatencyBound(n, 2), rep.MeanEnergy)
+		rows = append(rows, func(rep earmac.Report) string {
+			return fmt.Sprintf("%d\tk-cycle\t%v\t%.0f\t%d\t%.0f\t%.2f",
+				k, rho, rep.MeanLatency, rep.P99Latency, expt.KCycleLatencyBound(n, 2), rep.MeanEnergy)
+		})
 	}
-	fmt.Fprintln(tw, "\t\t\t\t\t\t")
 	for _, k := range []int{2, 4, 6, 8} {
 		// k-Clique (n=12 divides nicely): critical k²/(2n(2n−k)), half it.
+		k := k
 		const nc = 12
 		num := int64(k * k)
 		den := int64(2 * 2 * nc * (2*nc - k))
-		rep, err := earmac.Run(earmac.Config{
+		suite.Configs = append(suite.Configs, earmac.Config{
 			Algorithm: "k-clique", N: nc, K: k,
 			RhoNum: num, RhoDen: den,
 			Beta: 2, Rounds: 400000, Seed: int64(k),
 		})
-		if err != nil {
-			log.Fatal(err)
+		rows = append(rows, func(rep earmac.Report) string {
+			return fmt.Sprintf("%d\tk-clique (n=%d)\t%d/%d\t%.0f\t%d\t%.0f\t%.2f",
+				k, nc, num, den, rep.MeanLatency, rep.P99Latency, expt.KCliqueLatencyBound(nc, k, 2), rep.MeanEnergy)
+		})
+	}
+
+	srep, err := suite.Run(context.Background(), earmac.SuiteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tALGORITHM\tρ (half-critical)\tMEAN LAT\tP99 LAT\tPAPER BOUND\tENERGY/ROUND")
+	for i, res := range srep.Results {
+		if res.Error != "" {
+			log.Fatalf("cell %d: %s", res.Index, res.Error)
 		}
-		fmt.Fprintf(tw, "%d\tk-clique (n=%d)\t%d/%d\t%.0f\t%d\t%.0f\t%.2f\n",
-			k, nc, num, den, rep.MeanLatency, rep.P99Latency, expt.KCliqueLatencyBound(nc, k, 2), rep.MeanEnergy)
+		if i == 5 {
+			fmt.Fprintln(tw, "\t\t\t\t\t\t")
+		}
+		fmt.Fprintln(tw, rows[i](res.Report))
 	}
 	tw.Flush()
 	fmt.Println("\nReading: latency shrinks roughly as n²/k while energy spent grows as k —")

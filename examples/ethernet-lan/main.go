@@ -4,10 +4,12 @@
 // example routes the same moderate workload (ρ = 1/3, bursty) with each
 // of the paper's algorithms and an always-on baseline, and compares
 // delivered latency against the energy actually spent — the
-// latency-versus-energy menu a deployment would choose from.
+// latency-versus-energy menu a deployment would choose from. The
+// contenders run concurrently as one Suite.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,11 +17,6 @@ import (
 
 	"earmac"
 )
-
-type contender struct {
-	label string
-	cfg   earmac.Config
-}
 
 func main() {
 	const (
@@ -46,7 +43,10 @@ func main() {
 	adjWin.Rounds = 4500000
 	adjWin.DisableChecks = true
 
-	contenders := []contender{
+	contenders := []struct {
+		label string
+		cfg   earmac.Config
+	}{
 		{"always-on RRW (no energy cap)", with("rrw", 0)},
 		{"Orchestra (cap 3)", with("orchestra", 0)},
 		{"Count-Hop (cap 2)", with("count-hop", 0)},
@@ -54,22 +54,31 @@ func main() {
 		{"6-Cycle (cap 6, oblivious)", with("k-cycle", 6)},
 		{"6-Clique (cap 6, oblivious, direct)", with("k-clique", 6)},
 	}
+	var suite earmac.Suite
+	for _, c := range contenders {
+		suite.Configs = append(suite.Configs, c.cfg)
+	}
+
+	srep, err := suite.Run(context.Background(), earmac.SuiteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("Shared Ethernet segment, %d stations, load ρ=1/3 with bursts (β=4), %d rounds\n\n", n, rounds)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "ALGORITHM\tENERGY/ROUND\tvs ALWAYS-ON\tMEAN LAT\tP99 LAT\tMAX QUEUE\tSTABLE")
 	var baseline float64
-	for i, c := range contenders {
-		rep, err := earmac.Run(c.cfg)
-		if err != nil {
-			log.Fatal(err)
+	for i, res := range srep.Results {
+		if res.Error != "" {
+			log.Fatalf("%s: %s", contenders[i].label, res.Error)
 		}
+		rep := res.Report
 		if i == 0 {
 			baseline = rep.MeanEnergy
 		}
 		saving := (1 - rep.MeanEnergy/baseline) * 100
 		fmt.Fprintf(tw, "%s\t%.2f\t%+.0f%%\t%.0f\t%d\t%d\t%v\n",
-			c.label, rep.MeanEnergy, -saving, rep.MeanLatency, rep.P99Latency, rep.MaxQueue, rep.Stable)
+			contenders[i].label, rep.MeanEnergy, -saving, rep.MeanLatency, rep.P99Latency, rep.MaxQueue, rep.Stable)
 	}
 	tw.Flush()
 	fmt.Println("\n* Adjust-Window measured over 4.5M rounds — its delivery unit is a ~1M-round window at n=12.")

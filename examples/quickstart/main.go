@@ -15,6 +15,11 @@ func main() {
 		n    = 8
 		beta = 2
 	)
+	// The registry answers capability questions without running anything:
+	// Orchestra is registered with its Theorem 1 metadata.
+	if info, ok := earmac.AlgorithmInfo("orchestra"); ok {
+		fmt.Printf("orchestra (%s): cap %d — %s\n\n", info.Theorem, info.CapFor(n, 0), info.Summary)
+	}
 	rep, err := earmac.Run(earmac.Config{
 		Algorithm: "orchestra",
 		N:         n,

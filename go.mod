@@ -1,0 +1,3 @@
+module earmac
+
+go 1.24

@@ -1,0 +1,160 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"earmac/internal/registry"
+)
+
+// PatternMeta declares what a registered injection pattern consumes, so
+// callers can validate parameters without constructing the pattern.
+type PatternMeta struct {
+	// Summary is a one-line description.
+	Summary string `json:"summary"`
+	// Randomized patterns consume PatternParams.Seed.
+	Randomized bool `json:"randomized,omitempty"`
+	// Targeted patterns consume PatternParams.Src/Dest, which must be valid
+	// station indices.
+	Targeted bool `json:"targeted,omitempty"`
+}
+
+// PatternParams parameterizes a pattern builder. N is the system size;
+// Seed drives randomized patterns; Src and Dest parameterize the targeted
+// ones and are ignored by the rest.
+type PatternParams struct {
+	N    int
+	Seed int64
+	Src  int
+	Dest int
+}
+
+// PatternBuilder constructs a pattern from its parameters.
+type PatternBuilder func(p PatternParams) (Pattern, error)
+
+// PatternEntry is one pattern-registry entry.
+type PatternEntry struct {
+	Name string `json:"name"`
+	PatternMeta
+	build PatternBuilder
+}
+
+var (
+	patMu sync.RWMutex
+	pats  = make(map[string]PatternEntry)
+)
+
+// RegisterPattern makes an injection pattern available under the given
+// name. Intended for init functions; panics on a nil builder, an empty
+// name, or a duplicate registration.
+func RegisterPattern(name string, meta PatternMeta, build PatternBuilder) {
+	if name == "" {
+		panic("adversary: RegisterPattern with empty name")
+	}
+	if build == nil {
+		panic("adversary: RegisterPattern with nil builder for " + name)
+	}
+	patMu.Lock()
+	defer patMu.Unlock()
+	if _, dup := pats[name]; dup {
+		panic("adversary: duplicate pattern " + name)
+	}
+	pats[name] = PatternEntry{Name: name, PatternMeta: meta, build: build}
+}
+
+// BuildPattern constructs an injection pattern by name.
+func BuildPattern(name string, p PatternParams) (Pattern, error) {
+	e, ok := PatternInfo(name)
+	if !ok {
+		return nil, fmt.Errorf("adversary: %w %q (have %v)", registry.ErrUnknownPattern, name, Patterns())
+	}
+	return e.build(p)
+}
+
+// PatternInfo returns the registry entry for one pattern.
+func PatternInfo(name string) (PatternEntry, bool) {
+	patMu.RLock()
+	defer patMu.RUnlock()
+	e, ok := pats[name]
+	return e, ok
+}
+
+// Patterns lists the registered pattern names, sorted.
+func Patterns() []string {
+	patMu.RLock()
+	defer patMu.RUnlock()
+	names := make([]string, 0, len(pats))
+	for n := range pats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AllPatterns returns every pattern entry, sorted by name.
+func AllPatterns() []PatternEntry {
+	patMu.RLock()
+	defer patMu.RUnlock()
+	out := make([]PatternEntry, 0, len(pats))
+	for _, e := range pats {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func checkStation(name, field string, idx, n int) error {
+	if idx < 0 || idx >= n {
+		return fmt.Errorf("%s: %w: %s %d outside [0, %d)", name, registry.ErrBadStation, field, idx, n)
+	}
+	return nil
+}
+
+// The built-in patterns register themselves next to their constructors.
+func init() {
+	RegisterPattern("uniform", PatternMeta{
+		Summary:    "full-rate injection with sources and destinations drawn uniformly",
+		Randomized: true,
+	}, func(p PatternParams) (Pattern, error) {
+		return Uniform(p.N, p.Seed), nil
+	})
+	RegisterPattern("single-target", PatternMeta{
+		Summary:  "one fixed source floods one fixed destination",
+		Targeted: true,
+	}, func(p PatternParams) (Pattern, error) {
+		if err := checkStation("single-target", "src", p.Src, p.N); err != nil {
+			return nil, err
+		}
+		if err := checkStation("single-target", "dest", p.Dest, p.N); err != nil {
+			return nil, err
+		}
+		return SingleTarget(p.Src, p.Dest), nil
+	})
+	RegisterPattern("hot-source", PatternMeta{
+		Summary:  "everything injected at one station, destinations cycling",
+		Targeted: true,
+	}, func(p PatternParams) (Pattern, error) {
+		if err := checkStation("hot-source", "src", p.Src, p.N); err != nil {
+			return nil, err
+		}
+		return HotSource(p.Src, p.N), nil
+	})
+	RegisterPattern("round-robin", PatternMeta{
+		Summary: "source cycles over all stations, each packet to its successor",
+	}, func(p PatternParams) (Pattern, error) {
+		return RoundRobin(p.N), nil
+	})
+	RegisterPattern("bursty", PatternMeta{
+		Summary:    "credit saved and dumped in a burst every 256 rounds",
+		Randomized: true,
+	}, func(p PatternParams) (Pattern, error) {
+		return Bursty(Uniform(p.N, p.Seed), 256), nil
+	})
+	RegisterPattern("diurnal", PatternMeta{
+		Summary:    "uniform traffic gated to a 1/4 duty cycle of period 1024",
+		Randomized: true,
+	}, func(p PatternParams) (Pattern, error) {
+		return Diurnal(Uniform(p.N, p.Seed), 1024, 1, 4), nil
+	})
+}

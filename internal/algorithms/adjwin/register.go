@@ -1,0 +1,16 @@
+package adjwin
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/registry"
+)
+
+func init() {
+	registry.RegisterAlgorithm("adjust-window", registry.AlgorithmMeta{
+		Summary:     "doubling-window plain-packet routing, universal for ρ < 1 under cap 2",
+		Theorem:     "Thm 4",
+		EnergyCap:   2,
+		PlainPacket: true,
+		MinN:        2,
+	}, func(n, _ int) (*core.System, error) { return New(n) })
+}

@@ -1,0 +1,16 @@
+package counthop
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/registry"
+)
+
+func init() {
+	registry.RegisterAlgorithm("count-hop", registry.AlgorithmMeta{
+		Summary:   "token-counting direct routing, universal for ρ < 1 under cap 2",
+		Theorem:   "Thm 3",
+		EnergyCap: 2,
+		Direct:    true,
+		MinN:      2,
+	}, func(n, _ int) (*core.System, error) { return New(n) })
+}

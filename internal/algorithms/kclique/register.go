@@ -1,0 +1,17 @@
+package kclique
+
+import "earmac/internal/registry"
+
+func init() {
+	registry.RegisterAlgorithm("k-clique", registry.AlgorithmMeta{
+		Summary:     "pairwise co-scheduling of station groups, direct routing for ρ ≤ k²/(2n(2n−k))",
+		Theorem:     "Thm 7",
+		UsesK:       true,
+		PlainPacket: true,
+		Direct:      true,
+		Oblivious:   true,
+		MinN:        3,
+		MinK:        2,
+		// The builder picks the largest feasible even k' ≤ k dividing 2n.
+	}, New)
+}

@@ -1,0 +1,16 @@
+package kcycle
+
+import "earmac/internal/registry"
+
+func init() {
+	registry.RegisterAlgorithm("k-cycle", registry.AlgorithmMeta{
+		Summary:     "round-robin group cycle, O(n) latency for ρ < (k−1)/(n−1)",
+		Theorem:     "Thm 5",
+		UsesK:       true,
+		PlainPacket: true,
+		Oblivious:   true,
+		MinN:        3,
+		MinK:        2,
+		// Over-range k is clamped to 2k ≤ n+1 per the paper, not rejected.
+	}, New)
+}

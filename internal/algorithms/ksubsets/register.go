@@ -1,0 +1,29 @@
+package ksubsets
+
+import "earmac/internal/registry"
+
+func init() {
+	registry.RegisterAlgorithm("k-subsets", registry.AlgorithmMeta{
+		Summary:   "all C(n,k) subsets in cyclic order, stable at ρ = k(k−1)/(n(n−1))",
+		Theorem:   "Thm 8",
+		UsesK:     true,
+		Direct:    true,
+		Oblivious: true,
+		MinN:      2,
+		MaxN:      64,
+		MinK:      2,
+		KStrict:   true,
+	}, New)
+	registry.RegisterAlgorithm("k-subsets-rrw", registry.AlgorithmMeta{
+		Summary:     "k-subsets with plain-packet round-robin withholding inside each subset",
+		Theorem:     "Thm 8",
+		UsesK:       true,
+		PlainPacket: true,
+		Direct:      true,
+		Oblivious:   true,
+		MinN:        2,
+		MaxN:        64,
+		MinK:        2,
+		KStrict:     true,
+	}, NewRRW)
+}

@@ -1,0 +1,16 @@
+package orchestra
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/registry"
+)
+
+func init() {
+	registry.RegisterAlgorithm("orchestra", registry.AlgorithmMeta{
+		Summary:   "baton-list relay routing, stable at ρ = 1 on three stations' energy",
+		Theorem:   "Thm 1",
+		EnergyCap: 3,
+		Direct:    true,
+		MinN:      2,
+	}, func(n, _ int) (*core.System, error) { return New(n) })
+}

@@ -1,0 +1,16 @@
+package randmac
+
+import "earmac/internal/registry"
+
+func init() {
+	registry.RegisterAlgorithm("aloha", registry.AlgorithmMeta{
+		Summary:     "randomized slotted-ALOHA baseline on a shared k-station schedule",
+		UsesK:       true,
+		PlainPacket: true,
+		Direct:      true,
+		Oblivious:   true,
+		MinN:        2,
+		MinK:        2,
+		KStrict:     true,
+	}, New)
+}

@@ -1,0 +1,32 @@
+package broadcast
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/registry"
+)
+
+func init() {
+	registry.RegisterAlgorithm("mbtf", registry.AlgorithmMeta{
+		Summary:   "Move-Big-To-Front broadcast baseline, every station always on",
+		CapIsN:    true,
+		Direct:    true,
+		Oblivious: true,
+		MinN:      2,
+	}, func(n, _ int) (*core.System, error) { return NewMBTFSystem(n), nil })
+	registry.RegisterAlgorithm("rrw", registry.AlgorithmMeta{
+		Summary:     "Round-Robin-Withholding broadcast baseline, every station always on",
+		CapIsN:      true,
+		PlainPacket: true,
+		Direct:      true,
+		Oblivious:   true,
+		MinN:        2,
+	}, func(n, _ int) (*core.System, error) { return NewRRWSystem(n), nil })
+	registry.RegisterAlgorithm("ofrrw", registry.AlgorithmMeta{
+		Summary:     "Old-First RRW broadcast baseline, every station always on",
+		CapIsN:      true,
+		PlainPacket: true,
+		Direct:      true,
+		Oblivious:   true,
+		MinN:        2,
+	}, func(n, _ int) (*core.System, error) { return NewOFRRWSystem(n), nil })
+}

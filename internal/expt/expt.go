@@ -18,6 +18,7 @@ import (
 	"earmac/internal/core"
 	"earmac/internal/metrics"
 	"earmac/internal/ratio"
+	"earmac/internal/report"
 )
 
 // Kind states what a spec is checking.
@@ -92,6 +93,10 @@ type Outcome struct {
 	Delivered   int64
 	Violations  int
 
+	// Report is the full measurement record in the shared schema
+	// (internal/report) that the façade and the Suite runner also emit.
+	Report report.Report
+
 	// Measured is the headline number compared against Bound (max queue
 	// for queue bounds, max latency for latency bounds, the queue growth
 	// slope for instability rows).
@@ -122,6 +127,7 @@ func Run(s Spec) (Outcome, error) {
 
 	o := Outcome{
 		Spec:        s,
+		Report:      report.FromTracker(sys.Info, sys.N(), tr),
 		Stable:      tr.LooksStable(),
 		MaxQueue:    tr.MaxQueue,
 		FinalQueue:  tr.FinalQueue(),

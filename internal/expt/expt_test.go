@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -142,7 +143,7 @@ func TestRunUnstableRow(t *testing.T) {
 	}
 }
 
-func TestRunAllRendersTable(t *testing.T) {
+func TestRunAndRenderTable(t *testing.T) {
 	// Render just two rows to keep the test fast.
 	specs := Table1(Quick)
 	subset := []Spec{}
@@ -151,9 +152,12 @@ func TestRunAllRendersTable(t *testing.T) {
 			subset = append(subset, s)
 		}
 	}
-	var buf bytes.Buffer
-	outs, err := RunAll(subset, &buf)
+	outs, err := RunConcurrent(context.Background(), subset, 2)
 	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(outs, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if len(outs) != 2 {

@@ -1,80 +1,41 @@
 package expt
 
 import (
-	"fmt"
-	"sort"
-
 	"earmac/internal/adversary"
-	"earmac/internal/algorithms/adjwin"
-	"earmac/internal/algorithms/counthop"
-	"earmac/internal/algorithms/kclique"
-	"earmac/internal/algorithms/kcycle"
-	"earmac/internal/algorithms/ksubsets"
-	"earmac/internal/algorithms/orchestra"
-	"earmac/internal/algorithms/randmac"
-	"earmac/internal/broadcast"
 	"earmac/internal/core"
+	"earmac/internal/registry"
+
+	// Every built-in algorithm self-registers from init; linking them here
+	// keeps the expt-level registry views complete for direct users of
+	// this package (benchmarks, integration tests, examples).
+	_ "earmac/internal/algorithms/adjwin"
+	_ "earmac/internal/algorithms/counthop"
+	_ "earmac/internal/algorithms/kclique"
+	_ "earmac/internal/algorithms/kcycle"
+	_ "earmac/internal/algorithms/ksubsets"
+	_ "earmac/internal/algorithms/orchestra"
+	_ "earmac/internal/algorithms/randmac"
+	_ "earmac/internal/broadcast"
 )
 
-// builders maps algorithm names to constructors. The k parameter is
+// Build constructs a system by algorithm name. It delegates to the
+// self-registration registry (internal/registry); the k parameter is
 // ignored by algorithms with a fixed energy cap.
-var builders = map[string]func(n, k int) (*core.System, error){
-	"orchestra":     func(n, _ int) (*core.System, error) { return orchestra.New(n) },
-	"count-hop":     func(n, _ int) (*core.System, error) { return counthop.New(n) },
-	"adjust-window": func(n, _ int) (*core.System, error) { return adjwin.New(n) },
-	"k-cycle":       kcycle.New,
-	"k-clique":      kclique.New,
-	"k-subsets":     ksubsets.New,
-	"k-subsets-rrw": ksubsets.NewRRW,
-	"aloha":         randmac.New,
-	"mbtf":          func(n, _ int) (*core.System, error) { return broadcast.NewMBTFSystem(n), nil },
-	"rrw":           func(n, _ int) (*core.System, error) { return broadcast.NewRRWSystem(n), nil },
-	"ofrrw":         func(n, _ int) (*core.System, error) { return broadcast.NewOFRRWSystem(n), nil },
-}
-
-// Build constructs a system by algorithm name. The energy-parameterized
-// algorithms (k-cycle, k-clique, k-subsets, k-subsets-rrw) use k; the
-// broadcast baselines (mbtf, rrw, ofrrw) run with all stations on.
 func Build(name string, n, k int) (*core.System, error) {
-	b, ok := builders[name]
-	if !ok {
-		return nil, fmt.Errorf("expt: unknown algorithm %q (have %v)", name, Algorithms())
-	}
-	return b(n, k)
+	return registry.Build(name, n, k)
 }
 
 // Algorithms lists the registered algorithm names, sorted.
-func Algorithms() []string {
-	names := make([]string, 0, len(builders))
-	for n := range builders {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+func Algorithms() []string { return registry.Algorithms() }
 
-// BuildPattern constructs an injection pattern by name. src and dest
-// parameterize the targeted patterns and are ignored by the others.
+// BuildPattern constructs an injection pattern by name, delegating to the
+// adversary package's pattern registry. src and dest parameterize the
+// targeted patterns and are ignored by the others.
 func BuildPattern(name string, n int, seed int64, src, dest int) (adversary.Pattern, error) {
-	switch name {
-	case "uniform":
-		return adversary.Uniform(n, seed), nil
-	case "single-target":
-		return adversary.SingleTarget(src, dest), nil
-	case "hot-source":
-		return adversary.HotSource(src, n), nil
-	case "round-robin":
-		return adversary.RoundRobin(n), nil
-	case "bursty":
-		return adversary.Bursty(adversary.Uniform(n, seed), 256), nil
-	case "diurnal":
-		return adversary.Diurnal(adversary.Uniform(n, seed), 1024, 1, 4), nil
-	default:
-		return nil, fmt.Errorf("expt: unknown pattern %q (have %v)", name, Patterns())
-	}
+	return adversary.BuildPattern(name, adversary.PatternParams{N: n, Seed: seed, Src: src, Dest: dest})
 }
 
-// Patterns lists the registered pattern names.
-func Patterns() []string {
-	return []string{"bursty", "diurnal", "hot-source", "round-robin", "single-target", "uniform"}
-}
+// Patterns lists the registered pattern names, sorted. The list is
+// derived from registration, so it cannot drift from what BuildPattern
+// accepts.
+func Patterns() []string { return adversary.Patterns() }

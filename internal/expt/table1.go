@@ -94,7 +94,7 @@ func Table1(sc Scale) []Spec {
 			Rounds: sc.mult(6 * adjwin.InitialWindow(4)),
 			Kind:   KindLatency, Bound: AdjustWindowLatencyBound(4, 2, ratio.New(1, 2)),
 			// The paper's constant is asymptotic: lg L ≫ lg²n at small n
-			// (EXPERIMENTS.md discusses the gap).
+			// (DESIGN.md §4 discusses the gap).
 			Slack:      4,
 			PaperClaim: "latency ≤ (18n³lg²n+2β)/(1−ρ)",
 			Build:      func() (*core.System, error) { return adjwin.New(4) },
@@ -154,24 +154,17 @@ func Table1(sc Scale) []Spec {
 	}
 }
 
-// RunAll executes the specs in order, streaming a rendered row per spec,
-// and returns the outcomes.
-func RunAll(specs []Spec, w io.Writer) ([]Outcome, error) {
+const tableHeader = "ID\tEXPERIMENT\tn\tk\tρ\tβ\tPAPER\tBOUND\tMEASURED\tSTABLE\tVERDICT"
+
+// Render writes already-computed outcomes (typically from RunConcurrent)
+// as the Table 1 digest.
+func Render(outs []Outcome, w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ID\tEXPERIMENT\tn\tk\tρ\tβ\tPAPER\tBOUND\tMEASURED\tSTABLE\tVERDICT")
-	outs := make([]Outcome, 0, len(specs))
-	for _, s := range specs {
-		o, err := Run(s)
-		if err != nil {
-			return outs, err
-		}
-		outs = append(outs, o)
+	fmt.Fprintln(tw, tableHeader)
+	for _, o := range outs {
 		fmt.Fprintln(tw, renderRow(o))
 	}
-	if err := tw.Flush(); err != nil {
-		return outs, err
-	}
-	return outs, nil
+	return tw.Flush()
 }
 
 func renderRow(o Outcome) string {

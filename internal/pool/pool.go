@@ -1,0 +1,44 @@
+// Package pool provides the bounded-worker index pool shared by the
+// Suite runner and the experiment harness.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// RunIndexed invokes run(i) for i in [0, n) across a bounded worker pool
+// (workers <= 0 means GOMAXPROCS) and blocks until every dispatched call
+// returns. Dispatching stops early when ctx is cancelled; indices not
+// dispatched are simply never run. Returns ctx.Err().
+func RunIndexed(ctx context.Context, n, workers int, run func(i int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,182 @@
+// Package registry is the self-registration point for routing algorithms.
+// Each algorithm package registers a builder plus declarative metadata —
+// the energy cap, the paper's taxonomy flags, and the valid (n, k) ranges
+// — from an init function, so the set of available algorithms is derived
+// from what is actually linked in, and capability questions ("which
+// algorithms are plain-packet?", "is k = 5 valid here?") can be answered
+// without instantiating a system.
+//
+// The package also defines the typed configuration errors shared by the
+// registries, the public façade, and the experiment harness; every
+// validation failure wraps one of them so callers can errors.Is.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"earmac/internal/core"
+)
+
+// Typed configuration errors. Validation failures anywhere in the module
+// wrap exactly one of these.
+var (
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+	ErrUnknownPattern   = errors.New("unknown pattern")
+	ErrBadRate          = errors.New("bad injection rate")
+	ErrBadBurst         = errors.New("bad burstiness")
+	ErrBadSize          = errors.New("bad system size")
+	ErrBadCap           = errors.New("bad energy cap parameter")
+	ErrBadRounds        = errors.New("bad horizon")
+	ErrBadStation       = errors.New("bad station index")
+)
+
+// AlgorithmMeta declares an algorithm's capabilities in the paper's
+// taxonomy, plus the parameter ranges its builder accepts. All fields are
+// static — consulting them never instantiates a system.
+type AlgorithmMeta struct {
+	// Summary is a one-line description.
+	Summary string `json:"summary"`
+	// Theorem names the paper result(s) backing the algorithm.
+	Theorem string `json:"theorem,omitempty"`
+	// EnergyCap is the fixed number of simultaneously-on stations; 0 when
+	// the cap is parameterized (UsesK) or the whole system (CapIsN).
+	EnergyCap int `json:"energy_cap,omitempty"`
+	// UsesK marks the k-parameterized algorithms, whose cap is the k
+	// argument.
+	UsesK bool `json:"uses_k,omitempty"`
+	// CapIsN marks the uncapped baselines that keep every station on.
+	CapIsN bool `json:"cap_is_n,omitempty"`
+	// PlainPacket / Direct / Oblivious mirror core.AlgorithmInfo.
+	PlainPacket bool `json:"plain_packet,omitempty"`
+	Direct      bool `json:"direct,omitempty"`
+	Oblivious   bool `json:"oblivious,omitempty"`
+	// MinN/MaxN bound the system size (MaxN 0 = unbounded).
+	MinN int `json:"min_n"`
+	MaxN int `json:"max_n,omitempty"`
+	// MinK is the smallest accepted k (0 when !UsesK).
+	MinK int `json:"min_k,omitempty"`
+	// KStrict rejects k > n; when false the builder clamps over-range k to
+	// a feasible value instead (k-cycle, k-clique).
+	KStrict bool `json:"k_strict,omitempty"`
+}
+
+// CapFor returns the energy cap a (n, k) instance would declare.
+func (m AlgorithmMeta) CapFor(n, k int) int {
+	switch {
+	case m.UsesK:
+		return k
+	case m.CapIsN:
+		return n
+	default:
+		return m.EnergyCap
+	}
+}
+
+// CheckNK validates the parameters against the declared ranges. The
+// returned errors wrap ErrBadSize / ErrBadCap. Builders may impose further
+// constraints (e.g. k-subsets caps C(n,k)); CheckNK is the part decidable
+// from metadata alone.
+func (m AlgorithmMeta) CheckNK(name string, n, k int) error {
+	if n < m.MinN {
+		return fmt.Errorf("%s: %w: need n >= %d, got %d", name, ErrBadSize, m.MinN, n)
+	}
+	if m.MaxN > 0 && n > m.MaxN {
+		return fmt.Errorf("%s: %w: need n <= %d, got %d", name, ErrBadSize, m.MaxN, n)
+	}
+	if m.UsesK {
+		if k < m.MinK {
+			return fmt.Errorf("%s: %w: need k >= %d, got %d", name, ErrBadCap, m.MinK, k)
+		}
+		if m.KStrict && k > n {
+			return fmt.Errorf("%s: %w: need k <= n = %d, got %d", name, ErrBadCap, n, k)
+		}
+	}
+	return nil
+}
+
+// Builder constructs a system for n stations; k is the energy-cap
+// parameter, ignored by algorithms with a fixed cap.
+type Builder func(n, k int) (*core.System, error)
+
+// Algorithm is one registry entry.
+type Algorithm struct {
+	Name string `json:"name"`
+	AlgorithmMeta
+	build Builder
+}
+
+var (
+	mu   sync.RWMutex
+	algs = make(map[string]Algorithm)
+)
+
+// RegisterAlgorithm makes an algorithm available under the given name.
+// It is intended to be called from init functions and panics on a nil
+// builder, an empty name, or a duplicate registration — all programmer
+// errors.
+func RegisterAlgorithm(name string, meta AlgorithmMeta, build Builder) {
+	if name == "" {
+		panic("registry: RegisterAlgorithm with empty name")
+	}
+	if build == nil {
+		panic("registry: RegisterAlgorithm with nil builder for " + name)
+	}
+	if meta.MinN < 2 {
+		meta.MinN = 2
+	}
+	if meta.UsesK && meta.MinK == 0 {
+		meta.MinK = 2
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := algs[name]; dup {
+		panic("registry: duplicate algorithm " + name)
+	}
+	algs[name] = Algorithm{Name: name, AlgorithmMeta: meta, build: build}
+}
+
+// Build constructs a system by algorithm name.
+func Build(name string, n, k int) (*core.System, error) {
+	a, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("registry: %w %q (have %v)", ErrUnknownAlgorithm, name, Algorithms())
+	}
+	return a.build(n, k)
+}
+
+// Lookup returns the registry entry for one algorithm.
+func Lookup(name string) (Algorithm, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	a, ok := algs[name]
+	return a, ok
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func Algorithms() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(algs))
+	for n := range algs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registry entry, sorted by name — the enumeration
+// callers filter on metadata (e.g. all oblivious algorithms, all caps
+// valid at a given n).
+func All() []Algorithm {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Algorithm, 0, len(algs))
+	for _, a := range algs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,96 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+
+	"earmac/internal/core"
+)
+
+func testBuilder(n, k int) (*core.System, error) { return nil, nil }
+
+func TestRegisterAndLookup(t *testing.T) {
+	RegisterAlgorithm("test-alg", AlgorithmMeta{Summary: "s", EnergyCap: 2}, testBuilder)
+	a, ok := Lookup("test-alg")
+	if !ok || a.Name != "test-alg" || a.EnergyCap != 2 {
+		t.Fatalf("lookup: %+v %v", a, ok)
+	}
+	if a.MinN != 2 {
+		t.Errorf("MinN not defaulted: %d", a.MinN)
+	}
+	found := false
+	for _, name := range Algorithms() {
+		if name == "test-alg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered algorithm missing from enumeration")
+	}
+	found = false
+	for _, e := range All() {
+		if e.Name == "test-alg" && e.Summary == "s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered algorithm missing from All()")
+	}
+}
+
+func TestRegisterPanicsOnAbuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	RegisterAlgorithm("test-dup", AlgorithmMeta{}, testBuilder)
+	mustPanic("duplicate", func() { RegisterAlgorithm("test-dup", AlgorithmMeta{}, testBuilder) })
+	mustPanic("empty name", func() { RegisterAlgorithm("", AlgorithmMeta{}, testBuilder) })
+	mustPanic("nil builder", func() { RegisterAlgorithm("test-nil", AlgorithmMeta{}, nil) })
+}
+
+func TestBuildUnknownAlgorithm(t *testing.T) {
+	_, err := Build("no-such", 4, 2)
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCapFor(t *testing.T) {
+	if got := (AlgorithmMeta{EnergyCap: 3}).CapFor(10, 5); got != 3 {
+		t.Errorf("fixed cap = %d", got)
+	}
+	if got := (AlgorithmMeta{UsesK: true}).CapFor(10, 5); got != 5 {
+		t.Errorf("k cap = %d", got)
+	}
+	if got := (AlgorithmMeta{CapIsN: true}).CapFor(10, 5); got != 10 {
+		t.Errorf("n cap = %d", got)
+	}
+}
+
+func TestCheckNK(t *testing.T) {
+	m := AlgorithmMeta{MinN: 3, MaxN: 64, UsesK: true, MinK: 2, KStrict: true}
+	if err := m.CheckNK("x", 6, 3); err != nil {
+		t.Errorf("valid rejected: %v", err)
+	}
+	if err := m.CheckNK("x", 2, 3); !errors.Is(err, ErrBadSize) {
+		t.Errorf("small n: %v", err)
+	}
+	if err := m.CheckNK("x", 65, 3); !errors.Is(err, ErrBadSize) {
+		t.Errorf("big n: %v", err)
+	}
+	if err := m.CheckNK("x", 6, 1); !errors.Is(err, ErrBadCap) {
+		t.Errorf("small k: %v", err)
+	}
+	if err := m.CheckNK("x", 6, 7); !errors.Is(err, ErrBadCap) {
+		t.Errorf("k > n strict: %v", err)
+	}
+	lenientK := AlgorithmMeta{MinN: 3, UsesK: true, MinK: 2}
+	if err := lenientK.CheckNK("x", 6, 9); err != nil {
+		t.Errorf("clamping algorithm rejected k > n: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package report defines the measurement report shared by the public
+// façade, the Suite runner, and the Table 1 experiment harness — one JSON
+// schema for every tool that emits results.
+package report
+
+import (
+	"fmt"
+	"math"
+
+	"earmac/internal/core"
+	"earmac/internal/metrics"
+)
+
+// Report holds the measurements of one simulation.
+type Report struct {
+	Algorithm   string `json:"algorithm"`
+	N           int    `json:"n"`
+	EnergyCap   int    `json:"energy_cap"`
+	PlainPacket bool   `json:"plain_packet"`
+	Direct      bool   `json:"direct"`
+	Oblivious   bool   `json:"oblivious"`
+
+	Rounds    int64 `json:"rounds"`
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	Pending   int64 `json:"pending"`
+
+	MaxQueue    int64   `json:"max_queue"`
+	FinalQueue  int64   `json:"final_queue"`
+	QueueSlope  float64 `json:"queue_slope"`
+	GrowthRatio float64 `json:"growth_ratio"`
+	Stable      bool    `json:"stable"`
+	// QueueImbalance is the largest per-station queue peak relative to
+	// the mean peak (1 = balanced; large = one station absorbed the load).
+	QueueImbalance float64 `json:"queue_imbalance"`
+
+	MaxLatency  int64   `json:"max_latency"`
+	MeanLatency float64 `json:"mean_latency"`
+	P50Latency  int64   `json:"p50_latency"` // histogram upper bound
+	P99Latency  int64   `json:"p99_latency"` // histogram upper bound
+
+	MeanEnergy float64 `json:"mean_energy"`
+	MaxEnergy  int     `json:"max_energy"`
+
+	HeardRounds     int64 `json:"heard_rounds"`
+	SilentRounds    int64 `json:"silent_rounds"`
+	CollisionRounds int64 `json:"collision_rounds"`
+	LightRounds     int64 `json:"light_rounds"`
+	ControlBits     int64 `json:"control_bits"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// FromTracker assembles a Report from a (possibly mid-run) tracker. An
+// infinite growth ratio (traffic only in the late window) is clamped to
+// MaxFloat64 so reports stay JSON-encodable.
+func FromTracker(info core.AlgorithmInfo, n int, tr *metrics.Tracker) Report {
+	growth := tr.GrowthRatio()
+	if math.IsInf(growth, 1) {
+		growth = math.MaxFloat64
+	}
+	return Report{
+		Algorithm:   info.Name,
+		N:           n,
+		EnergyCap:   info.EnergyCap,
+		PlainPacket: info.PlainPacket,
+		Direct:      info.Direct,
+		Oblivious:   info.Oblivious,
+
+		Rounds:    tr.Rounds,
+		Injected:  tr.Injected,
+		Delivered: tr.Delivered,
+		Pending:   tr.Pending(),
+
+		MaxQueue:       tr.MaxQueue,
+		FinalQueue:     tr.FinalQueue(),
+		QueueSlope:     tr.QueueSlope(),
+		GrowthRatio:    growth,
+		Stable:         tr.LooksStable(),
+		QueueImbalance: tr.QueueImbalance(),
+
+		MaxLatency:  tr.MaxLatency,
+		MeanLatency: tr.MeanLatency(),
+		P50Latency:  tr.LatencyPercentile(0.5),
+		P99Latency:  tr.LatencyPercentile(0.99),
+
+		MeanEnergy: tr.MeanEnergy(),
+		MaxEnergy:  tr.MaxEnergy,
+
+		HeardRounds:     tr.HeardRounds,
+		SilentRounds:    tr.SilentRounds,
+		CollisionRounds: tr.CollisionRounds,
+		LightRounds:     tr.LightRounds,
+		ControlBits:     tr.ControlBits,
+
+		Violations: tr.Violations,
+	}
+}
+
+// Summary renders a human-readable digest of the report.
+func (r Report) Summary() string {
+	caps := ""
+	if r.PlainPacket {
+		caps += " plain-packet"
+	}
+	if r.Direct {
+		caps += " direct"
+	}
+	if r.Oblivious {
+		caps += " oblivious"
+	}
+	s := fmt.Sprintf("%s (n=%d, cap %d,%s)\n", r.Algorithm, r.N, r.EnergyCap, caps)
+	s += fmt.Sprintf("  rounds %d: injected %d, delivered %d, pending %d\n",
+		r.Rounds, r.Injected, r.Delivered, r.Pending)
+	s += fmt.Sprintf("  queue: max %d, final %d, slope %.5f pkt/round → %s\n",
+		r.MaxQueue, r.FinalQueue, r.QueueSlope, stability(r.Stable))
+	s += fmt.Sprintf("  latency: max %d, mean %.1f, p50 ≤ %d, p99 ≤ %d\n",
+		r.MaxLatency, r.MeanLatency, r.P50Latency, r.P99Latency)
+	s += fmt.Sprintf("  energy: mean %.2f on-stations/round (cap %d, peak %d)\n",
+		r.MeanEnergy, r.EnergyCap, r.MaxEnergy)
+	s += fmt.Sprintf("  channel: %d heard (%d light), %d silent, %d collisions, %d control bits\n",
+		r.HeardRounds, r.LightRounds, r.SilentRounds, r.CollisionRounds, r.ControlBits)
+	if len(r.Violations) > 0 {
+		s += fmt.Sprintf("  VIOLATIONS: %d (first: %s)\n", len(r.Violations), r.Violations[0])
+	}
+	return s
+}
+
+func stability(ok bool) string {
+	if ok {
+		return "stable"
+	}
+	return "UNSTABLE"
+}

@@ -1,0 +1,140 @@
+package earmac
+
+import (
+	"fmt"
+
+	"earmac/internal/adversary"
+	"earmac/internal/registry"
+
+	// Built-in algorithms self-register from their init functions; linking
+	// them here populates the registry for every façade user.
+	_ "earmac/internal/algorithms/adjwin"
+	_ "earmac/internal/algorithms/counthop"
+	_ "earmac/internal/algorithms/kclique"
+	_ "earmac/internal/algorithms/kcycle"
+	_ "earmac/internal/algorithms/ksubsets"
+	_ "earmac/internal/algorithms/orchestra"
+	_ "earmac/internal/algorithms/randmac"
+	_ "earmac/internal/broadcast"
+)
+
+// Typed configuration errors. Config.Validate, Run, and the registries
+// wrap exactly one of these per failure; test with errors.Is.
+var (
+	ErrUnknownAlgorithm = registry.ErrUnknownAlgorithm
+	ErrUnknownPattern   = registry.ErrUnknownPattern
+	ErrBadRate          = registry.ErrBadRate
+	ErrBadBurst         = registry.ErrBadBurst
+	ErrBadSize          = registry.ErrBadSize
+	ErrBadCap           = registry.ErrBadCap
+	ErrBadRounds        = registry.ErrBadRounds
+	ErrBadStation       = registry.ErrBadStation
+)
+
+// AlgorithmMeta declares an algorithm's capabilities: energy cap, the
+// paper's plain-packet / direct / oblivious taxonomy flags, and the valid
+// (n, k) ranges. See the registry package for field documentation.
+type AlgorithmMeta = registry.AlgorithmMeta
+
+// AlgorithmEntry is one algorithm-registry entry: a name plus its
+// metadata.
+type AlgorithmEntry = registry.Algorithm
+
+// SystemBuilder constructs a system for n stations under energy-cap
+// parameter k (ignored by fixed-cap algorithms).
+type SystemBuilder = registry.Builder
+
+// PatternMeta declares what an injection pattern consumes (seed,
+// src/dest targeting).
+type PatternMeta = adversary.PatternMeta
+
+// PatternParams parameterizes a pattern builder.
+type PatternParams = adversary.PatternParams
+
+// PatternBuilder constructs an injection pattern from its parameters.
+type PatternBuilder = adversary.PatternBuilder
+
+// PatternEntry is one pattern-registry entry.
+type PatternEntry = adversary.PatternEntry
+
+// RegisterAlgorithm makes an algorithm available to Run, Suite, and the
+// CLIs under the given name. Call it from an init function; it panics on
+// a duplicate name, an empty name, or a nil builder.
+func RegisterAlgorithm(name string, meta AlgorithmMeta, build SystemBuilder) {
+	registry.RegisterAlgorithm(name, meta, build)
+}
+
+// RegisterPattern makes an injection pattern available under the given
+// name. Call it from an init function; it panics on a duplicate name, an
+// empty name, or a nil builder.
+func RegisterPattern(name string, meta PatternMeta, build PatternBuilder) {
+	adversary.RegisterPattern(name, meta, build)
+}
+
+// Algorithms lists the available algorithm names, sorted.
+func Algorithms() []string { return registry.Algorithms() }
+
+// AlgorithmInfo returns the registry entry for one algorithm.
+func AlgorithmInfo(name string) (AlgorithmEntry, bool) { return registry.Lookup(name) }
+
+// AllAlgorithms returns every algorithm entry sorted by name, for
+// capability filtering without instantiating systems.
+func AllAlgorithms() []AlgorithmEntry { return registry.All() }
+
+// Patterns lists the available injection pattern names, sorted.
+func Patterns() []string { return adversary.Patterns() }
+
+// PatternInfo returns the registry entry for one pattern.
+func PatternInfo(name string) (PatternEntry, bool) { return adversary.PatternInfo(name) }
+
+// AllPatterns returns every pattern entry sorted by name.
+func AllPatterns() []PatternEntry { return adversary.AllPatterns() }
+
+// Validate reports whether the configuration can run, after applying the
+// same defaults Run applies. Every failure wraps one of the typed errors
+// (ErrUnknownAlgorithm, ErrBadRate, …). Validation is metadata-only: no
+// system is instantiated, so builder-level constraints that depend on
+// instantiation (e.g. the k-subsets C(n,k) thread cap) surface from Run
+// instead.
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
+// validate checks an already-defaulted config.
+func (c Config) validate() error {
+	alg, ok := registry.Lookup(c.Algorithm)
+	if !ok {
+		return fmt.Errorf("earmac: %w %q (have %v)", ErrUnknownAlgorithm, c.Algorithm, Algorithms())
+	}
+	if err := alg.CheckNK(c.Algorithm, c.N, c.K); err != nil {
+		return fmt.Errorf("earmac: %w", err)
+	}
+	pat, ok := adversary.PatternInfo(c.Pattern)
+	if !ok {
+		return fmt.Errorf("earmac: %w %q (have %v)", ErrUnknownPattern, c.Pattern, Patterns())
+	}
+	if pat.Targeted {
+		if c.Src < 0 || c.Src >= c.N {
+			return fmt.Errorf("earmac: %w: src %d outside [0, %d)", ErrBadStation, c.Src, c.N)
+		}
+		if c.Dest < 0 || c.Dest >= c.N {
+			return fmt.Errorf("earmac: %w: dest %d outside [0, %d)", ErrBadStation, c.Dest, c.N)
+		}
+	}
+	if c.RhoDen <= 0 || c.RhoNum <= 0 {
+		return fmt.Errorf("earmac: %w: ρ = %d/%d is not a positive fraction", ErrBadRate, c.RhoNum, c.RhoDen)
+	}
+	if c.RhoNum > c.RhoDen {
+		return fmt.Errorf("earmac: %w: ρ = %d/%d exceeds 1", ErrBadRate, c.RhoNum, c.RhoDen)
+	}
+	if c.Beta < 1 {
+		return fmt.Errorf("earmac: %w: β = %d, need β >= 1", ErrBadBurst, c.Beta)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("earmac: %w: rounds = %d", ErrBadRounds, c.Rounds)
+	}
+	if c.StopInjectionsAfter < 0 {
+		return fmt.Errorf("earmac: %w: stop-injections-after = %d", ErrBadRounds, c.StopInjectionsAfter)
+	}
+	return nil
+}

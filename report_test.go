@@ -1,0 +1,81 @@
+package earmac
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReportJSONRoundTrip pins the shared Report schema: a measured
+// report survives marshal/unmarshal unchanged, so -json CLI output and
+// SuiteReport serialization are interchangeable.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run(Config{Algorithm: "count-hop", N: 5, Rounds: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("round trip changed the report:\n  before %+v\n  after  %+v", rep, back)
+	}
+}
+
+func TestReportJSONFieldNames(t *testing.T) {
+	blob, err := json.Marshal(Report{Algorithm: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(blob)
+	for _, want := range []string{
+		`"algorithm"`, `"energy_cap"`, `"max_queue"`, `"queue_slope"`,
+		`"p99_latency"`, `"mean_energy"`, `"collision_rounds"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report JSON missing %s: %s", want, s)
+		}
+	}
+	// Violations is omitempty: absent on a clean run.
+	if strings.Contains(s, "violations") {
+		t.Errorf("empty violations serialized: %s", s)
+	}
+}
+
+// TestSuiteResultSharesReportSchema pins that a suite cell embeds the
+// same Report schema Run produces.
+func TestSuiteResultSharesReportSchema(t *testing.T) {
+	cfg := Config{Algorithm: "orchestra", N: 4, Rounds: 2000}
+	direct, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Suite{Configs: []Config{cfg}}.Run(t.Context(), SuiteOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, rep.Results[0].Report) {
+		t.Errorf("suite cell report diverges from Run:\n  run   %+v\n  suite %+v",
+			direct, rep.Results[0].Report)
+	}
+}
+
+func TestConfigJSONOmitsRuntimeFields(t *testing.T) {
+	cfg := Config{
+		Algorithm:  "orchestra",
+		OnProgress: func(Progress) {},
+	}
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("config with callbacks must serialize: %v", err)
+	}
+	if strings.Contains(string(blob), "Progress") || strings.Contains(string(blob), "Trace") {
+		t.Errorf("runtime-only fields leaked into JSON: %s", blob)
+	}
+}

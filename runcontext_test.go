@@ -1,0 +1,109 @@
+package earmac
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := Config{Algorithm: "count-hop", N: 5, Rounds: 20000}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.MaxQueue != b.MaxQueue || a.MaxLatency != b.MaxLatency {
+		t.Errorf("RunContext diverges from Run: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunContextCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunContext(ctx, Config{Rounds: 50000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Rounds != 0 {
+		t.Errorf("ran %d rounds under a cancelled context", rep.Rounds)
+	}
+}
+
+func TestRunContextCancelMidRunReturnsPartialReport(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{
+		Algorithm:     "orchestra",
+		N:             6,
+		Rounds:        400000,
+		ProgressEvery: 1000,
+	}
+	calls := 0
+	cfg.OnProgress = func(p Progress) {
+		calls++
+		if p.Round >= 5000 {
+			cancel()
+		}
+	}
+	rep, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Rounds == 0 || rep.Rounds >= cfg.Rounds {
+		t.Errorf("partial report covers %d rounds, want within (0, %d)", rep.Rounds, cfg.Rounds)
+	}
+	if calls == 0 {
+		t.Error("progress callback never fired")
+	}
+}
+
+func TestRunContextProgressCadence(t *testing.T) {
+	var rounds []int64
+	cfg := Config{
+		Algorithm:     "count-hop",
+		N:             4,
+		Rounds:        10000,
+		ProgressEvery: 2500,
+		OnProgress: func(p Progress) {
+			rounds = append(rounds, p.Round)
+			if p.Total != 10000 {
+				t.Errorf("progress total = %d", p.Total)
+			}
+			if p.Report.Rounds != p.Round {
+				t.Errorf("interim report covers %d rounds at mark %d", p.Report.Rounds, p.Round)
+			}
+		},
+	}
+	if _, err := RunContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2500, 5000, 7500, 10000}
+	if len(rounds) != len(want) {
+		t.Fatalf("progress marks %v, want %v", rounds, want)
+	}
+	for i := range want {
+		if rounds[i] != want[i] {
+			t.Fatalf("progress marks %v, want %v", rounds, want)
+		}
+	}
+}
+
+func TestRunContextDefaultProgressEvery(t *testing.T) {
+	// With ProgressEvery unset the callback fires about 64 times.
+	calls := 0
+	cfg := Config{
+		Algorithm:  "count-hop",
+		N:          4,
+		Rounds:     64000,
+		OnProgress: func(Progress) { calls++ },
+	}
+	if _, err := RunContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 64 {
+		t.Errorf("progress fired %d times, want 64", calls)
+	}
+}

@@ -1,0 +1,40 @@
+package earmac
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchGrid is a 64-cell grid heavy enough for the worker pool to matter.
+func benchGrid() Grid {
+	g := grid64()
+	g.Base.Rounds = 20000
+	g.Base.DisableChecks = true
+	return g
+}
+
+func benchSuite(b *testing.B, workers int) {
+	suite := NewSuite(benchGrid())
+	cells := len(suite.Configs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := suite.Run(context.Background(), SuiteOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d cells errored", rep.Errors)
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkSuite contrasts serial execution with the bounded worker
+// pool; at GOMAXPROCS > 1 the parallel variant must be measurably
+// faster (compare cells/s).
+func BenchmarkSuite(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchSuite(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { benchSuite(b, 0) })
+}
