@@ -1,0 +1,23 @@
+GITREV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: test bench bench-full baseline table
+
+test:
+	go build ./... && go test ./...
+
+# Stamp a quick benchmark run for the current revision and gate it
+# against the committed baseline (what CI runs).
+bench:
+	go run ./cmd/earmac-bench -quick -out BENCH_$(GITREV).json -baseline BENCH_baseline.json
+
+# Full (4x) horizons, no gate.
+bench-full:
+	go run ./cmd/earmac-bench -full -out BENCH_$(GITREV).json
+
+# Refresh the committed baseline (run on the reference machine, then
+# commit BENCH_baseline.json).
+baseline:
+	go run ./cmd/earmac-bench -quick -out BENCH_baseline.json
+
+table:
+	go run ./cmd/earmac-table

@@ -1,0 +1,348 @@
+// Command earmac-bench measures simulator performance and writes a
+// schema-stable BENCH_<rev>.json consumed by the CI regression gate and
+// by the repository's perf trajectory.
+//
+// Two benchmark families run on the simulator's allocation-free fast
+// path (strict checking off — correctness of the same configurations is
+// covered by cmd/earmac-table and the test suite):
+//
+//   - the Table 1 set: every row of the paper's evaluation at the quick
+//     or full horizon, and
+//   - substrate micro-benchmarks: the prior-work broadcast substrates
+//     (MBTF, RRW, OF-RRW), two steady-state routing workloads that must
+//     stay allocation-free, and a raw packet-queue op mix.
+//
+// Every row reports throughput (Mrounds/s), allocs/round, and the
+// deterministic simulation outputs queue_max and energy; the file also
+// carries a pure-CPU calibration scalar so throughput can be compared
+// across machines (see internal/benchcmp).
+//
+// Usage:
+//
+//	earmac-bench -quick -out BENCH_abc123.json
+//	earmac-bench -quick -baseline BENCH_baseline.json   # CI gate: exit 1 on regression
+//	earmac-bench -full                                  # 4× horizons
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"earmac/internal/adversary"
+	"earmac/internal/algorithms/ksubsets"
+	"earmac/internal/algorithms/randmac"
+	"earmac/internal/benchcmp"
+	"earmac/internal/core"
+	"earmac/internal/expt"
+	"earmac/internal/mac"
+	"earmac/internal/metrics"
+	"earmac/internal/pktq"
+	"earmac/internal/ratio"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "quick horizons (the CI setting)")
+		full     = flag.Bool("full", false, "4x horizons")
+		out      = flag.String("out", "", "output path (default BENCH_<rev>.json)")
+		rev      = flag.String("rev", "", "revision stamp (default: git rev-parse --short HEAD)")
+		baseline = flag.String("baseline", "", "compare against this bench file and exit 1 on regression")
+		speedTol = flag.Float64("speed-tol", benchcmp.DefaultSpeedDropTolerance,
+			"permitted relative Mrounds/s drop vs the baseline (0 = gate any drop)")
+		repsFlag = flag.Int("reps", 5, "repetitions per row (best throughput wins, damping scheduler noise)")
+	)
+	flag.Parse()
+	if *quick && *full {
+		fail(fmt.Errorf("-quick and -full are mutually exclusive"))
+	}
+	scale := expt.Full
+	if *quick {
+		scale = expt.Quick
+	}
+
+	r := *rev
+	if r == "" {
+		r = gitRev()
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", r)
+	}
+
+	file := benchcmp.File{
+		Schema:    benchcmp.Schema,
+		Rev:       r,
+		GoVersion: runtime.Version(),
+		Quick:     *quick,
+	}
+	reps := *repsFlag
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Fprintf(os.Stderr, "earmac-bench: calibrating...")
+	file.CalibrationMops = calibrate(reps)
+	fmt.Fprintf(os.Stderr, " %.0f Mops\n", file.CalibrationMops)
+	for _, spec := range expt.Table1(scale) {
+		file.Rows = append(file.Rows, benchSpec(spec, reps))
+	}
+	file.Rows = append(file.Rows, substrateRows(scale, reps)...)
+	for _, row := range file.Rows {
+		fmt.Fprintf(os.Stderr, "earmac-bench: %-14s %8.3f Mrounds/s  %7.4f allocs/round  queue_max=%d\n",
+			row.ID, row.MroundsPerS, row.AllocsPerRound, row.QueueMax)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "earmac-bench: wrote %s (%d rows)\n", path, len(file.Rows))
+
+	if *baseline != "" {
+		base, err := benchcmp.Load(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		res := benchcmp.Compare(base, file, benchcmp.Options{
+			SpeedDropTolerance: *speedTol,
+			AllocsSlack:        benchcmp.DefaultAllocsSlack,
+		})
+		fmt.Fprintf(os.Stderr, "earmac-bench: compared %d rows vs %s (calibration ratio %.2f)\n",
+			res.Compared, *baseline, res.Ratio)
+		if !res.OK() {
+			for _, f := range res.Findings {
+				fmt.Fprintf(os.Stderr, "earmac-bench: REGRESSION %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "earmac-bench: no regressions")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "earmac-bench:", err)
+	os.Exit(1)
+}
+
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// calibSink defeats dead-code elimination of the calibration loop.
+var calibSink uint64
+
+// mix64 is the splitmix64 finalizer — the fixed pure-CPU workload used
+// for calibration and the deterministic op-mix driver for the queue
+// micro-benchmark.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// calibrate times a fixed pure-CPU workload (the splitmix64 mix) and
+// returns its speed in millions of operations per second, best of reps
+// runs — the same noise-damping the benchmark rows get, since this
+// scalar rescales the whole regression gate. The same workload on the
+// baseline machine anchors cross-machine throughput comparisons.
+func calibrate(reps int) float64 {
+	const iters = 1 << 25
+	best := 0.0
+	for rep := 0; rep < reps; rep++ {
+		x := uint64(0x9e3779b97f4a7c15)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			x += 0x9e3779b97f4a7c15
+			x = mix64(x)
+		}
+		elapsed := time.Since(start).Seconds()
+		calibSink = x
+		if mops := float64(iters) / elapsed / 1e6; mops > best {
+			best = mops
+		}
+	}
+	return best
+}
+
+// measure runs a fast-path simulation reps times — a fresh system and
+// adversary per repetition, so the fixed seeds make queue_max and energy
+// identical across repetitions — and returns the row with the best
+// throughput and the fewest allocations (scheduler noise only ever
+// slows a run down or interleaves a GC; it never speeds one up).
+func measure(id, label string, build func() (*core.System, core.Adversary), rounds int64, reps int) benchcmp.Row {
+	row := benchcmp.Row{ID: id, Label: label, Rounds: rounds}
+	for rep := 0; rep < reps; rep++ {
+		sys, adv := build()
+		tr := metrics.NewTracker()
+		tr.SampleEvery = 0
+		sim := core.NewSim(sys, adv, core.Options{Tracker: tr})
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := sim.Run(rounds); err != nil {
+			fail(fmt.Errorf("%s: %w", id, err))
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		speed := float64(rounds) / elapsed / 1e6
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(rounds)
+		if rep == 0 || speed > row.MroundsPerS {
+			row.MroundsPerS = speed
+		}
+		if rep == 0 || allocs < row.AllocsPerRound {
+			row.AllocsPerRound = allocs
+		}
+		row.QueueMax = tr.MaxQueue
+		row.Energy = tr.MeanEnergy()
+	}
+	return row
+}
+
+// benchSpec runs one Table 1 row on the fast path with the same system,
+// adversary, and seed the experiment harness uses.
+func benchSpec(s expt.Spec, reps int) benchcmp.Row {
+	return measure(s.ID, s.Label, func() (*core.System, core.Adversary) {
+		sys, err := s.Build()
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", s.ID, err))
+		}
+		var adv core.Adversary
+		if s.Adv != nil {
+			adv = s.Adv(sys)
+		} else {
+			adv = adversary.New(adversary.Type{Rho: s.Rho, Beta: ratio.FromInt(s.Beta)},
+				adversary.Uniform(sys.N(), s.Seed+1))
+		}
+		return sys, adv
+	}, s.Rounds, reps)
+}
+
+// substrateRows benchmarks the simulator substrate: the prior-work
+// broadcast algorithms at their claimed rates, two steady-state routing
+// workloads that the fast path must keep allocation-free, and the raw
+// packet queue.
+func substrateRows(scale expt.Scale, reps int) []benchcmp.Row {
+	rounds := int64(150000)
+	if scale == expt.Full {
+		rounds *= 4
+	}
+	var rows []benchcmp.Row
+
+	for _, c := range []struct {
+		id, alg    string
+		rhoN, rhoD int64
+	}{
+		{"SUB.mbtf", "mbtf", 1, 1},
+		{"SUB.rrw", "rrw", 3, 4},
+		{"SUB.ofrrw", "ofrrw", 3, 4},
+	} {
+		c := c
+		rows = append(rows, measure(c.id, fmt.Sprintf("%s @ ρ=%d/%d, n=8", c.alg, c.rhoN, c.rhoD),
+			func() (*core.System, core.Adversary) {
+				sys, err := expt.Build(c.alg, 8, 0)
+				if err != nil {
+					fail(err)
+				}
+				typ := adversary.Type{Rho: ratio.New(c.rhoN, c.rhoD), Beta: ratio.FromInt(2)}
+				return sys, adversary.New(typ, adversary.Uniform(8, 11))
+			}, rounds, reps))
+	}
+
+	rows = append(rows, measure("SUB.ksubsets", "3-subsets steady state @ ρ=1/6, n=6",
+		func() (*core.System, core.Adversary) {
+			sys, err := ksubsets.New(6, 3)
+			if err != nil {
+				fail(err)
+			}
+			return sys, adversary.New(adversary.T(1, 6, 2), adversary.Uniform(6, 42))
+		}, rounds, reps))
+
+	rows = append(rows, measure("SUB.aloha", "4-aloha steady state @ ρ=1/40, n=8",
+		func() (*core.System, core.Adversary) {
+			sys, err := randmac.New(8, 4)
+			if err != nil {
+				fail(err)
+			}
+			return sys, adversary.New(adversary.T(1, 40, 2), adversary.Uniform(8, 7))
+		}, rounds, reps))
+
+	rows = append(rows, pktqRow(rounds*4, reps))
+	return rows
+}
+
+// pktqRow measures the raw queue reps times (best run wins, like
+// measure): a deterministic op mix of pushes, destination pops, global
+// pops, and removals at a bounded depth. "Rounds" counts operations.
+func pktqRow(ops int64, reps int) benchcmp.Row {
+	best := pktqRun(ops)
+	for rep := 1; rep < reps; rep++ {
+		r := pktqRun(ops)
+		if r.MroundsPerS > best.MroundsPerS {
+			best.MroundsPerS = r.MroundsPerS
+		}
+		if r.AllocsPerRound < best.AllocsPerRound {
+			best.AllocsPerRound = r.AllocsPerRound
+		}
+	}
+	return best
+}
+
+func pktqRun(ops int64) benchcmp.Row {
+	const nDests = 16
+	q := pktq.New(nDests)
+	state := uint64(0x6ea7c0de)
+	mix := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		return mix64(state)
+	}
+	nextID := int64(0)
+	maxDepth := 0
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := int64(0); i < ops; i++ {
+		r := mix()
+		switch {
+		case q.Len() < 64 && r%3 != 0: // bias pushes at low depth
+			q.Push(mac.Packet{ID: nextID, Dest: int(r % nDests)})
+			nextID++
+		case r%5 == 1:
+			q.PopFrontTo(int(r % nDests))
+		case r%5 == 2 && nextID > 0:
+			q.Remove(int64(r>>1) % nextID)
+		default:
+			q.PopFront()
+		}
+		if q.Len() > maxDepth {
+			maxDepth = q.Len()
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	return benchcmp.Row{
+		ID:             "SUB.pktq",
+		Label:          "packet queue op mix (ops, not rounds)",
+		Rounds:         ops,
+		MroundsPerS:    float64(ops) / elapsed / 1e6,
+		AllocsPerRound: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		QueueMax:       int64(maxDepth),
+	}
+}

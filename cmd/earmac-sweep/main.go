@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"earmac"
+	"earmac/internal/pool"
 )
 
 func main() {
@@ -80,7 +81,8 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	suite := earmac.NewSuite(grid)
-	rep, err := suite.Run(ctx, earmac.SuiteOptions{Workers: *parallel})
+	workers := pool.Workers(*parallel)
+	rep, err := suite.Run(ctx, earmac.SuiteOptions{Workers: workers})
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fail(err)

@@ -21,6 +21,7 @@ import (
 	"os/signal"
 
 	"earmac/internal/expt"
+	"earmac/internal/pool"
 )
 
 func main() {
@@ -38,7 +39,7 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	outs, err := expt.RunConcurrent(ctx, expt.Table1(scale), *parallel)
+	outs, err := expt.RunConcurrent(ctx, expt.Table1(scale), pool.Workers(*parallel))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "earmac-table:", err)
 		os.Exit(1)

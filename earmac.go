@@ -33,6 +33,10 @@
 // invariants the simulator checks.
 package earmac
 
+// Stamp a benchmark file for the current revision (same as `make bench`
+// without the baseline gate):
+//go:generate sh -c "go run ./cmd/earmac-bench -quick -out BENCH_$(git rev-parse --short HEAD).json"
+
 import (
 	"context"
 	"io"
@@ -80,6 +84,13 @@ type Config struct {
 	// DisableChecks turns off the packet-conservation invariant checker
 	// (on by default; it costs O(queue) every ~10k rounds).
 	DisableChecks bool `json:"disable_checks,omitempty"`
+	// ForceChecked keeps the fully-validating round loop (including the
+	// per-round schedule-conformance scan) even when Lenient and
+	// DisableChecks would otherwise select the allocation-free fast
+	// path, which records every violation except schedule conformance.
+	// Set it to audit a custom algorithm's schedule without aborting on
+	// violations.
+	ForceChecked bool `json:"force_checked,omitempty"`
 	// Trace, when non-nil, receives a per-round event log (who was on,
 	// what was transmitted, deliveries) for rounds [TraceFrom, TraceUpTo).
 	Trace     io.Writer `json:"-"`
@@ -177,10 +188,11 @@ func prepare(cfg Config) (*core.Sim, *core.System, *metrics.Tracker, error) {
 		tracer = &trace.Logger{W: cfg.Trace, From: cfg.TraceFrom, To: cfg.TraceUpTo}
 	}
 	sim := core.NewSim(sys, adv, core.Options{
-		Strict:     !cfg.Lenient,
-		CheckEvery: check,
-		Tracker:    tr,
-		Tracer:     tracer,
+		Strict:       !cfg.Lenient,
+		CheckEvery:   check,
+		Tracker:      tr,
+		Tracer:       tracer,
+		ForceChecked: cfg.ForceChecked,
 	})
 	return sim, sys, tr, nil
 }

@@ -120,7 +120,7 @@ func main() {
 			marker = "  (!)"
 		}
 		fmt.Fprintf(tw, "%s\t%s\t%s%s\t%.5f\t%d\n",
-			d.label, d.expect, observed, marker, tr.QueueSlope(), tr.FinalQueue())
+			d.label, d.expect, observed, marker, tr.QueueSlope(), tr.FinalQueue)
 	}
 	tw.Flush()
 }

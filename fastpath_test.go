@@ -1,0 +1,147 @@
+package earmac
+
+// Regression tests for the simulator's allocation-free fast path: the
+// steady-state round loop must not touch the allocator (the perf floor
+// the benchmark pipeline gates on), and the fast path must produce
+// exactly the same flat counters as the fully-checked path.
+
+import (
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/algorithms/ksubsets"
+	"earmac/internal/algorithms/randmac"
+	"earmac/internal/core"
+	"earmac/internal/metrics"
+	"earmac/internal/ratio"
+)
+
+// steadyAllocsPerRound warms a fast-path simulation up, then measures the
+// allocations per simulated round. Queue high-water records still grow
+// the pools amortized-logarithmically ever more rarely, so it returns the
+// minimum over a few measurement windows: a zero window proves the round
+// loop itself never touches the allocator.
+func steadyAllocsPerRound(t *testing.T, sys *core.System, adv core.Adversary, warmup, measure int64) float64 {
+	t.Helper()
+	tr := metrics.NewTracker()
+	tr.SampleEvery = 0 // flat counters only: no time-series appends
+	sim := core.NewSim(sys, adv, core.Options{Tracker: tr})
+	if !sim.FastPath() {
+		t.Fatal("fast path not selected")
+	}
+	if err := sim.Run(warmup); err != nil {
+		t.Fatal(err)
+	}
+	best := -1.0
+	for window := 0; window < 5; window++ {
+		allocs := testing.AllocsPerRun(1, func() {
+			if err := sim.Run(measure); err != nil {
+				t.Error(err)
+			}
+		})
+		if best < 0 || allocs < best {
+			best = allocs
+		}
+		if best == 0 {
+			break
+		}
+	}
+	return best / float64(measure)
+}
+
+func TestFastPathZeroAllocsKSubsets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is long")
+	}
+	sys, err := ksubsets.New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ = 1/6 < k(k−1)/(n(n−1)) = 1/5: stable, queues bounded.
+	adv := adversary.New(adversary.T(1, 6, 2), adversary.Uniform(6, 42))
+	perRound := steadyAllocsPerRound(t, sys, adv, 60000, 30000)
+	if perRound != 0 {
+		t.Errorf("k-subsets steady state allocates %.4f allocs/round, want 0", perRound)
+	}
+}
+
+func TestFastPathZeroAllocsRandMAC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is long")
+	}
+	sys, err := randmac.New(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far below ALOHA's effective throughput so the queues stay bounded.
+	adv := adversary.New(adversary.T(1, 40, 2), adversary.Uniform(8, 7))
+	perRound := steadyAllocsPerRound(t, sys, adv, 60000, 30000)
+	if perRound != 0 {
+		t.Errorf("aloha steady state allocates %.4f allocs/round, want 0", perRound)
+	}
+}
+
+// equivRun executes one configuration on the given options and returns
+// the flat counters.
+func equivRun(t *testing.T, build func() (*core.System, error), mkAdv func() core.Adversary,
+	rounds int64, opt core.Options) metrics.Counters {
+	t.Helper()
+	sys, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := metrics.NewTracker()
+	opt.Tracker = tr
+	sim := core.NewSim(sys, mkAdv(), opt)
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Counters
+}
+
+// TestFastCheckedEquivalence runs identical seeds through the fast path
+// and the fully-checked path and requires bit-identical flat counters.
+func TestFastCheckedEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() (*core.System, error)
+		mkAdv  func() core.Adversary
+		rounds int64
+	}{
+		{
+			name:  "ksubsets-uniform",
+			build: func() (*core.System, error) { return ksubsets.New(6, 3) },
+			mkAdv: func() core.Adversary {
+				return adversary.New(adversary.T(1, 6, 2), adversary.Uniform(6, 42))
+			},
+			rounds: 30000,
+		},
+		{
+			name:  "aloha-uniform",
+			build: func() (*core.System, error) { return randmac.New(8, 4) },
+			mkAdv: func() core.Adversary {
+				return adversary.New(adversary.T(1, 40, 2), adversary.Uniform(8, 7))
+			},
+			rounds: 30000,
+		},
+		{
+			name:  "aloha-maxqueue-adaptive",
+			build: func() (*core.System, error) { return randmac.New(6, 3) },
+			mkAdv: func() core.Adversary {
+				return adversary.NewMaxQueue(6, adversary.Type{
+					Rho: ratio.New(1, 30), Beta: ratio.FromInt(2),
+				})
+			},
+			rounds: 20000,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fast := equivRun(t, c.build, c.mkAdv, c.rounds, core.Options{})
+			checked := equivRun(t, c.build, c.mkAdv, c.rounds, core.Options{ForceChecked: true})
+			if fast != checked {
+				t.Errorf("fast and checked counters differ:\nfast:    %+v\nchecked: %+v", fast, checked)
+			}
+		})
+	}
+}

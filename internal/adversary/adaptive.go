@@ -26,15 +26,19 @@ func NewMaxQueue(n int, typ Type) *MaxQueue {
 
 // Inject implements core.Adversary.
 func (a *MaxQueue) Inject(round int64) []core.Injection {
+	return a.InjectAppend(round, nil)
+}
+
+// InjectAppend implements core.InjectAppender.
+func (a *MaxQueue) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	budget := a.bucket.Tick()
-	injs := make([]core.Injection, budget)
-	for i := range injs {
+	for i := 0; i < budget; i++ {
 		d := (a.target + 1 + a.cursor%(a.n-1)) % a.n
 		a.cursor++
-		injs[i] = core.Injection{Station: a.target, Dest: d}
+		buf = append(buf, core.Injection{Station: a.target, Dest: d})
 	}
-	a.bucket.Spend(len(injs))
-	return injs
+	a.bucket.Spend(budget)
+	return buf
 }
 
 // ObserveQueues implements core.QueueObserver: retarget to the longest
@@ -74,15 +78,19 @@ func NewAntiToken(n int, typ Type) *AntiToken {
 
 // Inject implements core.Adversary.
 func (a *AntiToken) Inject(round int64) []core.Injection {
+	return a.InjectAppend(round, nil)
+}
+
+// InjectAppend implements core.InjectAppender.
+func (a *AntiToken) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	budget := a.bucket.Tick()
-	injs := make([]core.Injection, budget)
-	for i := range injs {
+	for i := 0; i < budget; i++ {
 		d := (a.target + 1 + a.cursor%(a.n-1)) % a.n
 		a.cursor++
-		injs[i] = core.Injection{Station: a.target, Dest: d}
+		buf = append(buf, core.Injection{Station: a.target, Dest: d})
 	}
-	a.bucket.Spend(len(injs))
-	return injs
+	a.bucket.Spend(budget)
+	return buf
 }
 
 // ObserveFeedback implements core.FeedbackObserver: replicate the ring.

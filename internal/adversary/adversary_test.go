@@ -367,3 +367,12 @@ func TestLemma1PanicsOnTinySystem(t *testing.T) {
 	}()
 	NewLemma1(2, 1)
 }
+
+func TestBucketOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("coprime huge denominators did not panic on overflow")
+		}
+	}()
+	NewBucket(Type{Rho: ratio.New(1, 4000000007), Beta: ratio.New(1, 4000000009)})
+}

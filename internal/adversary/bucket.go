@@ -29,9 +29,18 @@ func (t Type) String() string { return fmt.Sprintf("(ρ=%v, β=%v)", t.Rho, t.Be
 // each round's injections, which yields exactly the paper's bound: at most
 // ρ·t + β injections in any window of t rounds, and at most ⌊β + ρ⌋ in a
 // single round.
+//
+// Internally the credit is an integer numerator over the fixed common
+// denominator of ρ and β, so the per-round Tick/Spend pair is a handful
+// of integer operations — exact (no drift, unlike floats) yet free of
+// the gcd reductions general rational arithmetic would pay on the
+// simulator's hot path.
 type Bucket struct {
 	typ    Type
-	credit ratio.Rat
+	den    int64 // common denominator of ρ and β
+	credit int64 // credit numerator over den
+	gain   int64 // ρ numerator over den
+	cap    int64 // β numerator over den
 }
 
 // NewBucket returns a bucket with full initial credit β.
@@ -39,7 +48,39 @@ func NewBucket(typ Type) *Bucket {
 	if typ.Rho.Sign() < 0 || typ.Beta.Sign() < 0 {
 		panic("adversary: negative rate or burstiness")
 	}
-	return &Bucket{typ: typ, credit: typ.Beta}
+	den := lcm(typ.Rho.Den(), typ.Beta.Den())
+	b := &Bucket{
+		typ:  typ,
+		den:  den,
+		gain: mustMul(typ.Rho.Num(), den/typ.Rho.Den()),
+		cap:  mustMul(typ.Beta.Num(), den/typ.Beta.Den()),
+	}
+	b.credit = b.cap
+	return b
+}
+
+func lcm(a, b int64) int64 {
+	g := a
+	for r := b; r != 0; {
+		g, r = r, g%r
+	}
+	return mustMul(a/g, b)
+}
+
+// mustMul multiplies with an overflow check, mirroring the protection
+// the general rational arithmetic in internal/ratio provides: adversary
+// types in this simulator stay far below the int64 range, so an
+// overflow indicates a misconfiguration and must fail loudly rather
+// than silently corrupt the injection budget.
+func mustMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a {
+		panic(fmt.Sprintf("adversary: int64 overflow multiplying %d × %d in bucket setup", a, b))
+	}
+	return p
 }
 
 // Type returns the bucket's (ρ, β).
@@ -48,26 +89,22 @@ func (b *Bucket) Type() Type { return b.typ }
 // Tick advances one round: the credit gains ρ and the number of packets
 // injectable this round is returned.
 func (b *Bucket) Tick() int {
-	b.credit = b.credit.Add(b.typ.Rho)
-	f := b.credit.Floor()
-	if f < 0 {
-		return 0
-	}
-	return int(f)
+	b.credit += b.gain
+	return int(b.credit / b.den)
 }
 
 // Spend consumes credit for m injections this round and re-caps the
 // remaining credit at β. It panics if m exceeds the budget returned by
 // Tick — the adversary must never exceed its type.
 func (b *Bucket) Spend(m int) {
-	b.credit = b.credit.Sub(ratio.FromInt(int64(m)))
-	if b.credit.Sign() < 0 {
-		panic(fmt.Sprintf("adversary: overspent bucket by %v", b.credit.Neg()))
+	b.credit -= int64(m) * b.den
+	if b.credit < 0 {
+		panic(fmt.Sprintf("adversary: overspent bucket by %v", ratio.New(-b.credit, b.den)))
 	}
-	if b.typ.Beta.Less(b.credit) {
-		b.credit = b.typ.Beta
+	if b.credit > b.cap {
+		b.credit = b.cap
 	}
 }
 
 // Credit returns the current credit (for tests).
-func (b *Bucket) Credit() ratio.Rat { return b.credit }
+func (b *Bucket) Credit() ratio.Rat { return ratio.New(b.credit, b.den) }

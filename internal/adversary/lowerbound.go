@@ -16,14 +16,13 @@ func LeastOn(s sched.Schedule, typ Type) *Adv {
 	v, _ := sched.MinOnStation(s)
 	n := s.NumStations()
 	c := 0
-	return New(typ, PatternFunc(func(round int64, budget int) []core.Injection {
-		injs := make([]core.Injection, budget)
-		for i := range injs {
+	return New(typ, AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
+		for i := 0; i < budget; i++ {
 			d := (v + 1 + c%(n-1)) % n
 			c++
-			injs[i] = core.Injection{Station: v, Dest: d}
+			buf = append(buf, core.Injection{Station: v, Dest: d})
 		}
-		return injs
+		return buf
 	}))
 }
 
@@ -96,12 +95,17 @@ func NewLemma1(n int, patience int64) *Lemma1 {
 
 // Inject implements core.Adversary.
 func (l *Lemma1) Inject(round int64) []core.Injection {
+	return l.InjectAppend(round, nil)
+}
+
+// InjectAppend implements core.InjectAppender.
+func (l *Lemma1) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	budget := l.bucket.Tick()
 	defer func() { l.round = round }()
 	if round == 0 || budget == 0 {
 		// Observe the first round before committing to a target.
 		l.bucket.Spend(0)
-		return nil
+		return buf
 	}
 	if !l.started {
 		l.pickTarget(round)
@@ -109,25 +113,24 @@ func (l *Lemma1) Inject(round int64) []core.Injection {
 	}
 	// If s was switched on recently it is "awake": play Case II.
 	// Otherwise s looks permanently off: play Case I.
-	injs := make([]core.Injection, 0, budget)
 	for i := 0; i < budget; i++ {
 		if round-l.lastOn[l.s] <= l.patience && l.lastOn[l.s] >= 0 {
-			injs = append(injs, core.Injection{Station: l.s1, Dest: l.s2})
+			buf = append(buf, core.Injection{Station: l.s1, Dest: l.s2})
 			l.addressed[l.s2] = true
 		} else {
 			// Case I: alternate destinations s and s2.
 			l.parity = !l.parity
 			if l.parity {
-				injs = append(injs, core.Injection{Station: l.s1, Dest: l.s})
+				buf = append(buf, core.Injection{Station: l.s1, Dest: l.s})
 				l.addressed[l.s] = true
 			} else {
-				injs = append(injs, core.Injection{Station: l.s1, Dest: l.s2})
+				buf = append(buf, core.Injection{Station: l.s1, Dest: l.s2})
 				l.addressed[l.s2] = true
 			}
 		}
 	}
-	l.bucket.Spend(len(injs))
-	return injs
+	l.bucket.Spend(budget)
+	return buf
 }
 
 // ObserveRound implements core.RoundObserver.

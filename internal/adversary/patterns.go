@@ -14,50 +14,94 @@ type Pattern interface {
 	Draw(round int64, budget int) []core.Injection
 }
 
-// PatternFunc adapts a function to a Pattern.
+// BufferedPattern is an optional Pattern extension implementing the
+// simulator's buffer-reuse contract: DrawAppend appends at most budget
+// injections to buf and returns the extended slice, so the steady-state
+// round loop performs no allocation. Draw and DrawAppend must produce
+// the same injections. All patterns in this package implement it.
+type BufferedPattern interface {
+	Pattern
+	DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection
+}
+
+// PatternFunc adapts a draw function to a Pattern.
 type PatternFunc func(round int64, budget int) []core.Injection
 
 // Draw implements Pattern.
 func (f PatternFunc) Draw(round int64, budget int) []core.Injection { return f(round, budget) }
 
+// AppendFunc adapts an append-style function to a BufferedPattern.
+type AppendFunc func(round int64, budget int, buf []core.Injection) []core.Injection
+
+// Draw implements Pattern.
+func (f AppendFunc) Draw(round int64, budget int) []core.Injection { return f(round, budget, nil) }
+
+// DrawAppend implements BufferedPattern.
+func (f AppendFunc) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
+	return f(round, budget, buf)
+}
+
+// DrawAppend invokes the pattern through the buffer-reuse contract when
+// it supports one, falling back to an allocating Draw otherwise.
+func DrawAppend(p Pattern, round int64, budget int, buf []core.Injection) []core.Injection {
+	if bp, ok := p.(BufferedPattern); ok {
+		return bp.DrawAppend(round, budget, buf)
+	}
+	return append(buf, p.Draw(round, budget)...)
+}
+
 // Adv is a leaky-bucket adversary combining a Type with a Pattern; it
-// implements core.Adversary.
+// implements core.Adversary and core.InjectAppender.
 type Adv struct {
 	bucket *Bucket
 	pat    Pattern
+	buffed BufferedPattern // pat, when it supports the append contract
 }
 
 // New builds an adversary of the given type driven by the pattern.
 func New(typ Type, pat Pattern) *Adv {
-	return &Adv{bucket: NewBucket(typ), pat: pat}
+	a := &Adv{bucket: NewBucket(typ), pat: pat}
+	a.buffed, _ = pat.(BufferedPattern)
+	return a
 }
 
 // Inject implements core.Adversary: it offers the pattern this round's
 // budget and debits the bucket for what the pattern used.
 func (a *Adv) Inject(round int64) []core.Injection {
+	return a.InjectAppend(round, nil)
+}
+
+// InjectAppend implements core.InjectAppender, appending this round's
+// injections to buf without allocating when the pattern supports the
+// buffer-reuse contract.
+func (a *Adv) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	budget := a.bucket.Tick()
 	if budget == 0 {
 		a.bucket.Spend(0)
-		return nil
+		return buf
 	}
-	injs := a.pat.Draw(round, budget)
-	if len(injs) > budget {
-		injs = injs[:budget]
+	start := len(buf)
+	if a.buffed != nil {
+		buf = a.buffed.DrawAppend(round, budget, buf)
+	} else {
+		buf = append(buf, a.pat.Draw(round, budget)...)
 	}
-	a.bucket.Spend(len(injs))
-	return injs
+	if len(buf)-start > budget {
+		buf = buf[:start+budget]
+	}
+	a.bucket.Spend(len(buf) - start)
+	return buf
 }
 
 // Uniform injects at the full permitted rate with sources and destinations
 // drawn uniformly (and independently) from [0, n).
 func Uniform(n int, seed int64) Pattern {
 	rng := rand.New(rand.NewSource(seed))
-	return PatternFunc(func(round int64, budget int) []core.Injection {
-		injs := make([]core.Injection, budget)
-		for i := range injs {
-			injs[i] = core.Injection{Station: rng.Intn(n), Dest: rng.Intn(n)}
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
+		for i := 0; i < budget; i++ {
+			buf = append(buf, core.Injection{Station: rng.Intn(n), Dest: rng.Intn(n)})
 		}
-		return injs
+		return buf
 	})
 }
 
@@ -65,12 +109,11 @@ func Uniform(n int, seed int64) Pattern {
 // destination — the paper's worst case for Orchestra's move-big-to-front
 // mechanism and the flooding strategy of the lower-bound proofs.
 func SingleTarget(src, dest int) Pattern {
-	return PatternFunc(func(round int64, budget int) []core.Injection {
-		injs := make([]core.Injection, budget)
-		for i := range injs {
-			injs[i] = core.Injection{Station: src, Dest: dest}
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
+		for i := 0; i < budget; i++ {
+			buf = append(buf, core.Injection{Station: src, Dest: dest})
 		}
-		return injs
+		return buf
 	})
 }
 
@@ -78,18 +121,17 @@ func SingleTarget(src, dest int) Pattern {
 // over all other stations.
 func HotSource(src, n int) Pattern {
 	next := 0
-	return PatternFunc(func(round int64, budget int) []core.Injection {
-		injs := make([]core.Injection, budget)
-		for i := range injs {
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
+		for i := 0; i < budget; i++ {
 			d := next % n
 			if d == src {
 				next++
 				d = next % n
 			}
 			next++
-			injs[i] = core.Injection{Station: src, Dest: d}
+			buf = append(buf, core.Injection{Station: src, Dest: d})
 		}
-		return injs
+		return buf
 	})
 }
 
@@ -97,25 +139,24 @@ func HotSource(src, n int) Pattern {
 // to the next station in cyclic order — maximally spread traffic.
 func RoundRobin(n int) Pattern {
 	c := 0
-	return PatternFunc(func(round int64, budget int) []core.Injection {
-		injs := make([]core.Injection, budget)
-		for i := range injs {
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
+		for i := 0; i < budget; i++ {
 			s := c % n
-			injs[i] = core.Injection{Station: s, Dest: (s + 1) % n}
+			buf = append(buf, core.Injection{Station: s, Dest: (s + 1) % n})
 			c++
 		}
-		return injs
+		return buf
 	})
 }
 
 // Bursty saves credit and dumps the whole budget every period rounds,
 // exercising the burstiness component β of the adversary type.
 func Bursty(inner Pattern, period int64) Pattern {
-	return PatternFunc(func(round int64, budget int) []core.Injection {
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
 		if round%period != period-1 {
-			return nil
+			return buf
 		}
-		return inner.Draw(round, budget)
+		return DrawAppend(inner, round, budget, buf)
 	})
 }
 
@@ -123,11 +164,11 @@ func Bursty(inner Pattern, period int64) Pattern {
 // every stride rounds, letting the bucket otherwise sit at cap. Useful to
 // drive a (ρ, β) adversary below its permitted rate.
 func Paced(inner Pattern, stride int64) Pattern {
-	return PatternFunc(func(round int64, budget int) []core.Injection {
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
 		if stride > 1 && round%stride != 0 {
-			return nil
+			return buf
 		}
-		return inner.Draw(round, budget)
+		return DrawAppend(inner, round, budget, buf)
 	})
 }
 
@@ -137,21 +178,21 @@ func Paced(inner Pattern, stride int64) Pattern {
 // The leaky bucket still enforces the overall (ρ, β) type; during the
 // active phase the bucket's accumulated credit drains as a burst.
 func Diurnal(inner Pattern, period, dutyNum, dutyDen int64) Pattern {
-	return PatternFunc(func(round int64, budget int) []core.Injection {
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
 		if (round%period)*dutyDen >= period*dutyNum {
-			return nil
+			return buf
 		}
-		return inner.Draw(round, budget)
+		return DrawAppend(inner, round, budget, buf)
 	})
 }
 
 // Stop disables injections from the given round on, so the system can be
 // drained to verify eventual delivery.
 func Stop(inner Pattern, after int64) Pattern {
-	return PatternFunc(func(round int64, budget int) []core.Injection {
+	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
 		if round >= after {
-			return nil
+			return buf
 		}
-		return inner.Draw(round, budget)
+		return DrawAppend(inner, round, budget, buf)
 	})
 }

@@ -151,8 +151,8 @@ func NewWithWindow(n int, L int64) (*core.System, error) {
 	for i := 0; i < n; i++ {
 		s := &station{
 			id: i, n: n,
-			q:         pktq.New(),
-			relayQ:    pktq.New(),
+			q:         pktq.New(n),
+			relayQ:    pktq.New(n),
 			pendingTx: -1,
 			nextL:     L,
 			winStart:  0,

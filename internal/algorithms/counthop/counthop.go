@@ -60,6 +60,12 @@ type station struct {
 	counts  []int // coordinator only: per-station counts for v
 	offsets []int // coordinator only: per-station slot starts
 
+	// Reused control buffers: receivers decode the fields synchronously
+	// from the round's feedback and never retain them (DESIGN.md,
+	// pooling invariants).
+	ctrlCount  mac.Control // substage 1: my old-packet count
+	ctrlOffset mac.Control // substage 2: offset + stage total
+
 	curRound  int64
 	started   bool
 	pendingTx int64
@@ -74,9 +80,11 @@ func New(n int) (*core.System, error) {
 	for i := 0; i < n; i++ {
 		s := &station{
 			id: i, n: n,
-			oldQ: pktq.New(), newQ: pktq.New(),
-			bootstrap: n,
-			pendingTx: -1,
+			oldQ: pktq.New(n), newQ: pktq.New(n),
+			bootstrap:  n,
+			pendingTx:  -1,
+			ctrlCount:  mac.MakeControl(ctrlW),
+			ctrlOffset: mac.MakeControl(2 * ctrlW),
 		}
 		if i == coordinator {
 			s.counts = make([]int, n)
@@ -198,9 +206,8 @@ func (s *station) Act(round int64) core.Action {
 		w := s.idx + 1
 		switch s.id {
 		case w:
-			ctrl := mac.MakeControl(ctrlW)
-			ctrl.SetUint(0, ctrlW, uint64(s.myCount))
-			return core.Transmit(mac.CtrlMsg(ctrl))
+			s.ctrlCount.SetUint(0, ctrlW, uint64(s.myCount))
+			return core.Transmit(mac.CtrlMsg(s.ctrlCount))
 		case coordinator:
 			return core.Listen()
 		default:
@@ -211,10 +218,9 @@ func (s *station) Act(round int64) core.Action {
 		w := s.idx + 1
 		switch s.id {
 		case coordinator:
-			ctrl := mac.MakeControl(2 * ctrlW)
-			ctrl.SetUint(0, ctrlW, uint64(s.offsets[w]))
-			ctrl.SetUint(ctrlW, ctrlW, uint64(s.total))
-			return core.Transmit(mac.CtrlMsg(ctrl))
+			s.ctrlOffset.SetUint(0, ctrlW, uint64(s.offsets[w]))
+			s.ctrlOffset.SetUint(ctrlW, ctrlW, uint64(s.total))
+			return core.Transmit(mac.CtrlMsg(s.ctrlOffset))
 		case w:
 			return core.Listen()
 		default:

@@ -146,39 +146,63 @@ type station struct {
 	id  int
 	lay *Layout
 
-	rings map[int]*broadcast.Ring
-	subs  map[int]*pairQueue
+	// Pair-local state in membership order (pairs = lay.pairsOf[id],
+	// sorted ascending). Pairs activate in index order, so a cursor into
+	// the sorted membership list replaces a per-round map lookup.
+	pairs   []int
+	rings   []*broadcast.Ring
+	subs    []*pairQueue
+	localOf map[int]int // global pair → membership index (cold paths)
+	cursor  int
+	cycle   int64
 
 	pendingTx int64
 }
 
 func newStation(id int, lay *Layout) *station {
-	s := &station{id: id, lay: lay, rings: map[int]*broadcast.Ring{}, subs: map[int]*pairQueue{}, pendingTx: -1}
-	for _, p := range lay.pairsOf[id] {
-		s.rings[p] = broadcast.NewRing(lay.members[p])
-		s.subs[p] = &pairQueue{q: pktq.New(), tagOf: map[int64]int64{}}
+	pairs := lay.pairsOf[id]
+	s := &station{
+		id: id, lay: lay,
+		pairs:   pairs,
+		rings:   make([]*broadcast.Ring, len(pairs)),
+		subs:    make([]*pairQueue, len(pairs)),
+		localOf: make(map[int]int, len(pairs)),
+		cycle:   -1, pendingTx: -1,
+	}
+	for i, p := range pairs {
+		s.rings[i] = broadcast.NewRing(lay.members[p])
+		s.subs[i] = &pairQueue{q: pktq.New(lay.N), tagOf: map[int64]int64{}}
+		s.localOf[p] = i
 	}
 	return s
 }
 
 func (s *station) Inject(p mac.Packet) {
-	pair := s.lay.PairFor(s.id, p.Dest)
-	sub := s.subs[pair]
+	i := s.localOf[s.lay.PairFor(s.id, p.Dest)]
+	sub := s.subs[i]
 	sub.q.Push(p)
-	sub.tagOf[p.ID] = s.rings[pair].Phase()
+	sub.tagOf[p.ID] = s.rings[i].Phase()
 }
 
 func (s *station) Act(round int64) core.Action {
 	s.pendingTx = -1
+	cycle := round / int64(s.lay.NumPairs)
+	if cycle != s.cycle {
+		s.cycle = cycle
+		s.cursor = 0
+	}
 	pair := s.lay.ActivePair(round)
-	ring, member := s.rings[pair]
-	if !member {
+	for s.cursor < len(s.pairs) && s.pairs[s.cursor] < pair {
+		s.cursor++
+	}
+	if s.cursor >= len(s.pairs) || s.pairs[s.cursor] != pair {
 		return core.Off()
 	}
+	ring := s.rings[s.cursor]
 	if ring.Holder() != s.id {
 		return core.Listen()
 	}
-	sub := s.subs[pair]
+	sub := s.subs[s.cursor]
 	front, ok := sub.q.Front()
 	if !ok || sub.tagOf[front.ID] >= ring.Phase() {
 		return core.Listen() // silence advances the token
@@ -188,13 +212,14 @@ func (s *station) Act(round int64) core.Action {
 }
 
 func (s *station) Observe(round int64, fb mac.Feedback) {
-	pair := s.lay.ActivePair(round)
-	ring := s.rings[pair]
+	// Only called for switched-on rounds: Act left the cursor on the
+	// active pair.
+	ring := s.rings[s.cursor]
 	switch fb.Kind {
 	case mac.FbHeard:
 		ring.ObserveHeard()
 		if s.pendingTx >= 0 {
-			sub := s.subs[pair]
+			sub := s.subs[s.cursor]
 			sub.q.Remove(s.pendingTx)
 			delete(sub.tagOf, s.pendingTx)
 			s.pendingTx = -1
@@ -214,8 +239,8 @@ func (s *station) QueueLen() int {
 
 func (s *station) HeldPackets() []mac.Packet {
 	var out []mac.Packet
-	for _, p := range s.lay.pairsOf[s.id] {
-		out = append(out, s.subs[p].q.Snapshot()...)
+	for _, sub := range s.subs {
+		out = sub.q.AppendTo(out)
 	}
 	return out
 }

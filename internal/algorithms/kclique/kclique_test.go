@@ -204,9 +204,11 @@ func TestReplicaRingsConsistent(t *testing.T) {
 			t.Fatal(err)
 		}
 		for p := 0; p < lay.NumPairs; p++ {
-			ref := sys.Stations[lay.members[p][0]].(*station).rings[p]
+			first := sys.Stations[lay.members[p][0]].(*station)
+			ref := first.rings[first.localOf[p]]
 			for _, m := range lay.members[p][1:] {
-				if !sys.Stations[m].(*station).rings[p].Equal(ref) {
+				st := sys.Stations[m].(*station)
+				if !st.rings[st.localOf[p]].Equal(ref) {
 					t.Fatalf("round %d: ring replicas for pair %d diverged", r, p)
 				}
 			}

@@ -145,8 +145,8 @@ type grpQueue struct {
 	tagOf map[int64]int64
 }
 
-func newGrpQueue() *grpQueue {
-	return &grpQueue{q: pktq.New(), tagOf: make(map[int64]int64)}
+func newGrpQueue(n int) *grpQueue {
+	return &grpQueue{q: pktq.New(n), tagOf: make(map[int64]int64)}
 }
 
 func (gq *grpQueue) push(p mac.Packet, phase int64) {
@@ -174,61 +174,82 @@ type station struct {
 	id  int
 	lay *Layout
 
-	rings map[int]*broadcast.Ring // one replica per group membership
-	subs  map[int]*grpQueue
+	// Group-local state in membership order (groups = lay.groupsOf[id],
+	// at most two entries), found by linear scan — cheaper than a map on
+	// the per-round hot path.
+	groups []int
+	rings  []*broadcast.Ring // one replica per group membership
+	subs   []*grpQueue
 
-	pendingTx    int64
-	pendingGroup int
+	pendingTx int64
 }
 
 func newStation(id int, lay *Layout) *station {
-	s := &station{id: id, lay: lay, rings: map[int]*broadcast.Ring{}, subs: map[int]*grpQueue{}, pendingTx: -1}
-	for _, g := range lay.groupsOf[id] {
-		s.rings[g] = broadcast.NewRing(lay.members[g])
-		s.subs[g] = newGrpQueue()
+	groups := lay.groupsOf[id]
+	s := &station{
+		id: id, lay: lay,
+		groups:    groups,
+		rings:     make([]*broadcast.Ring, len(groups)),
+		subs:      make([]*grpQueue, len(groups)),
+		pendingTx: -1,
+	}
+	for i, g := range groups {
+		s.rings[i] = broadcast.NewRing(lay.members[g])
+		s.subs[i] = newGrpQueue(lay.N)
 	}
 	return s
 }
 
+// local returns the membership index of group g, or -1 for non-members.
+func (s *station) local(g int) int {
+	for i, og := range s.groups {
+		if og == g {
+			return i
+		}
+	}
+	return -1
+}
+
 func (s *station) Inject(p mac.Packet) {
-	g := s.lay.HomeGroup(s.id, p.Dest)
-	s.subs[g].push(p, s.rings[g].Phase())
+	i := s.local(s.lay.HomeGroup(s.id, p.Dest))
+	s.subs[i].push(p, s.rings[i].Phase())
 }
 
 func (s *station) Act(round int64) core.Action {
 	s.pendingTx = -1
-	g := s.lay.ActiveGroup(round)
-	ring, member := s.rings[g]
-	if !member {
+	i := s.local(s.lay.ActiveGroup(round))
+	if i < 0 {
 		return core.Off()
 	}
+	ring := s.rings[i]
 	if ring.Holder() != s.id {
 		return core.Listen()
 	}
-	p, ok := s.subs[g].oldFront(ring.Phase())
+	p, ok := s.subs[i].oldFront(ring.Phase())
 	if !ok {
 		return core.Listen() // silent round: token will advance
 	}
 	s.pendingTx = p.ID
-	s.pendingGroup = g
 	return core.Transmit(mac.PacketMsg(p))
 }
 
 func (s *station) Observe(round int64, fb mac.Feedback) {
+	// Only called for switched-on rounds, i.e. active-group members.
 	g := s.lay.ActiveGroup(round)
-	ring := s.rings[g]
+	i := s.local(g)
+	ring := s.rings[i]
 	switch fb.Kind {
 	case mac.FbHeard:
 		ring.ObserveHeard()
 		if s.pendingTx >= 0 {
-			s.subs[g].remove(s.pendingTx)
+			s.subs[i].remove(s.pendingTx)
 			s.pendingTx = -1
 		}
 		p := fb.Msg.Packet
 		if !s.lay.inGroup[g][p.Dest] && s.id == s.lay.connector[g] {
 			// Adopt and advance the packet to the next group.
-			ng := s.lay.NextGroup(g)
-			s.subs[ng].push(p, s.rings[ng].Phase())
+			ni := s.local(s.lay.NextGroup(g))
+			s.subs[ni].push(p, s.rings[ni].Phase())
 		}
 	case mac.FbSilence:
 		ring.ObserveSilence()
@@ -245,8 +266,8 @@ func (s *station) QueueLen() int {
 
 func (s *station) HeldPackets() []mac.Packet {
 	var out []mac.Packet
-	for _, g := range s.lay.groupsOf[s.id] {
-		out = append(out, s.subs[g].q.Snapshot()...)
+	for _, gq := range s.subs {
+		out = gq.q.AppendTo(out)
 	}
 	return out
 }

@@ -309,9 +309,11 @@ func TestReplicaRingsConsistent(t *testing.T) {
 		}
 		// All members of each group agree on that group's ring.
 		for g := 0; g < lay.L; g++ {
-			var ref = sys.Stations[lay.members[g][0]].(*station).rings[g]
+			first := sys.Stations[lay.members[g][0]].(*station)
+			ref := first.rings[first.local(g)]
 			for _, m := range lay.members[g][1:] {
-				if !sys.Stations[m].(*station).rings[g].Equal(ref) {
+				st := sys.Stations[m].(*station)
+				if !st.rings[st.local(g)].Equal(ref) {
 					t.Fatalf("round %d: ring replicas for group %d diverged", r, g)
 				}
 			}

@@ -153,15 +153,24 @@ type threadEngine interface {
 	BigBit(queueLen int) mac.Control
 }
 
-type mbtfEngine struct{ m *broadcast.MBTF }
+// mbtfEngine reuses one control buffer across rounds: receivers read the
+// big bit synchronously from the feedback and never retain it (see
+// DESIGN.md on pooling invariants).
+type mbtfEngine struct {
+	m    *broadcast.MBTF
+	ctrl mac.Control
+}
 
-func (e mbtfEngine) Holder() int                   { return e.m.Holder() }
-func (e mbtfEngine) ObserveHeard(ctrl mac.Control) { e.m.ObserveHeard(ctrl.Bit(0)) }
-func (e mbtfEngine) ObserveSilence()               { e.m.ObserveSilence() }
-func (e mbtfEngine) BigBit(queueLen int) mac.Control {
-	c := mac.MakeControl(1)
-	c.SetBit(0, queueLen >= e.m.Threshold())
-	return c
+func newMBTFEngine(members []int) *mbtfEngine {
+	return &mbtfEngine{m: broadcast.NewMBTF(members), ctrl: mac.MakeControl(1)}
+}
+
+func (e *mbtfEngine) Holder() int                   { return e.m.Holder() }
+func (e *mbtfEngine) ObserveHeard(ctrl mac.Control) { e.m.ObserveHeard(ctrl.Bit(0)) }
+func (e *mbtfEngine) ObserveSilence()               { e.m.ObserveSilence() }
+func (e *mbtfEngine) BigBit(queueLen int) mac.Control {
+	e.ctrl.SetBit(0, queueLen >= e.m.Threshold())
+	return e.ctrl
 }
 
 type rrwEngine struct{ r *broadcast.Ring }
@@ -175,8 +184,16 @@ type station struct {
 	id  int
 	lay *Layout
 
-	engines map[int32]threadEngine
-	queues  map[int32]*pktq.Queue
+	// The station's thread-local state is laid out densely in membership
+	// order (threads = lay.threadsOf[id], sorted ascending). The active
+	// thread visits 0..γ−1 in round order, so a cursor into the sorted
+	// membership list replaces a per-round map lookup: the station is on
+	// duty exactly when the active thread equals threads[cursor].
+	threads []int32
+	engines []threadEngine
+	queues  []*pktq.Queue
+	localOf map[int32]int // global thread → membership index (cold paths)
+	cursor  int
 
 	staging  []mac.Packet    // injected this phase, allocated at next boundary
 	counters map[int][]int64 // dest → per-eligible-thread allocation counts
@@ -186,21 +203,25 @@ type station struct {
 }
 
 func newStation(id int, lay *Layout, rrw bool) *station {
+	threads := lay.threadsOf[id]
 	s := &station{
 		id: id, lay: lay,
-		engines:   make(map[int32]threadEngine, len(lay.threadsOf[id])),
-		queues:    make(map[int32]*pktq.Queue, len(lay.threadsOf[id])),
+		threads:   threads,
+		engines:   make([]threadEngine, len(threads)),
+		queues:    make([]*pktq.Queue, len(threads)),
+		localOf:   make(map[int32]int, len(threads)),
 		counters:  make(map[int][]int64),
 		curPhase:  -1,
 		pendingTx: -1,
 	}
-	for _, t := range lay.threadsOf[id] {
+	for i, t := range threads {
 		if rrw {
-			s.engines[t] = rrwEngine{broadcast.NewRing(lay.members[t])}
+			s.engines[i] = rrwEngine{broadcast.NewRing(lay.members[t])}
 		} else {
-			s.engines[t] = mbtfEngine{broadcast.NewMBTF(lay.members[t])}
+			s.engines[i] = newMBTFEngine(lay.members[t])
 		}
-		s.queues[t] = pktq.New()
+		s.queues[i] = pktq.New(lay.N)
+		s.localOf[t] = i
 	}
 	return s
 }
@@ -224,7 +245,7 @@ func (s *station) allocate() {
 			}
 		}
 		cnt[best]++
-		s.queues[el[best]].Push(p)
+		s.queues[s.localOf[el[best]]].Push(p)
 	}
 	s.staging = s.staging[:0]
 }
@@ -233,18 +254,22 @@ func (s *station) Act(round int64) core.Action {
 	phase := round / int64(s.lay.Gamma)
 	if phase != s.curPhase {
 		s.curPhase = phase
+		s.cursor = 0
 		s.allocate()
 	}
 	s.pendingTx = -1
 	t := s.lay.ActiveThread(round)
-	eng, member := s.engines[t]
-	if !member {
+	for s.cursor < len(s.threads) && s.threads[s.cursor] < t {
+		s.cursor++
+	}
+	if s.cursor >= len(s.threads) || s.threads[s.cursor] != t {
 		return core.Off()
 	}
+	eng := s.engines[s.cursor]
 	if eng.Holder() != s.id {
 		return core.Listen()
 	}
-	q := s.queues[t]
+	q := s.queues[s.cursor]
 	front, ok := q.Front()
 	if !ok {
 		return core.Listen()
@@ -254,12 +279,13 @@ func (s *station) Act(round int64) core.Action {
 }
 
 func (s *station) Observe(round int64, fb mac.Feedback) {
-	t := s.lay.ActiveThread(round)
-	eng := s.engines[t]
+	// Observe is only called for switched-on rounds, when Act left the
+	// cursor on the active thread.
+	eng := s.engines[s.cursor]
 	switch fb.Kind {
 	case mac.FbHeard:
 		if s.pendingTx >= 0 {
-			s.queues[t].Remove(s.pendingTx)
+			s.queues[s.cursor].Remove(s.pendingTx)
 			s.pendingTx = -1
 		}
 		eng.ObserveHeard(fb.Msg.Ctrl)
@@ -279,8 +305,8 @@ func (s *station) QueueLen() int {
 func (s *station) HeldPackets() []mac.Packet {
 	out := make([]mac.Packet, 0, s.QueueLen())
 	out = append(out, s.staging...)
-	for _, t := range s.lay.threadsOf[s.id] {
-		out = append(out, s.queues[t].Snapshot()...)
+	for _, q := range s.queues {
+		out = q.AppendTo(out)
 	}
 	return out
 }

@@ -52,6 +52,14 @@ type station struct {
 
 	taught     map[int][]bool // conductor → receive mask for its next conducting season
 	activeMask []bool         // snapshot of taught[conductor] for the current season
+	// maskBufs double-buffers the taught masks per conductor: a mask is
+	// written during one of the conductor's seasons and read (as
+	// activeMask) during the next, so two buffers per conductor suffice
+	// and learning allocates nothing in steady state.
+	maskBufs map[int]*[2][]bool
+	maskFlip map[int]int
+
+	ctrl mac.Control // conductor's reused teaching-message buffer
 
 	curSeason   int64
 	announceBig bool // conductor: my big status this season
@@ -72,8 +80,11 @@ func New(n int) (*core.System, error) {
 	for i := 0; i < n; i++ {
 		stations[i] = &station{
 			id: i, n: n,
+			ctrl:      mac.MakeControl(1 + n - 1),
+			maskBufs:  make(map[int]*[2][]bool),
+			maskFlip:  make(map[int]int),
 			list:      batonlist.New(ids),
-			pending:   pktq.New(),
+			pending:   pktq.New(n),
 			taught:    make(map[int][]bool),
 			curSeason: -1,
 		}
@@ -134,12 +145,14 @@ func (s *station) endSeason() {
 			panic(fmt.Sprintf("orchestra: station %d ends its season with %d/%d scheduled packets delivered",
 				s.id, s.delivered, len(s.sigmaCur)))
 		}
-		s.sigmaCur, s.sigmaNext = s.sigmaNext, nil
+		// The outgoing sigmaCur is fully delivered: recycle its backing
+		// array for the schedule drawn next season.
+		s.sigmaCur, s.sigmaNext = s.sigmaNext, s.sigmaCur[:0]
 		s.delivered = 0
 		for _, p := range s.fresh {
 			s.pending.Push(p)
 		}
-		s.fresh = nil
+		s.fresh = s.fresh[:0]
 	}
 }
 
@@ -163,7 +176,7 @@ func (s *station) startSeason(season int64) {
 	if s.pending.Len() < slots {
 		slots = s.pending.Len()
 	}
-	s.sigmaNext = make([]mac.Packet, 0, slots)
+	s.sigmaNext = s.sigmaNext[:0]
 	for i := 0; i < slots; i++ {
 		p, _ := s.pending.PopFront()
 		s.sigmaNext = append(s.sigmaNext, p)
@@ -185,7 +198,10 @@ func (s *station) Act(round int64) core.Action {
 		// Control bits: toggle bit plus the learner's receive mask for my
 		// next conducting season.
 		learner := s.learnerOf(j, conductor)
-		ctrl := mac.MakeControl(1 + s.n - 1)
+		ctrl := s.ctrl
+		for i := range ctrl {
+			ctrl[i] = 0
+		}
 		ctrl.SetBit(0, s.announceBig)
 		for slot, p := range s.sigmaNext {
 			if p.Dest == learner {
@@ -226,7 +242,7 @@ func (s *station) Observe(round int64, fb mac.Feedback) {
 		return
 	}
 	if s.learnerOf(j, conductor) == s.id {
-		mask := make([]bool, s.seasonLen())
+		mask := s.nextMaskBuf(conductor)
 		for slot := range mask {
 			mask[slot] = fb.Msg.Ctrl.Bit(1 + slot)
 		}
@@ -235,6 +251,22 @@ func (s *station) Observe(round int64, fb mac.Feedback) {
 			s.seasonBig = true
 		}
 	}
+}
+
+// nextMaskBuf returns the mask buffer to fill for the conductor's next
+// season: the one not currently aliased by a possibly-active mask.
+func (s *station) nextMaskBuf(conductor int) []bool {
+	bufs := s.maskBufs[conductor]
+	if bufs == nil {
+		bufs = &[2][]bool{}
+		s.maskBufs[conductor] = bufs
+	}
+	flip := 1 - s.maskFlip[conductor]
+	s.maskFlip[conductor] = flip
+	if bufs[flip] == nil {
+		bufs[flip] = make([]bool, s.seasonLen())
+	}
+	return bufs[flip]
 }
 
 func (s *station) QueueLen() int {

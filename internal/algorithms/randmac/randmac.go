@@ -64,8 +64,15 @@ func NewLayout(n, k int, seed uint64) (*Layout, error) {
 // across all replicas: the first k entries of a seeded Fisher-Yates
 // shuffle of [0, n).
 func (l *Layout) OnSet(round int64) []int {
+	return l.OnSetInto(round, make([]int, l.N))
+}
+
+// OnSetInto computes OnSet into the caller's scratch slice (which must
+// have length N) and returns its first K entries — the allocation-free
+// variant used by the station hot path. The result aliases perm and is
+// only valid until the next call with the same scratch.
+func (l *Layout) OnSetInto(round int64, perm []int) []int {
 	state := l.Seed ^ splitmix64(uint64(round%period)+1)
-	perm := make([]int, l.N)
 	for i := range perm {
 		perm[i] = i
 	}
@@ -77,13 +84,17 @@ func (l *Layout) OnSet(round int64) []int {
 	return perm[:l.K]
 }
 
-// Schedule returns the oblivious on/off schedule.
+// Schedule returns the oblivious on/off schedule. The returned schedule
+// reuses one internal scratch buffer and must not be queried from
+// multiple goroutines concurrently (each simulation builds its own
+// system, so this never happens in practice).
 func (l *Layout) Schedule() sched.Schedule {
+	scratch := make([]int, l.N)
 	return sched.Func{
 		N: l.N,
 		P: period,
 		F: func(st int, round int64) bool {
-			for _, s := range l.OnSet(round) {
+			for _, s := range l.OnSetInto(round, scratch) {
 				if s == st {
 					return true
 				}
@@ -94,10 +105,11 @@ func (l *Layout) Schedule() sched.Schedule {
 }
 
 type station struct {
-	id  int
-	lay *Layout
-	q   *pktq.Queue
-	rng *rand.Rand
+	id   int
+	lay  *Layout
+	q    *pktq.Queue
+	rng  *rand.Rand
+	perm []int // OnSetInto scratch, reused every round
 
 	pendingTx int64
 }
@@ -106,7 +118,7 @@ func (s *station) Inject(p mac.Packet) { s.q.Push(p) }
 
 func (s *station) Act(round int64) core.Action {
 	s.pendingTx = -1
-	onSet := s.lay.OnSet(round)
+	onSet := s.lay.OnSetInto(round, s.perm)
 	myTurn := false
 	for _, st := range onSet {
 		if st == s.id {
@@ -165,8 +177,9 @@ func NewSeeded(n, k int, seed uint64) (*core.System, error) {
 		stations[i] = &station{
 			id:        i,
 			lay:       lay,
-			q:         pktq.New(),
+			q:         pktq.New(n),
 			rng:       rand.New(rand.NewSource(int64(seed) + int64(i)*7919)),
+			perm:      make([]int, n),
 			pendingTx: -1,
 		}
 	}

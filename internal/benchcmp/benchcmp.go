@@ -1,0 +1,234 @@
+// Package benchcmp defines the schema of the BENCH_<rev>.json files
+// emitted by cmd/earmac-bench and the regression comparison the CI bench
+// job gates on: a current run fails against the committed baseline when
+// simulator throughput drops by more than the tolerance or when any row
+// starts allocating more per round.
+//
+// Raw Mrounds/s is machine-dependent, so every bench file carries a
+// calibration scalar — the measured speed of a fixed pure-CPU workload —
+// and the comparison rescales the baseline's throughput by the
+// calibration ratio before applying the tolerance. Allocation counts and
+// the deterministic simulation outputs (queue_max, energy) are
+// machine-independent and compared directly.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema is the current bench-file schema version. Compare refuses files
+// with a different major schema so a stale baseline fails loudly instead
+// of silently gating on garbage.
+const Schema = 1
+
+// Row is one benchmark's measurements.
+type Row struct {
+	// ID identifies the workload ("T1.5", "SUB.mbtf", ...). Rows are
+	// matched across files by ID.
+	ID    string `json:"id"`
+	Label string `json:"label,omitempty"`
+	// Rounds is the simulated horizon.
+	Rounds int64 `json:"rounds"`
+	// MroundsPerS is the measured throughput in millions of simulated
+	// rounds per wall-clock second.
+	MroundsPerS float64 `json:"mrounds_per_s"`
+	// AllocsPerRound is heap allocations per simulated round.
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	// QueueMax and Energy are deterministic simulation outputs (fixed
+	// seeds), useful for spotting semantic drift between revisions.
+	QueueMax int64   `json:"queue_max"`
+	Energy   float64 `json:"energy"`
+}
+
+// File is one bench run.
+type File struct {
+	Schema    int    `json:"schema"`
+	Rev       string `json:"rev"`
+	GoVersion string `json:"go_version"`
+	Quick     bool   `json:"quick,omitempty"`
+	// CalibrationMops is the speed of a fixed pure-CPU workload on the
+	// machine that produced the file, in millions of operations per
+	// second. It normalizes cross-machine throughput comparisons.
+	CalibrationMops float64 `json:"calibration_mops,omitempty"`
+	Rows            []Row   `json:"rows"`
+}
+
+// Load reads and validates a bench file.
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a bench file.
+func Parse(data []byte) (File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("benchcmp: %w", err)
+	}
+	if f.Schema != Schema {
+		return File{}, fmt.Errorf("benchcmp: schema %d, want %d", f.Schema, Schema)
+	}
+	seen := make(map[string]bool, len(f.Rows))
+	for _, r := range f.Rows {
+		if r.ID == "" {
+			return File{}, fmt.Errorf("benchcmp: row with empty id")
+		}
+		if seen[r.ID] {
+			return File{}, fmt.Errorf("benchcmp: duplicate row %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return f, nil
+}
+
+// Default comparison thresholds (see Options).
+const (
+	// DefaultSpeedDropTolerance permits a 15% calibrated throughput drop.
+	DefaultSpeedDropTolerance = 0.15
+	// DefaultAllocsSlack absorbs measurement jitter of one allocation
+	// per hundred rounds; any growth beyond it fails the gate.
+	DefaultAllocsSlack = 0.01
+)
+
+// Options tunes the comparison. The zero value is the strictest
+// possible gate (no tolerated slowdown, no tolerated allocation
+// growth); negative values select the documented defaults, so a caller
+// passing an explicit 0 gets exactly zero tolerance rather than
+// silently falling back to a default.
+type Options struct {
+	// SpeedDropTolerance is the permitted relative throughput drop
+	// (0.15 = a row may be up to 15% slower than the calibrated
+	// baseline). Negative means DefaultSpeedDropTolerance.
+	SpeedDropTolerance float64
+	// AllocsSlack is the permitted absolute growth in allocs/round
+	// (guards against measurement jitter on rows that are not exactly
+	// zero). Negative means DefaultAllocsSlack.
+	AllocsSlack float64
+	// NoCalibration disables rescaling the baseline throughput by the
+	// files' calibration ratio.
+	NoCalibration bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SpeedDropTolerance < 0 {
+		o.SpeedDropTolerance = DefaultSpeedDropTolerance
+	}
+	if o.AllocsSlack < 0 {
+		o.AllocsSlack = DefaultAllocsSlack
+	}
+	return o
+}
+
+// Kind classifies a finding.
+type Kind string
+
+const (
+	// KindSpeed: throughput dropped beyond the tolerance.
+	KindSpeed Kind = "speed"
+	// KindAllocs: allocs/round grew beyond the slack.
+	KindAllocs Kind = "allocs"
+	// KindMissing: a baseline row is absent from the current run.
+	KindMissing Kind = "missing"
+	// KindDrift: a deterministic simulation output (queue_max, energy)
+	// changed at an identical horizon — semantic drift, not a perf
+	// regression.
+	KindDrift Kind = "drift"
+)
+
+// Finding is one detected regression.
+type Finding struct {
+	ID     string
+	Kind   Kind
+	Detail string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s [%s]: %s", f.ID, f.Kind, f.Detail) }
+
+// Result is the outcome of a comparison.
+type Result struct {
+	// Compared counts the rows present in both files.
+	Compared int
+	// Ratio is the calibration ratio applied to the baseline throughput
+	// (1 when calibration was disabled or unavailable).
+	Ratio float64
+	// Findings lists the regressions, ordered by row ID.
+	Findings []Finding
+}
+
+// OK reports whether no regression was found.
+func (r Result) OK() bool { return len(r.Findings) == 0 }
+
+// Compare checks the current run against the baseline. Rows are matched
+// by ID; rows only present in the current run (new benchmarks) are
+// ignored, rows only present in the baseline are reported as missing.
+func Compare(base, cur File, opt Options) Result {
+	opt = opt.withDefaults()
+	ratio := 1.0
+	if !opt.NoCalibration && base.CalibrationMops > 0 && cur.CalibrationMops > 0 {
+		ratio = cur.CalibrationMops / base.CalibrationMops
+	}
+	curByID := make(map[string]Row, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curByID[r.ID] = r
+	}
+	res := Result{Ratio: ratio}
+	for _, b := range sortedRows(base.Rows) {
+		c, ok := curByID[b.ID]
+		if !ok {
+			res.Findings = append(res.Findings, Finding{
+				ID: b.ID, Kind: KindMissing,
+				Detail: "row present in baseline but not in the current run",
+			})
+			continue
+		}
+		res.Compared++
+		want := b.MroundsPerS * ratio * (1 - opt.SpeedDropTolerance)
+		if b.MroundsPerS > 0 && c.MroundsPerS < want {
+			res.Findings = append(res.Findings, Finding{
+				ID: b.ID, Kind: KindSpeed,
+				Detail: fmt.Sprintf("%.3f Mrounds/s < %.3f (baseline %.3f × calib %.2f − %.0f%%)",
+					c.MroundsPerS, want, b.MroundsPerS, ratio, opt.SpeedDropTolerance*100),
+			})
+		}
+		if c.AllocsPerRound > b.AllocsPerRound+opt.AllocsSlack {
+			res.Findings = append(res.Findings, Finding{
+				ID: b.ID, Kind: KindAllocs,
+				Detail: fmt.Sprintf("%.4f allocs/round > baseline %.4f + slack %.2f",
+					c.AllocsPerRound, b.AllocsPerRound, opt.AllocsSlack),
+			})
+		}
+		// Seeds are fixed, so at an identical horizon the simulation
+		// outputs must be bit-identical; a difference is semantic drift
+		// (different rounds — quick vs full files — are incomparable).
+		if b.Rounds == c.Rounds {
+			if c.QueueMax != b.QueueMax {
+				res.Findings = append(res.Findings, Finding{
+					ID: b.ID, Kind: KindDrift,
+					Detail: fmt.Sprintf("queue_max %d != baseline %d at identical horizon (semantic drift)",
+						c.QueueMax, b.QueueMax),
+				})
+			}
+			if diff := c.Energy - b.Energy; diff > 1e-9 || diff < -1e-9 {
+				res.Findings = append(res.Findings, Finding{
+					ID: b.ID, Kind: KindDrift,
+					Detail: fmt.Sprintf("energy %.6f != baseline %.6f at identical horizon (semantic drift)",
+						c.Energy, b.Energy),
+				})
+			}
+		}
+	}
+	return res
+}
+
+func sortedRows(rows []Row) []Row {
+	out := make([]Row, len(rows))
+	copy(out, rows)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

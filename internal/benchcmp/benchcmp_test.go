@@ -1,0 +1,173 @@
+package benchcmp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// defaults selects the documented default thresholds.
+func defaults() Options {
+	return Options{SpeedDropTolerance: -1, AllocsSlack: -1}
+}
+
+func file(calib float64, rows ...Row) File {
+	return File{Schema: Schema, Rev: "test", GoVersion: "go0", CalibrationMops: calib, Rows: rows}
+}
+
+func row(id string, speed, allocs float64) Row {
+	return Row{ID: id, Rounds: 1000, MroundsPerS: speed, AllocsPerRound: allocs}
+}
+
+func findKinds(r Result) map[string][]Kind {
+	out := make(map[string][]Kind)
+	for _, f := range r.Findings {
+		out[f.ID] = append(out[f.ID], f.Kind)
+	}
+	return out
+}
+
+func TestCompareClean(t *testing.T) {
+	base := file(100, row("a", 2.0, 0), row("b", 5.0, 0.5))
+	cur := file(100, row("a", 1.9, 0), row("b", 5.5, 0.5))
+	res := Compare(base, cur, defaults())
+	if !res.OK() {
+		t.Errorf("unexpected findings: %v", res.Findings)
+	}
+	if res.Compared != 2 {
+		t.Errorf("Compared = %d, want 2", res.Compared)
+	}
+}
+
+func TestCompareSpeedRegression(t *testing.T) {
+	base := file(100, row("a", 2.0, 0))
+	cur := file(100, row("a", 1.5, 0)) // 25% drop > 15% tolerance
+	res := Compare(base, cur, defaults())
+	kinds := findKinds(res)
+	if len(kinds["a"]) != 1 || kinds["a"][0] != KindSpeed {
+		t.Errorf("findings = %v, want one speed regression on a", res.Findings)
+	}
+}
+
+func TestCompareSpeedToleranceBoundary(t *testing.T) {
+	base := file(100, row("a", 2.0, 0))
+	// Exactly at the 15% boundary: not a regression.
+	cur := file(100, row("a", 1.7, 0))
+	if res := Compare(base, cur, defaults()); !res.OK() {
+		t.Errorf("boundary flagged: %v", res.Findings)
+	}
+	// Custom tolerance: 10% drop fails at 5% tolerance.
+	cur = file(100, row("a", 1.8, 0))
+	if res := Compare(base, cur, Options{SpeedDropTolerance: 0.05, AllocsSlack: -1}); res.OK() {
+		t.Error("10% drop passed a 5% tolerance")
+	}
+}
+
+func TestCompareCalibrationRescaling(t *testing.T) {
+	// The current machine is half as fast (calibration 50 vs 100):
+	// half the throughput is expected, not a regression.
+	base := file(100, row("a", 2.0, 0))
+	cur := file(50, row("a", 1.0, 0))
+	res := Compare(base, cur, defaults())
+	if !res.OK() {
+		t.Errorf("calibrated comparison flagged: %v", res.Findings)
+	}
+	if res.Ratio != 0.5 {
+		t.Errorf("Ratio = %v, want 0.5", res.Ratio)
+	}
+	// With calibration disabled the same numbers are a regression.
+	if res := Compare(base, cur, Options{NoCalibration: true, SpeedDropTolerance: -1, AllocsSlack: -1}); res.OK() {
+		t.Error("uncalibrated 50% drop passed")
+	}
+	// Missing calibration on either side disables rescaling.
+	res = Compare(file(0, row("a", 2.0, 0)), cur, defaults())
+	if res.Ratio != 1 {
+		t.Errorf("Ratio = %v without baseline calibration, want 1", res.Ratio)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	base := file(100, row("a", 2.0, 0), row("b", 2.0, 1.0))
+	cur := file(100, row("a", 2.0, 0.2), row("b", 2.0, 1.005))
+	res := Compare(base, cur, defaults())
+	kinds := findKinds(res)
+	if len(kinds["a"]) != 1 || kinds["a"][0] != KindAllocs {
+		t.Errorf("findings = %v, want one allocs regression on a", res.Findings)
+	}
+	if len(kinds["b"]) != 0 {
+		t.Errorf("b within slack flagged: %v", res.Findings)
+	}
+}
+
+func TestCompareMissingAndNewRows(t *testing.T) {
+	base := file(100, row("a", 2.0, 0), row("gone", 2.0, 0))
+	cur := file(100, row("a", 2.0, 0), row("new", 9.0, 0))
+	res := Compare(base, cur, defaults())
+	kinds := findKinds(res)
+	if len(kinds["gone"]) != 1 || kinds["gone"][0] != KindMissing {
+		t.Errorf("findings = %v, want missing row 'gone'", res.Findings)
+	}
+	if len(kinds["new"]) != 0 {
+		t.Error("new row flagged")
+	}
+	if res.Compared != 1 {
+		t.Errorf("Compared = %d, want 1", res.Compared)
+	}
+}
+
+func TestParseRejectsBadFiles(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"schema": 99, "rows": []}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	dup, _ := json.Marshal(file(1, row("x", 1, 0), row("x", 2, 0)))
+	if _, err := Parse(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate rows accepted (err=%v)", err)
+	}
+	empty, _ := json.Marshal(file(1, Row{ID: ""}))
+	if _, err := Parse(empty); err == nil {
+		t.Error("empty row id accepted")
+	}
+	good, _ := json.Marshal(file(1, row("x", 1, 0)))
+	if _, err := Parse(good); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{ID: "T1.1", Kind: KindSpeed, Detail: "slow"}
+	if got := f.String(); !strings.Contains(got, "T1.1") || !strings.Contains(got, "speed") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCompareSemanticDrift(t *testing.T) {
+	b := row("a", 2.0, 0)
+	b.QueueMax, b.Energy = 160, 2.75
+	c := b
+	c.QueueMax = 161
+	res := Compare(file(100, b), file(100, c), defaults())
+	kinds := findKinds(res)
+	if len(kinds["a"]) != 1 || kinds["a"][0] != KindDrift {
+		t.Errorf("findings = %v, want one drift finding", res.Findings)
+	}
+	// Energy drift is also flagged.
+	c = b
+	c.Energy = 2.7501
+	if res := Compare(file(100, b), file(100, c), defaults()); len(res.Findings) != 1 || res.Findings[0].Kind != KindDrift {
+		t.Errorf("energy drift findings = %v", res.Findings)
+	}
+	// Different horizons (quick vs full files) are incomparable: no drift.
+	c = b
+	c.Rounds = b.Rounds * 4
+	c.QueueMax = 999
+	if res := Compare(file(100, b), file(100, c), defaults()); !res.OK() {
+		t.Errorf("cross-horizon drift flagged: %v", res.Findings)
+	}
+	// Identical outputs: clean.
+	if res := Compare(file(100, b), file(100, b), defaults()); !res.OK() {
+		t.Errorf("identical outputs flagged: %v", res.Findings)
+	}
+}

@@ -165,8 +165,8 @@ func TestRRWDrainsCompletely(t *testing.T) {
 	if tr.Pending() != 0 {
 		t.Errorf("pending = %d after drain; %s", tr.Pending(), tr.Summary())
 	}
-	if tr.FinalQueue() != 0 {
-		t.Errorf("final queue = %d", tr.FinalQueue())
+	if tr.FinalQueue != 0 {
+		t.Errorf("final queue = %d", tr.FinalQueue)
 	}
 }
 

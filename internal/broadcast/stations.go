@@ -37,7 +37,7 @@ func newRRWStation(id int, members []int, oldFirst bool) *rrwStation {
 	s := &rrwStation{
 		id:        id,
 		ring:      NewRing(members),
-		q:         pktq.New(),
+		q:         pktq.New(len(members)),
 		pendingTx: -1,
 		oldFirst:  oldFirst,
 	}
@@ -98,11 +98,15 @@ type mbtfStation struct {
 	id        int
 	m         *MBTF
 	q         *pktq.Queue
+	ctrl      mac.Control // reused big-bit buffer; receivers never retain it
 	pendingTx int64
 }
 
 func newMBTFStation(id int, members []int) *mbtfStation {
-	return &mbtfStation{id: id, m: NewMBTF(members), q: pktq.New(), pendingTx: -1}
+	return &mbtfStation{
+		id: id, m: NewMBTF(members), q: pktq.New(len(members)),
+		ctrl: mac.MakeControl(1), pendingTx: -1,
+	}
 }
 
 func (s *mbtfStation) Inject(p mac.Packet) { s.q.Push(p) }
@@ -117,9 +121,8 @@ func (s *mbtfStation) Act(round int64) core.Action {
 		return core.Listen()
 	}
 	s.pendingTx = front.ID
-	ctrl := mac.MakeControl(1)
-	ctrl.SetBit(0, s.q.Len() >= s.m.Threshold())
-	return core.Transmit(mac.Message{HasPacket: true, Packet: front, Ctrl: ctrl})
+	s.ctrl.SetBit(0, s.q.Len() >= s.m.Threshold())
+	return core.Transmit(mac.Message{HasPacket: true, Packet: front, Ctrl: s.ctrl})
 }
 
 func (s *mbtfStation) Observe(round int64, fb mac.Feedback) {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"earmac/internal/mac"
+	"earmac/internal/metrics"
 )
 
 // chaosProto acts randomly every round — on/off, listen/transmit, light
@@ -126,5 +127,45 @@ func TestChaosWithConservationCatchesLoss(t *testing.T) {
 	err := sim.Run(1000)
 	if err == nil {
 		t.Error("conservation check should fail for protocols without PacketHolder")
+	}
+}
+
+// chaosRun drives n chaos protocols for the given rounds on the chosen
+// path and returns the flat counters.
+func chaosRun(t *testing.T, seed int64, n int, rounds int64, opt Options) metrics.Counters {
+	t.Helper()
+	protos := make([]Protocol, n)
+	for i := range protos {
+		protos[i] = &chaosProto{rng: rand.New(rand.NewSource(seed + int64(i)))}
+	}
+	system := &System{
+		Info:     AlgorithmInfo{Name: "chaos", EnergyCap: n},
+		Stations: protos,
+	}
+	tr := metrics.NewTracker()
+	opt.Tracker = tr
+	sim := NewSim(system, &chaosAdv{rng: rand.New(rand.NewSource(seed ^ 0x5eed)), n: n}, opt)
+	if sim.FastPath() == (opt.ForceChecked || opt.Tracer != nil) {
+		t.Fatal("path selection does not match options")
+	}
+	if err := sim.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Counters
+}
+
+// TestChaosFastCheckedEquivalence replays identical chaos executions —
+// including collisions, light messages, and deliberate packet loss, which
+// the deterministic algorithms never produce — through the fast and the
+// fully-checked round loop and requires bit-identical flat counters.
+func TestChaosFastCheckedEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		n := 2 + int(seed%5)
+		fast := chaosRun(t, seed, n, 4000, Options{})
+		checked := chaosRun(t, seed, n, 4000, Options{ForceChecked: true})
+		if fast != checked {
+			t.Errorf("seed %d: fast and checked counters differ:\nfast:    %+v\nchecked: %+v",
+				seed, fast, checked)
+		}
 	}
 }

@@ -118,6 +118,18 @@ type Adversary interface {
 	Inject(round int64) []Injection
 }
 
+// InjectAppender is an optional Adversary extension for the simulator's
+// allocation-free round loop: InjectAppend appends this round's
+// injections to buf and returns the extended slice, so the caller can
+// reuse one scratch buffer across rounds. The simulator detects the
+// capability once at NewSim and then calls InjectAppend instead of
+// Inject on every round; the two must produce the same injections.
+// The returned slice is owned by the caller and is only valid until the
+// next call.
+type InjectAppender interface {
+	InjectAppend(round int64, buf []Injection) []Injection
+}
+
 // RoundObserver is an optional Adversary extension for adaptive
 // adversaries (e.g. the Lemma 1 construction) that react to which
 // stations were switched on. ObserveRound is called after each round with

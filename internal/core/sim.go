@@ -20,20 +20,50 @@ type Options struct {
 	Tracker *metrics.Tracker
 	// Tracer, when non-nil, receives a full view of every round.
 	Tracer Tracer
+	// ForceChecked keeps the fully-validating round loop even when the
+	// fast path would apply (see Sim.FastPath). Used by the equivalence
+	// tests; never needed in normal operation.
+	ForceChecked bool
 }
 
 // Sim drives one system against one adversary.
+//
+// At construction the simulator selects one of two round loops:
+//
+//   - The checked path runs every model validation the paper states —
+//     per-round schedule conformance, conservation tracking, tracing.
+//     It is selected in strict mode, when a Tracer is attached, or when
+//     conservation checking (Options.CheckEvery) is on.
+//   - The fast path is the steady-state loop used by benchmarks and
+//     sweeps: no tracer, no conservation bookkeeping, no per-round
+//     schedule scan, and no allocation — injections land in a reused
+//     scratch buffer (see InjectAppender) and all statistics go to the
+//     tracker's flat counters. Cheap validations (energy cap, the
+//     transmit-while-off and plain-packet disciplines, injection ranges)
+//     still run, so the tracker totals match the checked path exactly
+//     for any well-behaved system; only schedule-conformance violations
+//     would go unnoticed.
 type Sim struct {
 	sys     *System
 	adv     Adversary
 	opt     Options
 	tracker *metrics.Tracker
+	fast    bool
+
+	// Adversary capabilities, resolved once so the round loop performs no
+	// per-round type assertions.
+	advAppend InjectAppender
+	roundObs  RoundObserver
+	queueObs  QueueObserver
+	fbObs     FeedbackObserver
 
 	round    int64
 	nextID   int64
 	actions  []Action
 	on       []bool
 	queueLen []int
+	injBuf   []Injection  // reused injection scratch (fast and checked path)
+	delBuf   []mac.Packet // reused delivered-packet scratch (checked path)
 	// live maps in-flight packet IDs to their packets; maintained only
 	// when conservation checking is enabled.
 	live      map[int64]mac.Packet
@@ -55,10 +85,17 @@ func NewSim(sys *System, adv Adversary, opt Options) *Sim {
 		on:       make([]bool, sys.N()),
 		queueLen: make([]int, sys.N()),
 	}
+	if adv != nil {
+		s.advAppend, _ = adv.(InjectAppender)
+		s.roundObs, _ = adv.(RoundObserver)
+		s.queueObs, _ = adv.(QueueObserver)
+		s.fbObs, _ = adv.(FeedbackObserver)
+	}
 	if opt.CheckEvery > 0 {
 		s.live = make(map[int64]mac.Packet)
 		s.delivered = make(map[int64]bool)
 	}
+	s.fast = !opt.Strict && opt.CheckEvery <= 0 && opt.Tracer == nil && !opt.ForceChecked
 	return s
 }
 
@@ -71,6 +108,11 @@ func (s *Sim) Round() int64 { return s.round }
 // System returns the simulated system.
 func (s *Sim) System() *System { return s.sys }
 
+// FastPath reports whether the allocation-free steady-state loop was
+// selected at construction (no strict mode, no conservation checking, no
+// tracer, not forced off).
+func (s *Sim) FastPath() bool { return s.fast }
+
 func (s *Sim) violate(format string, args ...any) error {
 	s.tracker.Violate(format, args...)
 	if s.opt.Strict {
@@ -82,24 +124,158 @@ func (s *Sim) violate(format string, args ...any) error {
 // Run executes the given number of rounds. In strict mode it stops at the
 // first model violation.
 func (s *Sim) Run(rounds int64) error {
+	if s.fast {
+		for i := int64(0); i < rounds; i++ {
+			s.stepFast()
+		}
+		return nil
+	}
 	for i := int64(0); i < rounds; i++ {
-		if err := s.Step(); err != nil {
+		if err := s.stepChecked(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Step executes one round.
+// Step executes one round on whichever path was selected at NewSim.
 func (s *Sim) Step() error {
+	if s.fast {
+		s.stepFast()
+		return nil
+	}
+	return s.stepChecked()
+}
+
+// inject obtains this round's injections, reusing the scratch buffer when
+// the adversary supports the append contract.
+func (s *Sim) inject(t int64) []Injection {
+	if s.advAppend != nil {
+		s.injBuf = s.advAppend.InjectAppend(t, s.injBuf[:0])
+		return s.injBuf
+	}
+	if s.adv != nil {
+		return s.adv.Inject(t)
+	}
+	return nil
+}
+
+// stepFast is the allocation-free steady-state round loop. It performs
+// the same channel resolution, delivery accounting, and cheap model
+// validation as the checked path (so tracker totals agree), but skips the
+// per-round schedule-conformance scan, conservation bookkeeping, and
+// tracing.
+func (s *Sim) stepFast() {
+	n := s.sys.N()
+	t := s.round
+	tr := s.tracker
+
+	// 1. Adversarial injection.
+	injs := s.inject(t)
+	for _, in := range injs {
+		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
+			tr.Violate("injection out of range: %+v", in)
+			continue
+		}
+		p := mac.Packet{ID: s.nextID, Src: in.Station, Dest: in.Dest, Injected: t}
+		s.nextID++
+		s.sys.Stations[in.Station].Inject(p)
+		tr.Injected++
+	}
+
+	// 2. Station actions. Unlike the checked path, only the transmitted
+	// message is retained — there is no tracer to hand the full action
+	// vector to.
+	energy := 0
+	transmitters := 0
+	lastTx := -1
+	var txMsg mac.Message
+	for i, st := range s.sys.Stations {
+		a := st.Act(t)
+		if a.On {
+			energy++
+		}
+		if a.Transmit {
+			if !a.On {
+				tr.Violate("station %d transmits while off", i)
+			} else {
+				transmitters++
+				lastTx = i
+				txMsg = a.Msg
+			}
+		}
+		s.on[i] = a.On
+	}
+
+	// 3. Model validation (cheap checks only; the schedule-conformance
+	// scan is checked-path-only).
+	if energy > s.sys.Info.EnergyCap {
+		tr.Violate("%d stations on exceeds energy cap %d", energy, s.sys.Info.EnergyCap)
+	}
+	if s.sys.Info.PlainPacket && transmitters == 1 {
+		if !txMsg.HasPacket || len(txMsg.Ctrl) > 0 {
+			tr.Violate("station %d violates plain-packet discipline (packet=%v, ctrl=%d bits)",
+				lastTx, txMsg.HasPacket, txMsg.Ctrl.Bits())
+		}
+	}
+
+	// 4. Channel resolution and ground-truth delivery.
+	var fb mac.Feedback
+	switch {
+	case transmitters == 0:
+		fb.Kind = mac.FbSilence
+		tr.SilentRounds++
+	case transmitters == 1:
+		msg := txMsg
+		fb = mac.Feedback{Kind: mac.FbHeard, Msg: msg}
+		tr.HeardRounds++
+		tr.ControlBits += int64(msg.Ctrl.Bits())
+		if msg.IsLight() {
+			tr.LightRounds++
+		} else if s.on[msg.Packet.Dest] {
+			tr.DeliveryRounds++
+			tr.ObserveDelivery(t - msg.Packet.Injected)
+		}
+	default:
+		fb.Kind = mac.FbCollision
+		tr.CollisionRounds++
+	}
+
+	// 5. Feedback to switched-on stations.
+	for i, st := range s.sys.Stations {
+		if s.on[i] {
+			st.Observe(t, fb)
+		}
+	}
+
+	if s.roundObs != nil {
+		s.roundObs.ObserveRound(t, s.on)
+	}
+	if s.fbObs != nil {
+		s.fbObs.ObserveFeedback(t, fb)
+	}
+
+	var totalQueue int64
+	for i, st := range s.sys.Stations {
+		l := st.QueueLen()
+		s.queueLen[i] = l
+		totalQueue += int64(l)
+	}
+	if s.queueObs != nil {
+		s.queueObs.ObserveQueues(t, s.queueLen)
+	}
+	tr.ObserveStationQueues(s.queueLen)
+	tr.ObserveRound(t, totalQueue, energy)
+	s.round++
+}
+
+// stepChecked executes one fully-validated round.
+func (s *Sim) stepChecked() error {
 	n := s.sys.N()
 	t := s.round
 
 	// 1. Adversarial injection.
-	var injs []Injection
-	if s.adv != nil {
-		injs = s.adv.Inject(t)
-	}
+	injs := s.inject(t)
 	for _, in := range injs {
 		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
 			if err := s.violate("injection out of range: %+v", in); err != nil {
@@ -168,7 +344,7 @@ func (s *Sim) Step() error {
 
 	// 4. Channel resolution and ground-truth delivery.
 	var fb mac.Feedback
-	var deliveredPkts []mac.Packet
+	deliveredPkts := s.delBuf[:0]
 	switch {
 	case transmitters == 0:
 		fb = mac.Feedback{Kind: mac.FbSilence}
@@ -199,6 +375,7 @@ func (s *Sim) Step() error {
 		fb = mac.Feedback{Kind: mac.FbCollision}
 		s.tracker.CollisionRounds++
 	}
+	s.delBuf = deliveredPkts
 
 	// 5. Feedback to switched-on stations.
 	for i, st := range s.sys.Stations {
@@ -207,11 +384,11 @@ func (s *Sim) Step() error {
 		}
 	}
 
-	if obs, ok := s.adv.(RoundObserver); ok && obs != nil {
-		obs.ObserveRound(t, s.on)
+	if s.roundObs != nil {
+		s.roundObs.ObserveRound(t, s.on)
 	}
-	if obs, ok := s.adv.(FeedbackObserver); ok && obs != nil {
-		obs.ObserveFeedback(t, fb)
+	if s.fbObs != nil {
+		s.fbObs.ObserveFeedback(t, fb)
 	}
 	if s.opt.Tracer != nil {
 		s.opt.Tracer.TraceRound(t, s.actions, fb, deliveredPkts)
@@ -223,8 +400,8 @@ func (s *Sim) Step() error {
 		s.queueLen[i] = l
 		totalQueue += int64(l)
 	}
-	if obs, ok := s.adv.(QueueObserver); ok && obs != nil {
-		obs.ObserveQueues(t, s.queueLen)
+	if s.queueObs != nil {
+		s.queueObs.ObserveQueues(t, s.queueLen)
 	}
 	s.tracker.ObserveStationQueues(s.queueLen)
 	s.tracker.ObserveRound(t, totalQueue, energy)

@@ -130,7 +130,7 @@ func Run(s Spec) (Outcome, error) {
 		Report:      report.FromTracker(sys.Info, sys.N(), tr),
 		Stable:      tr.LooksStable(),
 		MaxQueue:    tr.MaxQueue,
-		FinalQueue:  tr.FinalQueue(),
+		FinalQueue:  tr.FinalQueue,
 		Slope:       tr.QueueSlope(),
 		Growth:      tr.GrowthRatio(),
 		MaxLatency:  tr.MaxLatency,

@@ -18,25 +18,26 @@ type QueueSample struct {
 	Queue int64
 }
 
-// Tracker accumulates simulation statistics. The zero value is not
-// usable; call NewTracker.
-type Tracker struct {
-	// SampleEvery controls the queue time-series resolution: one sample is
-	// kept every SampleEvery rounds (default 1024 in NewTracker).
-	SampleEvery int64
-
+// Counters is the flat, comparable block of hot-path statistics. Every
+// field is a plain accumulator updated by simple stores and adds — no
+// allocation, no indirection — so the simulator's steady-state round loop
+// can feed it allocation-free; the rich views (percentiles, slopes,
+// stability heuristics) are derived on read by Tracker methods. Being a
+// plain comparable struct, two runs can be checked for identical totals
+// with ==.
+type Counters struct {
 	Rounds    int64
 	Injected  int64
 	Delivered int64
 
 	MaxQueue      int64
 	MaxQueueRound int64
-	finalQueue    int64
+	FinalQueue    int64
 
 	MaxLatency int64
-	latencySum int64
-	// latHist[b] counts deliveries with latency in [2^b, 2^(b+1)).
-	latHist [64]int64
+	LatencySum int64
+	// LatHist[b] counts deliveries with latency in [2^b, 2^(b+1)).
+	LatHist [64]int64
 
 	EnergySum int64
 	MaxEnergy int
@@ -47,6 +48,18 @@ type Tracker struct {
 	LightRounds     int64 // heard, but control bits only
 	DeliveryRounds  int64 // heard and the packet reached its destination
 	ControlBits     int64 // total control bits on heard messages
+}
+
+// Tracker accumulates simulation statistics. The zero value is not
+// usable; call NewTracker.
+type Tracker struct {
+	// SampleEvery controls the queue time-series resolution: one sample is
+	// kept every SampleEvery rounds (default 1024 in NewTracker). 0
+	// disables the time series (hot loops that only need the flat
+	// counters).
+	SampleEvery int64
+
+	Counters
 
 	Violations []string // model violations (energy cap, plain-packet, ...)
 
@@ -115,7 +128,7 @@ func (t *Tracker) ObserveRound(round int64, queue int64, energy int) {
 		t.MaxQueue = queue
 		t.MaxQueueRound = round
 	}
-	t.finalQueue = queue
+	t.Counters.FinalQueue = queue
 	if t.SampleEvery > 0 && round%t.SampleEvery == 0 {
 		t.samples = append(t.samples, QueueSample{Round: round, Queue: queue})
 	}
@@ -130,8 +143,8 @@ func (t *Tracker) ObserveDelivery(latency int64) {
 	if latency > t.MaxLatency {
 		t.MaxLatency = latency
 	}
-	t.latencySum += latency
-	t.latHist[bucketOf(latency)]++
+	t.LatencySum += latency
+	t.LatHist[bucketOf(latency)]++
 }
 
 func bucketOf(latency int64) int {
@@ -148,9 +161,6 @@ func (t *Tracker) Violate(format string, args ...any) {
 	}
 }
 
-// FinalQueue returns the queue size at the last observed round.
-func (t *Tracker) FinalQueue() int64 { return t.finalQueue }
-
 // Pending returns injected minus delivered packets.
 func (t *Tracker) Pending() int64 { return t.Injected - t.Delivered }
 
@@ -159,7 +169,7 @@ func (t *Tracker) MeanLatency() float64 {
 	if t.Delivered == 0 {
 		return 0
 	}
-	return float64(t.latencySum) / float64(t.Delivered)
+	return float64(t.LatencySum) / float64(t.Delivered)
 }
 
 // LatencyPercentile returns an upper bound for the p-quantile of delivery
@@ -174,8 +184,8 @@ func (t *Tracker) LatencyPercentile(p float64) int64 {
 		target = 1
 	}
 	var cum int64
-	for b := 0; b < len(t.latHist); b++ {
-		cum += t.latHist[b]
+	for b := 0; b < len(t.LatHist); b++ {
+		cum += t.LatHist[b]
 		if cum >= target {
 			if b == 63 {
 				return math.MaxInt64
@@ -264,7 +274,7 @@ func (t *Tracker) Summary() string {
 	fmt.Fprintf(&b, "rounds=%d injected=%d delivered=%d pending=%d\n",
 		t.Rounds, t.Injected, t.Delivered, t.Pending())
 	fmt.Fprintf(&b, "queue: max=%d (round %d) final=%d slope=%.6f growth=%.2f\n",
-		t.MaxQueue, t.MaxQueueRound, t.finalQueue, t.QueueSlope(), t.GrowthRatio())
+		t.MaxQueue, t.MaxQueueRound, t.Counters.FinalQueue, t.QueueSlope(), t.GrowthRatio())
 	fmt.Fprintf(&b, "latency: max=%d mean=%.1f p50<=%d p99<=%d\n",
 		t.MaxLatency, t.MeanLatency(), t.LatencyPercentile(0.5), t.LatencyPercentile(0.99))
 	fmt.Fprintf(&b, "energy: mean=%.3f max=%d\n", t.MeanEnergy(), t.MaxEnergy)
@@ -289,7 +299,7 @@ func (t *Tracker) LatencyBuckets() []struct {
 		UpTo  int64
 		Count int64
 	}
-	for b, c := range t.latHist {
+	for b, c := range t.LatHist {
 		if c == 0 {
 			continue
 		}

@@ -63,8 +63,8 @@ func TestRoundObservation(t *testing.T) {
 	if tr.MaxQueue != 9 || tr.MaxQueueRound != 3 {
 		t.Errorf("MaxQueue = %d @%d", tr.MaxQueue, tr.MaxQueueRound)
 	}
-	if tr.FinalQueue() != 2 {
-		t.Errorf("FinalQueue = %d", tr.FinalQueue())
+	if tr.FinalQueue != 2 {
+		t.Errorf("FinalQueue = %d", tr.FinalQueue)
 	}
 	if tr.MaxEnergy != 2 {
 		t.Errorf("MaxEnergy = %d", tr.MaxEnergy)

@@ -13,7 +13,7 @@ func pk(id int64, dest int) mac.Packet {
 }
 
 func TestEmptyQueue(t *testing.T) {
-	q := New()
+	q := New(10)
 	if q.Len() != 0 {
 		t.Error("new queue not empty")
 	}
@@ -38,7 +38,7 @@ func TestEmptyQueue(t *testing.T) {
 }
 
 func TestFIFOOrder(t *testing.T) {
-	q := New()
+	q := New(10)
 	for i := int64(0); i < 10; i++ {
 		q.Push(pk(i, int(i%3)))
 	}
@@ -54,7 +54,7 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestPerDestFIFO(t *testing.T) {
-	q := New()
+	q := New(10)
 	q.Push(pk(1, 5))
 	q.Push(pk(2, 7))
 	q.Push(pk(3, 5))
@@ -85,7 +85,7 @@ func TestPerDestFIFO(t *testing.T) {
 }
 
 func TestCounts(t *testing.T) {
-	q := New()
+	q := New(10)
 	dests := []int{0, 1, 1, 3, 3, 3, 7}
 	for i, d := range dests {
 		q.Push(pk(int64(i), d))
@@ -105,7 +105,7 @@ func TestCounts(t *testing.T) {
 }
 
 func TestRemoveByID(t *testing.T) {
-	q := New()
+	q := New(10)
 	for i := int64(0); i < 5; i++ {
 		q.Push(pk(i, 1))
 	}
@@ -134,7 +134,7 @@ func TestRemoveByID(t *testing.T) {
 }
 
 func TestRemoveHeadAndTail(t *testing.T) {
-	q := New()
+	q := New(10)
 	q.Push(pk(1, 0))
 	q.Push(pk(2, 0))
 	q.Push(pk(3, 0))
@@ -155,7 +155,7 @@ func TestRemoveHeadAndTail(t *testing.T) {
 }
 
 func TestPopPrefer(t *testing.T) {
-	q := New()
+	q := New(10)
 	q.Push(pk(1, 3))
 	q.Push(pk(2, 8))
 	p, ok := q.PopPrefer(8)
@@ -172,7 +172,7 @@ func TestPopPrefer(t *testing.T) {
 }
 
 func TestDuplicatePushPanics(t *testing.T) {
-	q := New()
+	q := New(10)
 	q.Push(pk(1, 0))
 	defer func() {
 		if recover() == nil {
@@ -183,7 +183,7 @@ func TestDuplicatePushPanics(t *testing.T) {
 }
 
 func TestGetAndEach(t *testing.T) {
-	q := New()
+	q := New(10)
 	q.Push(pk(10, 2))
 	q.Push(pk(11, 4))
 	p, ok := q.Get(11)
@@ -267,7 +267,7 @@ func (m *refModel) countLess(d int) int {
 func TestAgainstReferenceModel(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		q := New()
+		q := New(10)
 		ref := &refModel{}
 		nextID := int64(0)
 		for op := 0; op < 300; op++ {
@@ -319,4 +319,54 @@ func TestAgainstReferenceModel(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestDestIndexGrowth pushes destinations beyond the New hint and checks
+// the per-destination index grows transparently.
+func TestDestIndexGrowth(t *testing.T) {
+	q := New(2)
+	q.Push(pk(1, 0))
+	q.Push(pk(2, 17))
+	if q.Count(17) != 1 {
+		t.Errorf("Count(17) = %d after growth", q.Count(17))
+	}
+	if p, ok := q.PopFrontTo(17); !ok || p.ID != 2 {
+		t.Errorf("PopFrontTo(17) = %v, %v", p, ok)
+	}
+	if q.Count(17) != 0 || q.Len() != 1 {
+		t.Error("growth bookkeeping wrong after pop")
+	}
+}
+
+// TestFreeListReuse checks that a steady-state push/pop cycle recycles
+// arena nodes instead of growing the arena.
+func TestFreeListReuse(t *testing.T) {
+	q := New(4)
+	for i := int64(0); i < 8; i++ {
+		q.Push(pk(i, int(i%4)))
+	}
+	arena := len(q.nodes)
+	for i := int64(8); i < 5000; i++ {
+		if _, ok := q.PopFront(); !ok {
+			t.Fatal("pop failed")
+		}
+		q.Push(pk(i, int(i%4)))
+	}
+	if len(q.nodes) != arena {
+		t.Errorf("arena grew from %d to %d under steady state", arena, len(q.nodes))
+	}
+	if q.Len() != 8 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+// TestNegativeDestPanics documents the station-name keying contract.
+func TestNegativeDestPanics(t *testing.T) {
+	q := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative destination did not panic")
+		}
+	}()
+	q.Push(pk(1, -1))
 }

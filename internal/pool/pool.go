@@ -8,14 +8,24 @@ import (
 	"sync"
 )
 
-// RunIndexed invokes run(i) for i in [0, n) across a bounded worker pool
-// (workers <= 0 means GOMAXPROCS) and blocks until every dispatched call
-// returns. Dispatching stops early when ctx is cancelled; indices not
-// dispatched are simply never run. Returns ctx.Err().
-func RunIndexed(ctx context.Context, n, workers int, run func(i int)) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// Workers resolves a requested worker count to the effective pool size:
+// any value <= 0 means GOMAXPROCS. Every consumer of a -parallel style
+// knob (the Suite runner, the experiment harness, the CLIs) resolves
+// through this one function so the default is consistent everywhere.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
+	return requested
+}
+
+// RunIndexed invokes run(i) for i in [0, n) across a bounded worker pool
+// (workers <= 0 means GOMAXPROCS, per Workers) and blocks until every
+// dispatched call returns. Dispatching stops early when ctx is
+// cancelled; indices not dispatched are simply never run. Returns
+// ctx.Err().
+func RunIndexed(ctx context.Context, n, workers int, run func(i int)) error {
+	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,62 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkersDefaults(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	for _, req := range []int{0, -1, -100} {
+		if got := Workers(req); got != gmp {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS = %d", req, got, gmp)
+		}
+	}
+	for _, req := range []int{1, 2, 64} {
+		if got := Workers(req); got != req {
+			t.Errorf("Workers(%d) = %d", req, got)
+		}
+	}
+}
+
+func TestRunIndexedRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		seen := make([]bool, 37)
+		var mu sync.Mutex
+		err := RunIndexed(context.Background(), len(seen), workers, func(i int) {
+			mu.Lock()
+			seen[i] = true
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, s := range seen {
+			if !s {
+				t.Errorf("workers=%d: index %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunIndexedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	ran := 0
+	err := RunIndexed(ctx, 1000, 1, func(i int) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		if i == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran >= 1000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}

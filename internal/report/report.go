@@ -73,7 +73,7 @@ func FromTracker(info core.AlgorithmInfo, n int, tr *metrics.Tracker) Report {
 		Pending:   tr.Pending(),
 
 		MaxQueue:       tr.MaxQueue,
-		FinalQueue:     tr.FinalQueue(),
+		FinalQueue:     tr.FinalQueue,
 		QueueSlope:     tr.QueueSlope(),
 		GrowthRatio:    growth,
 		Stable:         tr.LooksStable(),
