@@ -1,9 +1,18 @@
 GITREV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: test bench bench-full baseline table
+.PHONY: test race fuzz bench bench-full baseline table
 
 test:
 	go build ./... && go test ./...
+
+# Full suite under the race detector (what the CI race job runs).
+race:
+	go test -race ./...
+
+# Fuzz smoke: same budget as the CI fuzz job.
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzBucket$$' -fuzztime 10s ./internal/adversary
+	go test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/scenario
 
 # Stamp a quick benchmark run for the current revision and gate it
 # against the committed baseline (what CI runs).

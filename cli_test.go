@@ -1,0 +1,106 @@
+package earmac
+
+// Golden-file tests for the CLI binaries' JSON output — the first tests
+// the CLIs have. Each test shells the real binary out through `go run`
+// (no network: the module has no dependencies) and compares stdout
+// byte-for-byte against a committed fixture. Everything the binaries
+// print is deterministic: seeded RNG, exact integer counters, and
+// float64 figures derived by a fixed sequence of IEEE operations (the
+// fixtures assume amd64-style non-fused arithmetic, like CI).
+// Regenerate with `go test -run TestCLI -update .`.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+const cliFixtureDir = "testdata/cli"
+
+// runCLI executes `go <args...>` in the repo root and returns stdout.
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go %v: %v\nstderr:\n%s", args, err, errb.String())
+	}
+	return out.Bytes()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join(cliFixtureDir, name)
+	if *update {
+		if err := os.MkdirAll(cliFixtureDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden fixture (%d bytes vs %d); regenerate with -update if the change is deliberate\ngot:\n%.2000s",
+			name, len(got), len(want), got)
+	}
+}
+
+func TestCLISimGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sim",
+		"-alg", "count-hop", "-n", "5", "-rho", "1/3", "-beta", "2",
+		"-pattern", "bernoulli", "-seed", "11", "-rounds", "20000", "-json")
+	checkGolden(t, "sim-count-hop-bernoulli.json", out)
+}
+
+func TestCLISimPhasedGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sim",
+		"-alg", "orchestra", "-n", "6", "-rho", "1/2", "-beta", "3",
+		"-phases", "quiet:2000,bursty:2000,poisson-batch:0",
+		"-seed", "5", "-rounds", "20000", "-json")
+	checkGolden(t, "sim-orchestra-phased.json", out)
+}
+
+func TestCLITableGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-table", "-json")
+	checkGolden(t, "table.json", out)
+}
+
+// TestCLISimRecordReplayIdentical closes the loop at the binary level:
+// a recorded run and its replay print byte-identical JSON reports.
+func TestCLISimRecordReplayIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	trace := filepath.Join(t.TempDir(), "run.trace.jsonl")
+	recorded := runCLI(t, "run", "./cmd/earmac-sim",
+		"-alg", "orchestra", "-n", "6", "-rho", "1/3", "-beta", "2",
+		"-pattern", "poisson-batch", "-seed", "3", "-rounds", "30000",
+		"-record", trace, "-json")
+	replayed := runCLI(t, "run", "./cmd/earmac-sim", "-replay", trace, "-json")
+	if !bytes.Equal(recorded, replayed) {
+		t.Errorf("replayed report differs from the recorded run:\nrecorded:\n%s\nreplayed:\n%s", recorded, replayed)
+	}
+	// And a checked-path replay agrees too (the recorded run already
+	// ran checked; -checked pins it explicitly).
+	checked := runCLI(t, "run", "./cmd/earmac-sim", "-replay", trace, "-checked", "-json")
+	if !bytes.Equal(recorded, checked) {
+		t.Errorf("checked replay differs from the recorded run")
+	}
+}

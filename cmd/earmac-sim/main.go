@@ -8,6 +8,16 @@
 //	earmac-sim -alg count-hop -n 6 -json          # Report in the shared JSON schema
 //	earmac-sim -alg orchestra -rounds 5000000 -progress
 //
+// Scenarios are data: a seeded stochastic pattern or a phase schedule
+// describes a whole workload, and any run can be recorded as a
+// replayable trace and re-executed bit-for-bit:
+//
+//	earmac-sim -alg orchestra -pattern bernoulli -seed 7 -rho 1/3
+//	earmac-sim -alg count-hop -phases quiet:4000,bursty:2000,poisson-batch:0
+//	earmac-sim -alg orchestra -pattern poisson-batch -record run.trace.jsonl
+//	earmac-sim -replay run.trace.jsonl -json      # same counters, bit-identical
+//	earmac-sim -replay run.trace.jsonl -checked   # replay on the checked path
+//
 // The run honours SIGINT: interrupting prints the measurements gathered
 // so far and exits 130 so scripts can tell a truncated horizon from a
 // completed one.
@@ -41,32 +51,78 @@ func main() {
 		rounds   = flag.Int64("rounds", 100000, "rounds to simulate")
 		stop     = flag.Int64("stop-injections", 0, "stop injecting after this round (0 = never), to observe draining")
 		lenient  = flag.Bool("lenient", false, "record model violations instead of aborting")
+		checked  = flag.Bool("checked", false, "force the fully-validating round loop (schedule-conformance scan included)")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON (shared Report schema)")
 		progress = flag.Bool("progress", false, "log interim progress snapshots to stderr")
 		traceN   = flag.Int64("trace", 0, "log this many rounds of channel events to stderr")
 		traceAt  = flag.Int64("trace-from", 0, "first round to trace")
+		phases   = flag.String("phases", "", "phase schedule pattern:rounds[,pattern:rounds...] (overrides -pattern; last rounds may be 0 = rest of run)")
+		record   = flag.String("record", "", "record a replayable injection trace (JSONL) to this file")
+		replay   = flag.String("replay", "", "replay a recorded trace; the trace's config supplies the scenario")
 	)
 	flag.Parse()
 
-	num, den, err := parseRho(*rho)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
-		os.Exit(2)
+	var cfg earmac.Config
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
+		tr, err := earmac.ReadTrace(f)
+		f.Close()
+		if err == nil {
+			cfg, err = earmac.ReplayConfig(tr)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
+		if *lenient {
+			cfg.Lenient = true
+		}
+	} else {
+		num, den, err := parseRho(*rho)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
+		cfg = earmac.Config{
+			Algorithm:           *alg,
+			N:                   *n,
+			K:                   *k,
+			RhoNum:              num,
+			RhoDen:              den,
+			Beta:                *beta,
+			Pattern:             *pattern,
+			Src:                 *src,
+			Dest:                *dest,
+			Seed:                *seed,
+			Rounds:              *rounds,
+			StopInjectionsAfter: *stop,
+			Lenient:             *lenient,
+		}
+		if *phases != "" {
+			ph, err := parsePhases(*phases)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+				os.Exit(2)
+			}
+			cfg.Phases = ph
+		}
 	}
-	cfg := earmac.Config{
-		Algorithm:           *alg,
-		N:                   *n,
-		K:                   *k,
-		RhoNum:              num,
-		RhoDen:              den,
-		Beta:                *beta,
-		Pattern:             *pattern,
-		Src:                 *src,
-		Dest:                *dest,
-		Seed:                *seed,
-		Rounds:              *rounds,
-		StopInjectionsAfter: *stop,
-		Lenient:             *lenient,
+	if *checked {
+		cfg.ForceChecked = true
+	}
+	var recordFile *os.File
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
+		recordFile = f
+		cfg.RecordTo = f
 	}
 	if *traceN > 0 {
 		cfg.Trace = os.Stderr
@@ -88,6 +144,12 @@ func main() {
 	defer cancel()
 	rep, err := earmac.RunContext(ctx, cfg)
 	interrupted := errors.Is(err, context.Canceled)
+	if recordFile != nil {
+		if cerr := recordFile.Close(); cerr != nil && err == nil {
+			err = cerr
+			interrupted = false
+		}
+	}
 	if err != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
 		os.Exit(1)
@@ -109,6 +171,24 @@ func main() {
 		// Distinguish a truncated horizon from a completed run for scripts.
 		os.Exit(130)
 	}
+}
+
+// parsePhases parses "pattern:rounds,pattern:rounds,..." into a phase
+// schedule; the last phase may give 0 rounds (rest of the run).
+func parsePhases(spec string) ([]earmac.Phase, error) {
+	var out []earmac.Phase
+	for _, part := range strings.Split(spec, ",") {
+		name, rounds, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad phase %q: want pattern:rounds", part)
+		}
+		r, err := strconv.ParseInt(rounds, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad phase %q: %v", part, err)
+		}
+		out = append(out, earmac.Phase{Pattern: name, Rounds: r})
+	}
+	return out, nil
 }
 
 func parseRho(s string) (num, den int64, err error) {

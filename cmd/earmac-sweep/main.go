@@ -12,6 +12,15 @@
 //	earmac-sweep -mode size -alg orchestra -rho 1/1        > size.csv
 //	earmac-sweep -mode rho  -alg count-hop -n 6 -json      > rho.json
 //	earmac-sweep -mode cap  -alg k-cycle  -n 13 -parallel 8
+//
+// Seed sweeps quantify run-to-run spread of stochastic scenarios; the
+// report is deterministic and independent of the worker count, so a
+// seed sweep is itself reproducible. -seeds also crosses seeds into any
+// other mode, and -record-dir captures every cell as a replayable
+// trace:
+//
+//	earmac-sweep -mode seed -alg orchestra -pattern bernoulli -seeds 1,2,3,4 > seeds.csv
+//	earmac-sweep -mode rho  -alg count-hop -pattern poisson-batch -seeds 5,6 -record-dir traces/
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -31,16 +41,19 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "rho", "sweep variable: rho, cap, or size")
-		alg      = flag.String("alg", "count-hop", "algorithm")
-		n        = flag.Int("n", 6, "number of stations (fixed for rho/cap sweeps)")
-		k        = flag.Int("k", 3, "energy cap parameter (fixed for rho/size sweeps)")
-		rho      = flag.String("rho", "1/2", "injection rate (fixed for cap/size sweeps)")
-		beta     = flag.Int64("beta", 1, "burstiness coefficient")
-		rounds   = flag.Int64("rounds", 100000, "rounds per point")
-		seed     = flag.Int64("seed", 1, "base pattern seed (each point derives its own)")
-		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		jsonOut  = flag.Bool("json", false, "emit the full SuiteReport as JSON instead of CSV")
+		mode      = flag.String("mode", "rho", "sweep variable: rho, cap, size, or seed")
+		alg       = flag.String("alg", "count-hop", "algorithm")
+		n         = flag.Int("n", 6, "number of stations (fixed for rho/cap sweeps)")
+		k         = flag.Int("k", 3, "energy cap parameter (fixed for rho/size sweeps)")
+		rho       = flag.String("rho", "1/2", "injection rate (fixed for cap/size sweeps)")
+		beta      = flag.Int64("beta", 1, "burstiness coefficient")
+		pattern   = flag.String("pattern", "uniform", "injection pattern")
+		rounds    = flag.Int64("rounds", 100000, "rounds per point")
+		seed      = flag.Int64("seed", 1, "base pattern seed (each point derives its own)")
+		seeds     = flag.String("seeds", "", "comma-separated seed list crossed into the sweep (default 1..8 for -mode seed)")
+		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		jsonOut   = flag.Bool("json", false, "emit the full SuiteReport as JSON instead of CSV")
+		recordDir = flag.String("record-dir", "", "record every cell as a replayable trace cell-NNN.trace.jsonl under this directory")
 	)
 	flag.Parse()
 
@@ -56,11 +69,25 @@ func main() {
 		Base: earmac.Config{
 			Algorithm: *alg, N: *n, K: *k,
 			RhoNum: num, RhoDen: den, Beta: *beta,
-			Rounds: *rounds, Seed: *seed,
+			Pattern: *pattern,
+			Rounds:  *rounds, Seed: *seed,
 			Lenient: true, DisableChecks: true,
 		},
 	}
+	if *seeds != "" {
+		list, err := parseSeeds(*seeds)
+		if err != nil {
+			fail(err)
+		}
+		grid.Seeds = list
+	}
 	switch *mode {
+	case "seed":
+		if len(grid.Seeds) == 0 {
+			for s := int64(1); s <= 8; s++ {
+				grid.Seeds = append(grid.Seeds, s)
+			}
+		}
 	case "rho":
 		// ρ from 1/10 up to 19/20 plus ρ = 1.
 		grid.Rhos = []earmac.Rho{
@@ -81,8 +108,27 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	suite := earmac.NewSuite(grid)
+	var traceFiles []*os.File
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			fail(err)
+		}
+		for i := range suite.Configs {
+			f, err := os.Create(filepath.Join(*recordDir, fmt.Sprintf("cell-%03d.trace.jsonl", i)))
+			if err != nil {
+				fail(err)
+			}
+			traceFiles = append(traceFiles, f)
+			suite.Configs[i].RecordTo = f
+		}
+	}
 	workers := pool.Workers(*parallel)
 	rep, err := suite.Run(ctx, earmac.SuiteOptions{Workers: workers})
+	for _, f := range traceFiles {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		fail(err)
@@ -104,7 +150,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("x,rho,n,k,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
+	fmt.Println("x,rho,n,k,seed,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
 	for _, res := range rep.Results {
 		if res.Verdict == earmac.VerdictSkipped {
 			continue
@@ -121,14 +167,28 @@ func main() {
 			x = strconv.Itoa(cfg.K)
 		case "size":
 			x = strconv.Itoa(cfg.N)
+		case "seed":
+			x = strconv.FormatInt(cfg.Seed, 10)
 		}
-		fmt.Printf("%s,%d/%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
-			x, cfg.RhoNum, cfg.RhoDen, cfg.N, cfg.K, r.Stable, r.MaxQueue, r.FinalQueue, r.QueueSlope,
-			r.MaxLatency, r.MeanLatency, r.P99Latency, r.MeanEnergy)
+		fmt.Printf("%s,%d/%d,%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
+			x, cfg.RhoNum, cfg.RhoDen, cfg.N, cfg.K, cfg.Seed, r.Stable, r.MaxQueue, r.FinalQueue,
+			r.QueueSlope, r.MaxLatency, r.MeanLatency, r.P99Latency, r.MeanEnergy)
 	}
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fail(err error) {

@@ -28,9 +28,16 @@
 // self-registration (see RegisterAlgorithm and RegisterPattern); each
 // entry carries metadata — energy cap, the paper's plain-packet / direct
 // / oblivious taxonomy flags, valid parameter ranges — so capabilities
-// can be enumerated and filtered without instantiating a system. See
-// DESIGN.md for the algorithm → paper-theorem mapping and the model
-// invariants the simulator checks.
+// can be enumerated and filtered without instantiating a system.
+//
+// Scenarios are data: seeded stochastic patterns ("bernoulli",
+// "poisson-batch", clipped online by the leaky bucket so every sampled
+// run respects its (ρ, β) contract), time-varying phase schedules
+// (Config.Phases), and a versioned replayable trace format
+// (Config.RecordTo, Config.Replay, ReadTrace, ReplayConfig) that
+// re-executes any run bit-for-bit. See DESIGN.md for the algorithm →
+// paper-theorem mapping, the model invariants the simulator checks, and
+// the scenario/trace determinism rules (§8).
 package earmac
 
 // Stamp a benchmark file for the current revision (same as `make bench`
@@ -39,6 +46,8 @@ package earmac
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 
 	"earmac/internal/adversary"
@@ -47,6 +56,7 @@ import (
 	"earmac/internal/ratio"
 	"earmac/internal/registry"
 	"earmac/internal/report"
+	"earmac/internal/scenario"
 	"earmac/internal/trace"
 )
 
@@ -68,6 +78,11 @@ type Config struct {
 	Beta int64 `json:"beta,omitempty"`
 	// Pattern is one of Patterns(). Default "uniform".
 	Pattern string `json:"pattern,omitempty"`
+	// Phases, when non-empty, replaces Pattern with a time-varying phase
+	// schedule composed from registered patterns (see Phase). Phase i
+	// builds its pattern with seed Seed+i, so phases draw independent
+	// randomness yet stay reproducible.
+	Phases []Phase `json:"phases,omitempty"`
 	// Src and Dest parameterize the targeted patterns (single-target,
 	// hot-source).
 	Src  int `json:"src,omitempty"`
@@ -96,6 +111,17 @@ type Config struct {
 	Trace     io.Writer `json:"-"`
 	TraceFrom int64     `json:"-"`
 	TraceUpTo int64     `json:"-"`
+	// RecordTo, when non-nil, receives a replayable injection trace of
+	// the run in the versioned JSONL format (header with this Config,
+	// one event line per injecting round, footer pinning the final
+	// counters). Recording works on both simulator paths and does not
+	// force the checked path.
+	RecordTo io.Writer `json:"-"`
+	// Replay, when non-nil, re-executes the recorded injection stream
+	// instead of running an adversary: Pattern, Phases, Seed, ρ and β
+	// are ignored for injection (they still describe the recorded run).
+	// Use ReplayConfig to assemble a faithful Config from a trace.
+	Replay *Trace `json:"-"`
 	// OnProgress, when non-nil, receives an interim snapshot every
 	// ProgressEvery rounds during RunContext (and at the final round).
 	OnProgress func(Progress) `json:"-"`
@@ -153,26 +179,60 @@ type Progress struct {
 	Report Report `json:"report"`
 }
 
+// buildPattern constructs the configured injection source: a single
+// registered pattern, or a phase schedule composed from several.
+func buildPattern(cfg Config) (adversary.Pattern, error) {
+	one := func(name string, seed int64) (adversary.Pattern, error) {
+		return adversary.BuildPattern(name, adversary.PatternParams{
+			N: cfg.N, Seed: seed, Src: cfg.Src, Dest: cfg.Dest,
+			RhoNum: cfg.RhoNum, RhoDen: cfg.RhoDen,
+		})
+	}
+	if len(cfg.Phases) == 0 {
+		return one(cfg.Pattern, cfg.Seed)
+	}
+	segs := make([]scenario.Segment, len(cfg.Phases))
+	for i, ph := range cfg.Phases {
+		p, err := one(ph.Pattern, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		segs[i] = scenario.Segment{Pattern: p, Rounds: ph.Rounds}
+	}
+	return scenario.NewPhased(segs)
+}
+
+// run bundles everything one simulation needs.
+type run struct {
+	sim *core.Sim
+	sys *core.System
+	tr  *metrics.Tracker
+	enc *scenario.Encoder // non-nil when recording a trace
+}
+
 // prepare validates the defaulted config and assembles the simulator.
-func prepare(cfg Config) (*core.Sim, *core.System, *metrics.Tracker, error) {
+func prepare(cfg Config) (run, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, nil, nil, err
+		return run{}, err
 	}
 	sys, err := registry.Build(cfg.Algorithm, cfg.N, cfg.K)
 	if err != nil {
-		return nil, nil, nil, err
+		return run{}, err
 	}
-	pat, err := adversary.BuildPattern(cfg.Pattern, adversary.PatternParams{
-		N: cfg.N, Seed: cfg.Seed, Src: cfg.Src, Dest: cfg.Dest,
-	})
-	if err != nil {
-		return nil, nil, nil, err
+	var adv core.Adversary
+	if cfg.Replay != nil {
+		adv = scenario.NewReplayer(cfg.Replay)
+	} else {
+		pat, err := buildPattern(cfg)
+		if err != nil {
+			return run{}, err
+		}
+		if cfg.StopInjectionsAfter > 0 {
+			pat = adversary.Stop(pat, cfg.StopInjectionsAfter)
+		}
+		typ := adversary.Type{Rho: ratio.New(cfg.RhoNum, cfg.RhoDen), Beta: ratio.FromInt(cfg.Beta)}
+		adv = adversary.New(typ, pat)
 	}
-	if cfg.StopInjectionsAfter > 0 {
-		pat = adversary.Stop(pat, cfg.StopInjectionsAfter)
-	}
-	typ := adversary.Type{Rho: ratio.New(cfg.RhoNum, cfg.RhoDen), Beta: ratio.FromInt(cfg.Beta)}
-	adv := adversary.New(typ, pat)
 
 	tr := metrics.NewTracker()
 	tr.TrackStations(cfg.N)
@@ -187,14 +247,27 @@ func prepare(cfg Config) (*core.Sim, *core.System, *metrics.Tracker, error) {
 	if cfg.Trace != nil {
 		tracer = &trace.Logger{W: cfg.Trace, From: cfg.TraceFrom, To: cfg.TraceUpTo}
 	}
+	var enc *scenario.Encoder
+	var injObs func(round int64, injs []core.Injection)
+	if cfg.RecordTo != nil {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return run{}, fmt.Errorf("earmac: encoding config into trace header: %w", err)
+		}
+		enc = scenario.NewEncoder(cfg.RecordTo, scenario.Header{
+			N: cfg.N, Rounds: cfg.Rounds, Config: raw,
+		})
+		injObs = enc.Round
+	}
 	sim := core.NewSim(sys, adv, core.Options{
-		Strict:       !cfg.Lenient,
-		CheckEvery:   check,
-		Tracker:      tr,
-		Tracer:       tracer,
-		ForceChecked: cfg.ForceChecked,
+		Strict:            !cfg.Lenient,
+		CheckEvery:        check,
+		Tracker:           tr,
+		Tracer:            tracer,
+		ForceChecked:      cfg.ForceChecked,
+		InjectionObserver: injObs,
 	})
-	return sim, sys, tr, nil
+	return run{sim: sim, sys: sys, tr: tr, enc: enc}, nil
 }
 
 // Run executes one simulation per the config. It is a thin wrapper over
@@ -212,9 +285,21 @@ const ctxCheckEvery = 16384
 // error.
 func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
-	sim, sys, tr, err := prepare(cfg)
+	r, err := prepare(cfg)
 	if err != nil {
 		return Report{}, err
+	}
+	sim, sys, tr := r.sim, r.sys, r.tr
+	// finish closes the trace recording (footer with the counters
+	// accumulated so far — a cancelled run still yields a replayable,
+	// footer-pinned trace) and folds any encoder error into the result.
+	finish := func(rep Report, err error) (Report, error) {
+		if r.enc != nil {
+			if cerr := r.enc.Close(&tr.Counters); err == nil && cerr != nil {
+				err = fmt.Errorf("earmac: recording trace: %w", cerr)
+			}
+		}
+		return rep, err
 	}
 	every := cfg.ProgressEvery
 	if every <= 0 {
@@ -225,7 +310,7 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	nextMark := every
 	for done := int64(0); done < cfg.Rounds; {
 		if err := ctx.Err(); err != nil {
-			return report.FromTracker(sys.Info, cfg.N, tr), err
+			return finish(report.FromTracker(sys.Info, cfg.N, tr), err)
 		}
 		chunk := cfg.Rounds - done
 		if chunk > ctxCheckEvery {
@@ -235,7 +320,7 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 			chunk = nextMark - done
 		}
 		if err := sim.Run(chunk); err != nil {
-			return Report{}, err
+			return finish(Report{}, err)
 		}
 		done += chunk
 		if cfg.OnProgress != nil && (done == nextMark || done == cfg.Rounds) {
@@ -249,5 +334,5 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 			}
 		}
 	}
-	return report.FromTracker(sys.Info, cfg.N, tr), nil
+	return finish(report.FromTracker(sys.Info, cfg.N, tr), nil)
 }

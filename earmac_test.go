@@ -81,8 +81,10 @@ func TestAlgorithmAndPatternLists(t *testing.T) {
 	if len(algos) != 11 {
 		t.Errorf("Algorithms() = %v", algos)
 	}
+	// 6 built-ins plus the scenario patterns (bernoulli, poisson-batch,
+	// quiet).
 	pats := Patterns()
-	if len(pats) != 6 {
+	if len(pats) != 9 {
 		t.Errorf("Patterns() = %v", pats)
 	}
 }

@@ -10,10 +10,12 @@ import (
 
 	"earmac/internal/adversary"
 	"earmac/internal/algorithms/ksubsets"
+	"earmac/internal/algorithms/orchestra"
 	"earmac/internal/algorithms/randmac"
 	"earmac/internal/core"
 	"earmac/internal/metrics"
 	"earmac/internal/ratio"
+	"earmac/internal/scenario"
 )
 
 // steadyAllocsPerRound warms a fast-path simulation up, then measures the
@@ -23,6 +25,9 @@ import (
 // loop itself never touches the allocator.
 func steadyAllocsPerRound(t *testing.T, sys *core.System, adv core.Adversary, warmup, measure int64) float64 {
 	t.Helper()
+	if raceEnabled {
+		t.Skip("allocs-per-round is meaningless under the race detector")
+	}
 	tr := metrics.NewTracker()
 	tr.SampleEvery = 0 // flat counters only: no time-series appends
 	sim := core.NewSim(sys, adv, core.Options{Tracker: tr})
@@ -78,6 +83,35 @@ func TestFastPathZeroAllocsRandMAC(t *testing.T) {
 	perRound := steadyAllocsPerRound(t, sys, adv, 60000, 30000)
 	if perRound != 0 {
 		t.Errorf("aloha steady state allocates %.4f allocs/round, want 0", perRound)
+	}
+}
+
+// TestFastPathZeroAllocsStochasticScenario pins the seed/RNG plumbing
+// of the scenario subsystem to the same perf floor as the hand-written
+// patterns: a phased stochastic workload — quiet warm-up, Bernoulli
+// body, open-ended Poisson-batch tail — must run the steady-state round
+// loop without touching the allocator.
+func TestFastPathZeroAllocsStochasticScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is long")
+	}
+	sys, err := orchestra.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := scenario.NewPhased([]scenario.Segment{
+		{Pattern: scenario.Quiet(), Rounds: 512},
+		{Pattern: scenario.Bernoulli(6, 11, 1, 4), Rounds: 4096},
+		{Pattern: scenario.PoissonBatch(6, 13, 1, 4), Rounds: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ = 1/4 ≪ 1: orchestra is stable at ρ = 1, so queues stay bounded.
+	adv := adversary.New(adversary.T(1, 4, 2), ph)
+	perRound := steadyAllocsPerRound(t, sys, adv, 60000, 30000)
+	if perRound != 0 {
+		t.Errorf("phased stochastic steady state allocates %.4f allocs/round, want 0", perRound)
 	}
 }
 

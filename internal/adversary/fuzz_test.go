@@ -1,0 +1,79 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"earmac/internal/ratio"
+)
+
+// FuzzBucket drives the integer leaky bucket with arbitrary admissible
+// spend sequences and asserts the paper's contract: over EVERY
+// contiguous window of t rounds the injections total at most ρ·t + β.
+// It also exercises the overflow guards — absurd (ρ, β) values must
+// fail loudly with the documented panic, never silently corrupt the
+// budget.
+func FuzzBucket(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(1), []byte{255, 0, 3, 9})
+	f.Add(int64(3), int64(7), int64(4), []byte{1, 2, 3, 4, 5, 255, 255})
+	f.Add(int64(1), int64(1), int64(8), []byte{0, 0, 0, 255})
+	f.Add(int64(1)<<62, int64(3), int64(1)<<62, []byte{9})
+	f.Fuzz(func(t *testing.T, rn, rd, bn int64, spends []byte) {
+		// 1. Overflow guard: raw construction either succeeds or panics
+		// with the documented "adversary:" prefix.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s, ok := r.(string)
+					if !ok || !strings.HasPrefix(s, "adversary:") {
+						t.Fatalf("NewBucket(ρ=%d/%d, β=%d) paniced with %v, want an adversary: message", rn, rd, bn, r)
+					}
+				}
+			}()
+			if rn > 0 && rd > 0 && bn > 0 {
+				NewBucket(Type{Rho: ratio.New(rn, rd), Beta: ratio.FromInt(bn)})
+			}
+		}()
+
+		// 2. Window property on a clamped, overflow-free type.
+		pos := func(v, m int64) int64 {
+			v %= m
+			if v < 0 {
+				v += m
+			}
+			return v + 1
+		}
+		prn, prd, pb := pos(rn, 64), pos(rd, 64), pos(bn, 16)
+		b := NewBucket(T(prn, prd, pb))
+		n := len(spends)
+		if n > 256 {
+			n = 256
+		}
+		inj := make([]int64, n)
+		for i := 0; i < n; i++ {
+			budget := b.Tick()
+			if budget < 0 {
+				t.Fatalf("round %d: negative budget %d", i, budget)
+			}
+			m := 0
+			if budget > 0 {
+				m = int(spends[i]) % (budget + 1)
+			}
+			b.Spend(m) // panics on overspend — the fuzzer would catch it
+			inj[i] = int64(m)
+		}
+		// Exhaustive window check: sum over [i, j] ≤ ρ·(j-i+1) + β,
+		// i.e. sum·prd ≤ prn·t + pb·prd in exact integer arithmetic.
+		for i := 0; i < n; i++ {
+			var sum int64
+			for j := i; j < n; j++ {
+				sum += inj[j]
+				win := int64(j - i + 1)
+				if sum*prd > prn*win+pb*prd {
+					t.Fatalf("window [%d,%d]: %d injections exceed ρ·t+β = %d/%d·%d + %d",
+						i, j, sum, prn, prd, win, pb)
+				}
+			}
+		}
+	})
+}

@@ -18,16 +18,26 @@ type PatternMeta struct {
 	// Targeted patterns consume PatternParams.Src/Dest, which must be valid
 	// station indices.
 	Targeted bool `json:"targeted,omitempty"`
+	// Stochastic patterns sample the injection volume per round (their
+	// mean rate tracks PatternParams.Rho) instead of filling the whole
+	// leaky-bucket budget every round.
+	Stochastic bool `json:"stochastic,omitempty"`
 }
 
 // PatternParams parameterizes a pattern builder. N is the system size;
 // Seed drives randomized patterns; Src and Dest parameterize the targeted
-// ones and are ignored by the rest.
+// ones and are ignored by the rest. RhoNum/RhoDen is the adversary's
+// contracted injection rate ρ, handed to rate-aware stochastic patterns
+// so their sampled mean matches the (ρ, β) contract they are clipped
+// against; zero means unknown (stochastic builders fall back to ρ = 1/2).
 type PatternParams struct {
 	N    int
 	Seed int64
 	Src  int
 	Dest int
+
+	RhoNum int64
+	RhoDen int64
 }
 
 // PatternBuilder constructs a pattern from its parameters.

@@ -20,6 +20,13 @@ type Options struct {
 	Tracker *metrics.Tracker
 	// Tracer, when non-nil, receives a full view of every round.
 	Tracer Tracer
+	// InjectionObserver, when non-nil, receives every round's injections
+	// right after the adversary produces them (before range validation),
+	// on both the fast and checked paths — the hook the trace recorder
+	// (internal/scenario) captures replayable runs with. The slice is
+	// reused between rounds and must not be retained. Unlike Tracer it
+	// does not force the checked path.
+	InjectionObserver func(round int64, injs []Injection)
 	// ForceChecked keeps the fully-validating round loop even when the
 	// fast path would apply (see Sim.FastPath). Used by the equivalence
 	// tests; never needed in normal operation.
@@ -56,6 +63,7 @@ type Sim struct {
 	roundObs  RoundObserver
 	queueObs  QueueObserver
 	fbObs     FeedbackObserver
+	injObs    func(round int64, injs []Injection)
 
 	round    int64
 	nextID   int64
@@ -91,6 +99,7 @@ func NewSim(sys *System, adv Adversary, opt Options) *Sim {
 		s.queueObs, _ = adv.(QueueObserver)
 		s.fbObs, _ = adv.(FeedbackObserver)
 	}
+	s.injObs = opt.InjectionObserver
 	if opt.CheckEvery > 0 {
 		s.live = make(map[int64]mac.Packet)
 		s.delivered = make(map[int64]bool)
@@ -172,6 +181,9 @@ func (s *Sim) stepFast() {
 
 	// 1. Adversarial injection.
 	injs := s.inject(t)
+	if s.injObs != nil && len(injs) > 0 {
+		s.injObs(t, injs)
+	}
 	for _, in := range injs {
 		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
 			tr.Violate("injection out of range: %+v", in)
@@ -276,6 +288,9 @@ func (s *Sim) stepChecked() error {
 
 	// 1. Adversarial injection.
 	injs := s.inject(t)
+	if s.injObs != nil && len(injs) > 0 {
+		s.injObs(t, injs)
+	}
 	for _, in := range injs {
 		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
 			if err := s.violate("injection out of range: %+v", in); err != nil {

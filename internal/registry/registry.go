@@ -31,6 +31,7 @@ var (
 	ErrBadCap           = errors.New("bad energy cap parameter")
 	ErrBadRounds        = errors.New("bad horizon")
 	ErrBadStation       = errors.New("bad station index")
+	ErrBadTrace         = errors.New("bad trace")
 )
 
 // AlgorithmMeta declares an algorithm's capabilities in the paper's

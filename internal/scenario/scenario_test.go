@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+)
+
+// collect runs a pattern under a (ρ, β) adversary for the given number
+// of rounds and returns the per-round injections.
+func collect(t *testing.T, typ adversary.Type, pat adversary.Pattern, rounds int64) [][]core.Injection {
+	t.Helper()
+	adv := adversary.New(typ, pat)
+	out := make([][]core.Injection, rounds)
+	var buf []core.Injection
+	for r := int64(0); r < rounds; r++ {
+		buf = adv.InjectAppend(r, buf[:0])
+		out[r] = append([]core.Injection(nil), buf...)
+	}
+	return out
+}
+
+func flatten(rounds [][]core.Injection) []core.Injection {
+	var out []core.Injection
+	for _, injs := range rounds {
+		out = append(out, injs...)
+	}
+	return out
+}
+
+func TestQuietInjectsNothing(t *testing.T) {
+	rounds := collect(t, adversary.T(1, 1, 4), Quiet(), 1000)
+	if got := flatten(rounds); len(got) != 0 {
+		t.Fatalf("quiet pattern injected %d packets", len(got))
+	}
+}
+
+func TestBernoulliRateAndDeterminism(t *testing.T) {
+	const rounds = 30000
+	typ := adversary.T(1, 3, 2)
+	a := flatten(collect(t, typ, Bernoulli(6, 42, 1, 3), rounds))
+	b := flatten(collect(t, typ, Bernoulli(6, 42, 1, 3), rounds))
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different volume: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at injection %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Mean rate tracks p = 1/3 from below (empty-bucket rounds forfeit
+	// their draw): admissible, and not degenerately thinned.
+	mean := float64(len(a)) / rounds
+	if mean < 0.24 || mean > 1.0/3+0.01 {
+		t.Errorf("bernoulli(1/3) realized rate %.4f, want within (0.24, 0.343)", mean)
+	}
+	c := flatten(collect(t, typ, Bernoulli(6, 43, 1, 3), rounds))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical injection stream")
+	}
+	for _, in := range a {
+		if in.Station < 0 || in.Station >= 6 || in.Dest < 0 || in.Dest >= 6 {
+			t.Fatalf("out-of-range injection %+v", in)
+		}
+	}
+}
+
+func TestPoissonBatchClippedByBucket(t *testing.T) {
+	const rounds = 20000
+	typ := adversary.T(1, 2, 2) // ⌊ρ + β⌋ = 2 packets max per round
+	perRound := collect(t, typ, PoissonBatch(5, 7, 1, 2), rounds)
+	var total int
+	for r, injs := range perRound {
+		if len(injs) > 2 {
+			t.Fatalf("round %d injected %d > ⌊ρ+β⌋ = 2", r, len(injs))
+		}
+		total += len(injs)
+	}
+	mean := float64(total) / rounds
+	if mean < 0.35 || mean > 0.51 {
+		t.Errorf("poisson(1/2) realized rate %.4f, want within (0.35, 0.51) — below λ, bucket-clipped", mean)
+	}
+	// The stream as a whole must be admissible — re-check through the
+	// bucket via the trace validator.
+	tr := &Trace{}
+	for r, injs := range perRound {
+		if len(injs) == 0 {
+			continue
+		}
+		ev := Event{Round: int64(r)}
+		for _, in := range injs {
+			ev.Injs = append(ev.Injs, [2]int{in.Station, in.Dest})
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := CheckAdmissible(tr, typ); err != nil {
+		t.Fatalf("sampled stream violates its own contract: %v", err)
+	}
+}
+
+func TestPhasedOpenEnded(t *testing.T) {
+	ph, err := NewPhased([]Segment{
+		{Pattern: Quiet(), Rounds: 100},
+		{Pattern: adversary.SingleTarget(0, 1), Rounds: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRound := collect(t, adversary.T(1, 1, 1), ph, 300)
+	for r := 0; r < 100; r++ {
+		if len(perRound[r]) != 0 {
+			t.Fatalf("round %d: quiet phase injected %v", r, perRound[r])
+		}
+	}
+	for r := 100; r < 300; r++ {
+		if len(perRound[r]) == 0 {
+			t.Fatalf("round %d: open-ended single-target phase injected nothing", r)
+		}
+		for _, in := range perRound[r] {
+			if in.Station != 0 || in.Dest != 1 {
+				t.Fatalf("round %d: wrong injection %+v", r, in)
+			}
+		}
+	}
+}
+
+func TestPhasedCycles(t *testing.T) {
+	ph, err := NewPhased([]Segment{
+		{Pattern: Quiet(), Rounds: 50},
+		{Pattern: adversary.SingleTarget(2, 3), Rounds: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRound := collect(t, adversary.T(1, 1, 1), ph, 400)
+	for r := 0; r < 400; r++ {
+		inQuiet := (r/50)%2 == 0
+		if inQuiet && len(perRound[r]) != 0 {
+			t.Fatalf("round %d of a quiet phase injected %v", r, perRound[r])
+		}
+		if !inQuiet && len(perRound[r]) == 0 {
+			t.Fatalf("round %d of an active phase injected nothing", r)
+		}
+	}
+}
+
+func TestNewPhasedRejects(t *testing.T) {
+	if _, err := NewPhased(nil); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewPhased([]Segment{{Pattern: nil, Rounds: 10}}); err == nil {
+		t.Error("nil pattern accepted")
+	}
+	if _, err := NewPhased([]Segment{
+		{Pattern: Quiet(), Rounds: 0},
+		{Pattern: Quiet(), Rounds: 10},
+	}); err == nil {
+		t.Error("open-ended non-final phase accepted")
+	}
+	if _, err := NewPhased([]Segment{{Pattern: Quiet(), Rounds: -3}}); err == nil {
+		t.Error("negative phase length accepted")
+	}
+}
+
+func TestStochasticPatternsRegistered(t *testing.T) {
+	for _, name := range []string{"bernoulli", "poisson-batch", "quiet"} {
+		e, ok := adversary.PatternInfo(name)
+		if !ok {
+			t.Fatalf("pattern %q not registered", name)
+		}
+		if name != "quiet" && (!e.Randomized || !e.Stochastic) {
+			t.Errorf("pattern %q should be marked randomized+stochastic, got %+v", name, e.PatternMeta)
+		}
+		p, err := adversary.BuildPattern(name, adversary.PatternParams{N: 4, Seed: 1, RhoNum: 1, RhoDen: 2})
+		if err != nil || p == nil {
+			t.Errorf("building %q: %v", name, err)
+		}
+	}
+}

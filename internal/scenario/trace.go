@@ -1,0 +1,350 @@
+package scenario
+
+// The trace format: a versioned, schema-stable JSONL encoding of one
+// run's injection stream, sufficient to re-execute the run bit-for-bit
+// (every algorithm in the repository is deterministic given its
+// injections, and randomized patterns are seeded).
+//
+// Layout, one JSON object per line:
+//
+//	{"earmac_trace":1,"n":6,"rounds":2000,"config":{...}}   header
+//	{"r":17,"i":[[0,3],[2,5]]}                              one event per
+//	{"r":19,"i":[[4,1]]}                                    injecting round
+//	{"final":{"injected":123,"counters":{...}}}             footer
+//
+// Versioning rules: the "earmac_trace" field doubles as the format
+// version; decoders reject any version they do not know. Within a
+// version, unknown fields are ignored on read and never emitted on
+// write, so fields may be *added* by bumping the version while old
+// decoders fail loudly instead of misreading. Event rounds are strictly
+// increasing; the footer, when present, is the last line and pins the
+// run's final flat counters so replays can be checked bit-identical.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/metrics"
+	"earmac/internal/registry"
+)
+
+// TraceVersion is the format version this package reads and writes.
+const TraceVersion = 1
+
+// Header is the first line of a trace.
+type Header struct {
+	// Version is the trace format version (the "earmac_trace" field).
+	Version int `json:"earmac_trace"`
+	// N is the system size the trace was recorded against.
+	N int `json:"n"`
+	// Rounds is the recorded horizon.
+	Rounds int64 `json:"rounds"`
+	// Config is the recording façade Config, verbatim; its schema is
+	// owned by the caller (package earmac), so this package stays
+	// independent of the façade.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// Event is one injecting round: the packets as [station, dest] pairs.
+type Event struct {
+	Round int64    `json:"r"`
+	Injs  [][2]int `json:"i"`
+}
+
+// Footer pins the totals of the recorded run.
+type Footer struct {
+	// Injected is the total number of recorded injections.
+	Injected int64 `json:"injected"`
+	// Counters is the run's final flat counter block; replaying the
+	// trace must reproduce it bit-identically on either simulator path.
+	Counters *metrics.Counters `json:"counters,omitempty"`
+}
+
+// Trace is a fully-decoded trace. Footer is nil when the recording was
+// cut short before the footer was written.
+type Trace struct {
+	Header Header
+	Events []Event
+	Footer *Footer
+}
+
+// footerLine is the wire shape of the footer line.
+type footerLine struct {
+	Final *Footer `json:"final"`
+}
+
+// Encoder streams a trace to a writer: header at construction, one
+// event line per injecting round, footer at Close. Errors are sticky
+// and surfaced by Close.
+type Encoder struct {
+	bw       *bufio.Writer
+	scratch  []byte
+	injected int64
+	err      error
+}
+
+// NewEncoder writes the header line and returns a streaming encoder.
+// The header's Version is forced to TraceVersion.
+func NewEncoder(w io.Writer, h Header) *Encoder {
+	e := &Encoder{bw: bufio.NewWriter(w)}
+	h.Version = TraceVersion
+	line, err := json.Marshal(h)
+	if err != nil {
+		e.err = fmt.Errorf("scenario: encoding trace header: %w", err)
+		return e
+	}
+	e.writeLine(line)
+	return e
+}
+
+func (e *Encoder) writeLine(line []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.bw.Write(line); err != nil {
+		e.err = err
+		return
+	}
+	if err := e.bw.WriteByte('\n'); err != nil {
+		e.err = err
+	}
+}
+
+// appendEventLine serializes one event line {"r":..,"i":[[s,d],...]}
+// into b; pair yields the i-th [station, dest]. The single serializer
+// keeps live recordings (Encoder.Round) and re-encodings (Write)
+// byte-identical by construction.
+func appendEventLine(b []byte, round int64, n int, pair func(int) (int, int)) []byte {
+	b = append(b, `{"r":`...)
+	b = strconv.AppendInt(b, round, 10)
+	b = append(b, `,"i":[`...)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		s, d := pair(i)
+		b = append(b, '[')
+		b = strconv.AppendInt(b, int64(s), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(d), 10)
+		b = append(b, ']')
+	}
+	return append(b, "]}"...)
+}
+
+// Round records one round's injections. Rounds with no injections cost
+// nothing and leave no line. The injections slice may be reused by the
+// caller; Round has the signature of core.Options.InjectionObserver.
+func (e *Encoder) Round(round int64, injs []core.Injection) {
+	if e.err != nil || len(injs) == 0 {
+		return
+	}
+	e.scratch = appendEventLine(e.scratch[:0], round, len(injs), func(i int) (int, int) {
+		return injs[i].Station, injs[i].Dest
+	})
+	e.writeLine(e.scratch)
+	e.injected += int64(len(injs))
+}
+
+// Injected returns the number of injections recorded so far.
+func (e *Encoder) Injected() int64 { return e.injected }
+
+// Close writes the footer (with the run's final counters, which may be
+// nil) and flushes. It returns the first error the encoder hit.
+func (e *Encoder) Close(c *metrics.Counters) error {
+	if e.err == nil {
+		line, err := json.Marshal(footerLine{Final: &Footer{Injected: e.injected, Counters: c}})
+		if err != nil {
+			e.err = fmt.Errorf("scenario: encoding trace footer: %w", err)
+		} else {
+			e.writeLine(line)
+		}
+	}
+	if ferr := e.bw.Flush(); e.err == nil && ferr != nil {
+		e.err = ferr
+	}
+	return e.err
+}
+
+// Write re-encodes a decoded trace verbatim (events and footer as they
+// are, header forced to TraceVersion). Decode(Write(t)) == t for any t
+// returned by ReadTrace.
+func Write(w io.Writer, t *Trace) error {
+	e := &Encoder{bw: bufio.NewWriter(w)}
+	h := t.Header
+	h.Version = TraceVersion
+	line, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("scenario: encoding trace header: %w", err)
+	}
+	e.writeLine(line)
+	for _, ev := range t.Events {
+		injs := ev.Injs
+		e.scratch = appendEventLine(e.scratch[:0], ev.Round, len(injs), func(i int) (int, int) {
+			return injs[i][0], injs[i][1]
+		})
+		e.writeLine(e.scratch)
+	}
+	if t.Footer != nil {
+		line, err := json.Marshal(footerLine{Final: t.Footer})
+		if err != nil {
+			return fmt.Errorf("scenario: encoding trace footer: %w", err)
+		}
+		e.writeLine(line)
+	}
+	if ferr := e.bw.Flush(); e.err == nil && ferr != nil {
+		e.err = ferr
+	}
+	return e.err
+}
+
+// probeLine distinguishes event and footer lines by field presence.
+type probeLine struct {
+	Round *int64   `json:"r"`
+	Injs  [][2]int `json:"i"`
+	Final *Footer  `json:"final"`
+}
+
+// ReadTrace decodes a whole trace. It fails loudly — wrapping
+// registry.ErrBadTrace — on an unknown version, a malformed line,
+// non-increasing event rounds, or content after the footer; it never
+// panics on malformed input.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	t := &Trace{}
+	sawHeader := false
+	lineNo := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("scenario: %w: reading line %d: %v", registry.ErrBadTrace, lineNo+1, err)
+		}
+		lineNo++
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		switch {
+		case !sawHeader:
+			if uerr := json.Unmarshal(line, &t.Header); uerr != nil {
+				return nil, fmt.Errorf("scenario: %w: header: %v", registry.ErrBadTrace, uerr)
+			}
+			if t.Header.Version != TraceVersion {
+				return nil, fmt.Errorf("scenario: %w: unsupported trace version %d (this build reads %d)",
+					registry.ErrBadTrace, t.Header.Version, TraceVersion)
+			}
+			// Normalize the raw config to json.Marshal's form (compact,
+			// HTML-escaped) so decode ∘ encode is the identity: Write
+			// re-marshals the header, which would otherwise reformat a
+			// hand-edited config.
+			if len(t.Header.Config) > 0 {
+				norm, nerr := json.Marshal(t.Header.Config)
+				if nerr != nil {
+					return nil, fmt.Errorf("scenario: %w: header config: %v", registry.ErrBadTrace, nerr)
+				}
+				t.Header.Config = norm
+			}
+			sawHeader = true
+		case t.Footer != nil:
+			return nil, fmt.Errorf("scenario: %w: line %d after footer", registry.ErrBadTrace, lineNo)
+		default:
+			var p probeLine
+			if uerr := json.Unmarshal(line, &p); uerr != nil {
+				return nil, fmt.Errorf("scenario: %w: line %d: %v", registry.ErrBadTrace, lineNo, uerr)
+			}
+			switch {
+			case p.Final != nil:
+				t.Footer = p.Final
+			case p.Round != nil:
+				if *p.Round < 0 {
+					return nil, fmt.Errorf("scenario: %w: line %d: negative round %d", registry.ErrBadTrace, lineNo, *p.Round)
+				}
+				if n := len(t.Events); n > 0 && *p.Round <= t.Events[n-1].Round {
+					return nil, fmt.Errorf("scenario: %w: line %d: round %d not after round %d",
+						registry.ErrBadTrace, lineNo, *p.Round, t.Events[n-1].Round)
+				}
+				injs := p.Injs
+				if len(injs) == 0 {
+					injs = nil
+				}
+				t.Events = append(t.Events, Event{Round: *p.Round, Injs: injs})
+			default:
+				return nil, fmt.Errorf("scenario: %w: line %d is neither an event nor a footer", registry.ErrBadTrace, lineNo)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("scenario: %w: empty input", registry.ErrBadTrace)
+	}
+	return t, nil
+}
+
+// Replayer re-executes a recorded injection stream. It implements
+// core.Adversary and core.InjectAppender (so replays run on the
+// simulator's allocation-free fast path as well as the checked one) and
+// injects exactly what the trace recorded, no bucket and no RNG — the
+// recording already proved admissibility.
+type Replayer struct {
+	events []Event
+	cur    int
+}
+
+// NewReplayer returns a replayer positioned at round 0.
+func NewReplayer(t *Trace) *Replayer { return &Replayer{events: t.Events} }
+
+// Inject implements core.Adversary.
+func (r *Replayer) Inject(round int64) []core.Injection {
+	return r.InjectAppend(round, nil)
+}
+
+// InjectAppend implements core.InjectAppender.
+func (r *Replayer) InjectAppend(round int64, buf []core.Injection) []core.Injection {
+	for r.cur < len(r.events) && r.events[r.cur].Round < round {
+		r.cur++ // rounds the driver skipped
+	}
+	if r.cur < len(r.events) && r.events[r.cur].Round == round {
+		for _, p := range r.events[r.cur].Injs {
+			buf = append(buf, core.Injection{Station: p[0], Dest: p[1]})
+		}
+		r.cur++
+	}
+	return buf
+}
+
+// CheckAdmissible verifies that every prefix of the trace respects the
+// (ρ, β) leaky-bucket contract, by driving the same integer Bucket the
+// live adversary clips against over the trace's rounds (cost is linear
+// in the last event's round number).
+func CheckAdmissible(t *Trace, typ adversary.Type) error {
+	b := adversary.NewBucket(typ)
+	next := int64(0)
+	for _, ev := range t.Events {
+		for ; next < ev.Round; next++ {
+			b.Tick()
+			b.Spend(0)
+		}
+		budget := b.Tick()
+		if m := len(ev.Injs); m > budget {
+			return fmt.Errorf("scenario: round %d injects %d packets but the %v bucket allows %d",
+				ev.Round, m, typ, budget)
+		}
+		b.Spend(len(ev.Injs))
+		next = ev.Round + 1
+	}
+	return nil
+}

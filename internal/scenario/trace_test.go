@@ -1,0 +1,207 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/metrics"
+	"earmac/internal/registry"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Header: Header{Version: TraceVersion, N: 6, Rounds: 100,
+			Config: json.RawMessage(`{"algorithm":"orchestra","n":6}`)},
+		Events: []Event{
+			{Round: 0, Injs: [][2]int{{0, 1}}},
+			{Round: 3, Injs: [][2]int{{2, 5}, {1, 4}}},
+			{Round: 99, Injs: [][2]int{{5, 0}}},
+		},
+		Footer: &Footer{Injected: 4, Counters: &metrics.Counters{Rounds: 100, Injected: 4, Delivered: 3}},
+	}
+}
+
+func TestTraceWriteReadRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncoderStream(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, Header{N: 4, Rounds: 50})
+	scratch := make([]core.Injection, 0, 4)
+	enc.Round(0, append(scratch[:0], core.Injection{Station: 1, Dest: 2}))
+	enc.Round(1, nil) // empty rounds leave no line
+	enc.Round(7, append(scratch[:0], core.Injection{Station: 0, Dest: 3}, core.Injection{Station: 3, Dest: 0}))
+	c := metrics.Counters{Rounds: 50, Injected: 3}
+	if err := enc.Close(&c); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.N != 4 || tr.Header.Rounds != 50 || tr.Header.Version != TraceVersion {
+		t.Errorf("bad header %+v", tr.Header)
+	}
+	wantEvents := []Event{
+		{Round: 0, Injs: [][2]int{{1, 2}}},
+		{Round: 7, Injs: [][2]int{{0, 3}, {3, 0}}},
+	}
+	if !reflect.DeepEqual(tr.Events, wantEvents) {
+		t.Errorf("events %+v, want %+v", tr.Events, wantEvents)
+	}
+	if tr.Footer == nil || tr.Footer.Injected != 3 || *tr.Footer.Counters != c {
+		t.Errorf("footer %+v", tr.Footer)
+	}
+}
+
+func TestReadTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":               "",
+		"garbage":             "not json at all\n",
+		"wrong version":       `{"earmac_trace":2,"n":4,"rounds":10}` + "\n",
+		"no version":          `{"n":4,"rounds":10}` + "\n",
+		"bad event":           "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":\"zero\"}\n",
+		"unknown line":        "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"x\":1}\n",
+		"negative round":      "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":-1,\"i\":[[0,1]]}\n",
+		"non-increasing":      "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":5,\"i\":[[0,1]]}\n{\"r\":5,\"i\":[[0,1]]}\n",
+		"data after footer":   "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"final\":{\"injected\":0}}\n{\"r\":1,\"i\":[[0,1]]}\n",
+		"float counter field": "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"final\":{\"injected\":0,\"counters\":{\"Rounds\":1.5}}}\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, registry.ErrBadTrace) {
+			t.Errorf("%s: error %v does not wrap ErrBadTrace", name, err)
+		}
+	}
+}
+
+// TestReadTraceNormalizesConfig pins decode ∘ encode = id for headers
+// whose raw config is not in json.Marshal's form (hand-edited spacing,
+// HTML-escapable characters): ReadTrace normalizes, so Write emits the
+// same bytes the next decode sees.
+func TestReadTraceNormalizesConfig(t *testing.T) {
+	in := "{\"earmac_trace\":1,\"n\":4,\"rounds\":10,\"config\":{ \"algorithm\" : \"a<b\" }}\n{\"r\":1,\"i\":[[0,1]]}\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, tr2) {
+		t.Fatalf("decode(encode(x)) != x for a non-canonical config:\nx:  %s\nx': %s",
+			tr.Header.Config, tr2.Header.Config)
+	}
+	var cfg struct {
+		Algorithm string `json:"algorithm"`
+	}
+	if err := json.Unmarshal(tr.Header.Config, &cfg); err != nil || cfg.Algorithm != "a<b" {
+		t.Fatalf("normalization corrupted the config: %s (%v)", tr.Header.Config, err)
+	}
+}
+
+func TestReadTraceToleratesMissingFooter(t *testing.T) {
+	in := "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":2,\"i\":[[0,1]]}\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Footer != nil || len(tr.Events) != 1 {
+		t.Fatalf("got %+v", tr)
+	}
+}
+
+func TestReplayerReproducesStream(t *testing.T) {
+	tr := sampleTrace()
+	r := NewReplayer(tr)
+	var buf []core.Injection
+	for round := int64(0); round < 100; round++ {
+		buf = r.InjectAppend(round, buf[:0])
+		var want []core.Injection
+		for _, ev := range tr.Events {
+			if ev.Round == round {
+				for _, p := range ev.Injs {
+					want = append(want, core.Injection{Station: p[0], Dest: p[1]})
+				}
+			}
+		}
+		if !reflect.DeepEqual(append([]core.Injection(nil), buf...), want) && !(len(buf) == 0 && len(want) == 0) {
+			t.Fatalf("round %d: replayed %+v, want %+v", round, buf, want)
+		}
+	}
+}
+
+func TestCheckAdmissible(t *testing.T) {
+	typ := adversary.T(1, 2, 1) // budget starts at ⌊1/2+1⌋ = 1
+	ok := &Trace{Events: []Event{
+		{Round: 0, Injs: [][2]int{{0, 1}}},
+		{Round: 2, Injs: [][2]int{{0, 1}}},
+		{Round: 4, Injs: [][2]int{{0, 1}}},
+	}}
+	if err := CheckAdmissible(ok, typ); err != nil {
+		t.Errorf("admissible trace rejected: %v", err)
+	}
+	bad := &Trace{Events: []Event{
+		{Round: 0, Injs: [][2]int{{0, 1}, {1, 0}, {2, 0}}}, // 3 > ⌊ρ+β⌋ = 1
+	}}
+	if err := CheckAdmissible(bad, typ); err == nil {
+		t.Error("inadmissible trace accepted")
+	}
+}
+
+// FuzzTraceRoundTrip asserts the two decoder invariants the format
+// promises: malformed input never panics, and any trace the decoder
+// accepts re-encodes to an equivalent trace (decode ∘ encode = id).
+func FuzzTraceRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("{\"earmac_trace\":1,\"n\":2,\"rounds\":5}\n{\"r\":1,\"i\":[[0,1]]}\n"))
+	f.Add([]byte("{\"earmac_trace\":1}\n{\"final\":{\"injected\":0}}\n"))
+	f.Add([]byte("{\"earmac_trace\":2}\n"))
+	f.Add([]byte("garbage\n{\"r\":1}\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected loudly: fine
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("re-encoding an accepted trace failed: %v", err)
+		}
+		tr2, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding a written trace failed: %v\ntrace: %s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("decode(encode(x)) != x:\nx:  %+v\nx': %+v", tr, tr2)
+		}
+	})
+}

@@ -29,6 +29,7 @@ var (
 	ErrBadCap           = registry.ErrBadCap
 	ErrBadRounds        = registry.ErrBadRounds
 	ErrBadStation       = registry.ErrBadStation
+	ErrBadTrace         = registry.ErrBadTrace
 )
 
 // AlgorithmMeta declares an algorithm's capabilities: energy cap, the
@@ -109,17 +110,36 @@ func (c Config) validate() error {
 	if err := alg.CheckNK(c.Algorithm, c.N, c.K); err != nil {
 		return fmt.Errorf("earmac: %w", err)
 	}
-	pat, ok := adversary.PatternInfo(c.Pattern)
-	if !ok {
-		return fmt.Errorf("earmac: %w %q (have %v)", ErrUnknownPattern, c.Pattern, Patterns())
+	checkPattern := func(name string) error {
+		pat, ok := adversary.PatternInfo(name)
+		if !ok {
+			return fmt.Errorf("earmac: %w %q (have %v)", ErrUnknownPattern, name, Patterns())
+		}
+		if pat.Targeted {
+			if c.Src < 0 || c.Src >= c.N {
+				return fmt.Errorf("earmac: %w: src %d outside [0, %d)", ErrBadStation, c.Src, c.N)
+			}
+			if c.Dest < 0 || c.Dest >= c.N {
+				return fmt.Errorf("earmac: %w: dest %d outside [0, %d)", ErrBadStation, c.Dest, c.N)
+			}
+		}
+		return nil
 	}
-	if pat.Targeted {
-		if c.Src < 0 || c.Src >= c.N {
-			return fmt.Errorf("earmac: %w: src %d outside [0, %d)", ErrBadStation, c.Src, c.N)
+	if err := checkPattern(c.Pattern); err != nil {
+		return err
+	}
+	for i, ph := range c.Phases {
+		if err := checkPattern(ph.Pattern); err != nil {
+			return fmt.Errorf("phase %d: %w", i, err)
 		}
-		if c.Dest < 0 || c.Dest >= c.N {
-			return fmt.Errorf("earmac: %w: dest %d outside [0, %d)", ErrBadStation, c.Dest, c.N)
+		if ph.Rounds < 0 || (ph.Rounds == 0 && i != len(c.Phases)-1) {
+			return fmt.Errorf("earmac: %w: phase %d (%s) has %d rounds; only the last phase may be open-ended (0)",
+				ErrBadRounds, i, ph.Pattern, ph.Rounds)
 		}
+	}
+	if c.Replay != nil && c.Replay.Header.N != c.N {
+		return fmt.Errorf("earmac: %w: trace recorded for n = %d, config has n = %d",
+			ErrBadTrace, c.Replay.Header.N, c.N)
 	}
 	if c.RhoDen <= 0 || c.RhoNum <= 0 {
 		return fmt.Errorf("earmac: %w: ρ = %d/%d is not a positive fraction", ErrBadRate, c.RhoNum, c.RhoDen)

@@ -25,13 +25,21 @@ type Grid struct {
 	Rhos       []Rho    `json:"rhos,omitempty"`
 	Betas      []int64  `json:"betas,omitempty"`
 	Patterns   []string `json:"patterns,omitempty"`
-	Base       Config   `json:"base,omitempty"`
+	// Seeds, when non-empty, crosses the listed pattern seeds as the
+	// innermost dimension — the seed-sweep axis for stochastic
+	// scenarios. Each cell then runs with exactly the listed seed
+	// instead of a derived one.
+	Seeds []int64 `json:"seeds,omitempty"`
+	Base  Config  `json:"base,omitempty"`
 }
 
 // Configs enumerates the cross product in deterministic order: algorithm
-// outermost, then n, k, ρ, β, and pattern innermost. Each cell gets its
-// own seed — Base.Seed (default 1) plus the cell's index — so randomized
-// patterns are independent across cells yet reproducible.
+// outermost, then n, k, ρ, β, pattern, and seed innermost. Without an
+// explicit Seeds dimension each cell gets its own derived seed —
+// Base.Seed (default 1) plus the cell's index — so randomized patterns
+// are independent across cells yet reproducible; with Seeds, cells use
+// the listed seeds verbatim. Either way the enumeration (and therefore
+// the Suite report) is independent of how many workers later run it.
 func (g Grid) Configs() []Config {
 	algs := g.Algorithms
 	if len(algs) == 0 {
@@ -61,22 +69,41 @@ func (g Grid) Configs() []Config {
 	if baseSeed == 0 {
 		baseSeed = 1
 	}
-	cfgs := make([]Config, 0, len(algs)*len(ns)*len(ks)*len(rhos)*len(betas)*len(pats))
+	seeds := g.Seeds
+	deriveSeed := len(seeds) == 0
+	if deriveSeed {
+		seeds = []int64{0} // placeholder; the cell derives its own
+	}
+	cfgs := make([]Config, 0, len(algs)*len(ns)*len(ks)*len(rhos)*len(betas)*len(pats)*len(seeds))
 	for _, alg := range algs {
 		for _, n := range ns {
 			for _, k := range ks {
 				for _, rho := range rhos {
 					for _, beta := range betas {
 						for _, pat := range pats {
-							c := g.Base
-							c.Algorithm = alg
-							c.N = n
-							c.K = k
-							c.RhoNum, c.RhoDen = rho.Num, rho.Den
-							c.Beta = beta
-							c.Pattern = pat
-							c.Seed = baseSeed + int64(len(cfgs))
-							cfgs = append(cfgs, c)
+							for _, seed := range seeds {
+								c := g.Base
+								// RecordTo is per-cell state: one shared writer
+								// interleaved by parallel cells would yield a
+								// corrupt trace. Assign per-cell writers on the
+								// Suite's Configs instead (as earmac-sweep
+								// -record-dir does). Replay stays inherited —
+								// cells build independent cursors over the
+								// shared, read-only trace.
+								c.RecordTo = nil
+								c.Algorithm = alg
+								c.N = n
+								c.K = k
+								c.RhoNum, c.RhoDen = rho.Num, rho.Den
+								c.Beta = beta
+								c.Pattern = pat
+								if deriveSeed {
+									c.Seed = baseSeed + int64(len(cfgs))
+								} else {
+									c.Seed = seed
+								}
+								cfgs = append(cfgs, c)
+							}
 						}
 					}
 				}
