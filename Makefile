@@ -1,6 +1,6 @@
 GITREV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: test race fuzz bench bench-full baseline table
+.PHONY: test race fuzz bench bench-full baseline table serve smoke-serve
 
 test:
 	go build ./... && go test ./...
@@ -30,3 +30,14 @@ baseline:
 
 table:
 	go run ./cmd/earmac-table
+
+# Run the experiment service (content-addressed result cache, progress
+# streaming; see README "Serving experiments").
+serve:
+	go run ./cmd/earmac-serve
+
+# End-to-end service smoke: start earmac-serve, submit a Table 1 config
+# twice, assert the second response is a byte-identical cache hit, drain
+# on SIGTERM (what the CI serve-smoke job runs).
+smoke-serve:
+	sh scripts/serve-smoke.sh

@@ -11,9 +11,11 @@ package earmac
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -30,6 +32,25 @@ func runCLI(t *testing.T, args ...string) []byte {
 		t.Fatalf("go %v: %v\nstderr:\n%s", args, err, errb.String())
 	}
 	return out.Bytes()
+}
+
+// runCLIExpectError executes `go <args...>` expecting a non-zero exit
+// and returns stderr.
+func runCLIExpectError(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go %v: succeeded, want failure\nstdout:\n%s", args, out.String())
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("go %v: %v (not an exit error)", args, err)
+	}
+	return errb.String()
 }
 
 func checkGolden(t *testing.T, name string, got []byte) {
@@ -80,6 +101,58 @@ func TestCLITableGoldenJSON(t *testing.T) {
 	}
 	out := runCLI(t, "run", "./cmd/earmac-table", "-json")
 	checkGolden(t, "table.json", out)
+}
+
+// TestCLISimReplayConflictingFlags: -replay combined with a flag the
+// trace supplies fails fast with the typed conflict error, instead of
+// one flag silently winning. The check runs before the trace file is
+// even opened, so no fixture trace is needed.
+func TestCLISimReplayConflictingFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	cases := []struct {
+		name  string
+		extra []string
+		want  []string // substrings of stderr
+	}{
+		{"pattern", []string{"-pattern", "bernoulli"}, []string{"-pattern"}},
+		{"phases", []string{"-phases", "quiet:100,bursty:0"}, []string{"-phases"}},
+		{"record", []string{"-record", "out.trace.jsonl"}, []string{"-record"}},
+		{"alg", []string{"-alg", "aloha"}, []string{"-alg"}},
+		{"size-and-rate", []string{"-n", "16", "-rho", "1/4"}, []string{"-n", "-rho"}},
+		{"rounds", []string{"-rounds", "999"}, []string{"-rounds"}},
+		{"all-three", []string{"-pattern", "uniform", "-phases", "quiet:0", "-record", "x.jsonl"},
+			[]string{"-pattern, -phases, -record"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := append([]string{"run", "./cmd/earmac-sim", "-replay", "does-not-exist.trace.jsonl"}, c.extra...)
+			stderr := runCLIExpectError(t, args...)
+			want := append([]string{"conflicting options", "-replay is exclusive with"}, c.want...)
+			for _, w := range want {
+				if !strings.Contains(stderr, w) {
+					t.Errorf("stderr missing %q:\n%s", w, stderr)
+				}
+			}
+		})
+	}
+}
+
+// And the non-conflicting replay modifiers still work: -lenient,
+// -checked, and -json are about how to replay, not what to replay.
+func TestCLISimReplayCompatibleFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	trace := filepath.Join(t.TempDir(), "run.trace.jsonl")
+	runCLI(t, "run", "./cmd/earmac-sim",
+		"-alg", "count-hop", "-n", "5", "-rho", "1/3", "-pattern", "bernoulli",
+		"-seed", "2", "-rounds", "5000", "-record", trace, "-json")
+	out := runCLI(t, "run", "./cmd/earmac-sim", "-replay", trace, "-lenient", "-checked", "-json")
+	if !bytes.Contains(out, []byte(`"algorithm": "count-hop"`)) {
+		t.Errorf("replay with compatible flags produced unexpected output:\n%s", out)
+	}
 }
 
 // TestCLISimRecordReplayIdentical closes the loop at the binary level:

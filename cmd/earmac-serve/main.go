@@ -1,0 +1,91 @@
+// Command earmac-serve is a long-running experiment service: it accepts
+// façade Configs as JSON over HTTP, executes them on a shared bounded
+// worker pool with per-job cancellation, streams interim progress
+// snapshots, and memoizes every completed Report in a content-addressed
+// cache keyed by Config.Fingerprint — re-submitting an identical config
+// returns the cached report byte-identically without re-simulating.
+//
+// Usage:
+//
+//	earmac-serve -addr :8321 -parallel 4
+//
+//	# synchronous run (second call is a cache hit, byte-identical)
+//	curl -s -X POST localhost:8321/v1/run -d '{"algorithm":"orchestra","n":8,"rounds":200000}'
+//
+//	# asynchronous: submit, stream progress, fetch the result
+//	curl -s -X POST localhost:8321/v1/jobs -d '{"algorithm":"k-cycle","n":9,"k":3,"rounds":5000000}'
+//	curl -sN localhost:8321/v1/jobs/<id>/stream
+//	curl -s localhost:8321/v1/jobs/<id>/result
+//
+// SIGTERM (and the first SIGINT) drains: submissions are refused,
+// queued jobs are cancelled without running, in-flight simulations run
+// to completion before the process exits. A second signal, or the
+// -drain-timeout deadline, cancels in-flight jobs hard.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"earmac/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8321", "listen address")
+		parallel = flag.Int("parallel", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "maximum queued jobs before submissions get 503")
+		cacheN   = flag.Int("cache", 1024, "maximum cached results (content-addressed, FIFO eviction)")
+		timeout  = flag.Duration("drain-timeout", time.Minute, "how long a drain waits for in-flight jobs before cancelling them")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:      *parallel,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+	})
+	svc.Start()
+	httpSrv := &http.Server{Addr: *addr, Handler: svc}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "earmac-serve: listening on %s\n", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "earmac-serve:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "earmac-serve: %v: draining (in-flight jobs finish, queued jobs are cancelled; signal again to cancel hard)\n", sig)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "earmac-serve: second signal: cancelling in-flight jobs")
+		cancel()
+	}()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "earmac-serve: drain cut short:", err)
+	}
+	cancel()
+
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShut()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "earmac-serve:", err)
+	}
+	fmt.Fprintln(os.Stderr, "earmac-serve: drained, bye")
+}

@@ -64,6 +64,14 @@ func main() {
 
 	var cfg earmac.Config
 	if *replay != "" {
+		// Fail fast on flags the trace supplies: a replayed run takes its
+		// scenario (pattern, phases) from the trace, and re-recording a
+		// replay would just copy the input. Silently letting one flag win
+		// used to hide the mistake.
+		if err := replayConflicts(); err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
 		f, err := os.Open(*replay)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
@@ -171,6 +179,35 @@ func main() {
 		// Distinguish a truncated horizon from a completed run for scripts.
 		os.Exit(130)
 	}
+}
+
+// replayConflicts returns a typed error (wrapping earmac.ErrConflict)
+// when -replay is combined with an explicitly-set flag whose value the
+// replayed trace already determines — every scenario flag, not just the
+// obviously-colliding ones, so no flag can silently lose to the trace.
+// Only the flags that choose *how* to replay (-lenient, -checked,
+// -json, -progress, -trace*) compose with -replay. flag.Visit reports
+// set flags in lexicographical order, so the message is deterministic.
+func replayConflicts() error {
+	exclusive := map[string]bool{
+		"alg": true, "n": true, "k": true,
+		"rho": true, "beta": true,
+		"pattern": true, "phases": true,
+		"src": true, "dest": true, "seed": true,
+		"rounds": true, "stop-injections": true,
+		"record": true,
+	}
+	var set []string
+	flag.Visit(func(f *flag.Flag) {
+		if exclusive[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	if len(set) == 0 {
+		return nil
+	}
+	return fmt.Errorf("earmac: %w: -replay is exclusive with %s (the replayed trace supplies the scenario)",
+		earmac.ErrConflict, strings.Join(set, ", "))
 }
 
 // parsePhases parses "pattern:rounds,pattern:rounds,..." into a phase

@@ -123,7 +123,10 @@ type Config struct {
 	// Use ReplayConfig to assemble a faithful Config from a trace.
 	Replay *Trace `json:"-"`
 	// OnProgress, when non-nil, receives an interim snapshot every
-	// ProgressEvery rounds during RunContext (and at the final round).
+	// ProgressEvery rounds during RunContext, at the final round, and —
+	// when the context is cancelled mid-run — once at the round the run
+	// stopped, before RunContext returns. RunContext never invokes
+	// OnProgress after it has returned.
 	OnProgress func(Progress) `json:"-"`
 	// ProgressEvery is the snapshot period in rounds. Default Rounds/64
 	// (at least 1).
@@ -308,9 +311,18 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 		}
 	}
 	nextMark := every
+	lastSnap := int64(-1) // round of the last delivered snapshot
 	for done := int64(0); done < cfg.Rounds; {
 		if err := ctx.Err(); err != nil {
-			return finish(report.FromTracker(sys.Info, cfg.N, tr), err)
+			rep := report.FromTracker(sys.Info, cfg.N, tr)
+			// Deliver one closing snapshot at the cancellation round (unless
+			// the regular cadence already snapped this exact round), so a
+			// consumer streaming progress sees the rounds measured so far
+			// before RunContext returns — and nothing after.
+			if cfg.OnProgress != nil && done > 0 && done != lastSnap {
+				cfg.OnProgress(Progress{Round: done, Total: cfg.Rounds, Report: rep})
+			}
+			return finish(rep, err)
 		}
 		chunk := cfg.Rounds - done
 		if chunk > ctxCheckEvery {
@@ -329,6 +341,7 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 				Total:  cfg.Rounds,
 				Report: report.FromTracker(sys.Info, cfg.N, tr),
 			})
+			lastSnap = done
 			for nextMark <= done {
 				nextMark += every
 			}

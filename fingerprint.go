@@ -1,0 +1,64 @@
+package earmac
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+
+	"earmac/internal/scenario"
+)
+
+// Fingerprint returns the content address of the experiment this config
+// describes: "sha256:" plus the hex digest of the defaults-resolved
+// config's canonical JSON encoding. Every simulation in this module is
+// deterministic given its config (algorithms are deterministic and
+// randomized patterns are seeded), so the fingerprint content-addresses
+// the resulting Report — the property the serving layer's result cache
+// is keyed on.
+//
+// Canonicalization rules:
+//
+//   - Defaults are resolved before hashing, so a zero field and its
+//     explicit default fingerprint identically (Config{} and
+//     Config{Algorithm: "orchestra", N: 8, ...} are the same experiment).
+//   - Field ordering is stable: encoding/json emits struct fields in
+//     declaration order, and the Config schema owns that order.
+//   - Runtime-only observation fields — trace/record writers, the
+//     progress callback and its cadence — do not contribute: they change
+//     how a run is watched, not what it computes.
+//   - A Replay trace DOES contribute: replay replaces the adversary's
+//     injections, so the replayed stream determines the Report. The
+//     trace's canonical re-encoding (scenario.Write) is folded into the
+//     digest after the config JSON.
+//
+// The fingerprint is a syntactic identity, not a full semantic one:
+// fields the selected pattern happens to ignore (Src on an untargeted
+// pattern, K on a fixed-cap algorithm) still contribute when set.
+func (c Config) Fingerprint() string {
+	d := c.withDefaults()
+	replay := d.Replay
+	// The json:"-" tags already exclude the runtime fields from the
+	// encoding; zero them anyway so a future tag change cannot silently
+	// fork fingerprints.
+	d.Trace, d.RecordTo, d.Replay, d.OnProgress = nil, nil, nil, nil
+	d.TraceFrom, d.TraceUpTo, d.ProgressEvery = 0, 0, 0
+	raw, err := json.Marshal(d)
+	if err != nil {
+		// Unreachable: after the zeroing above Config contains only
+		// marshalable field types.
+		panic("earmac: encoding config for fingerprint: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write(raw)
+	if replay != nil {
+		// Write re-encodes a decoded trace deterministically (decode ∘
+		// encode is the identity), so equal traces hash equally no matter
+		// how their source files were formatted.
+		io.WriteString(h, "\nreplay\n")
+		if err := scenario.Write(h, replay); err != nil {
+			panic("earmac: encoding replay trace for fingerprint: " + err.Error())
+		}
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,93 @@
+package earmac
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFingerprintDefaultsResolved(t *testing.T) {
+	zero := Config{}.Fingerprint()
+	explicit := Config{
+		Algorithm: "orchestra",
+		N:         8,
+		K:         3,
+		RhoNum:    1, RhoDen: 2,
+		Beta:    1,
+		Pattern: "uniform",
+		Seed:    1,
+		Rounds:  100000,
+	}.Fingerprint()
+	if zero != explicit {
+		t.Errorf("zero config and explicit defaults fingerprint differently:\n%s\n%s", zero, explicit)
+	}
+	if !strings.HasPrefix(zero, "sha256:") || len(zero) != len("sha256:")+64 {
+		t.Errorf("fingerprint shape: %q", zero)
+	}
+}
+
+func TestFingerprintDistinguishesSemanticFields(t *testing.T) {
+	base := Config{Algorithm: "count-hop", N: 5, Rounds: 1000}
+	fp := base.Fingerprint()
+	for name, alt := range map[string]Config{
+		"algorithm": {Algorithm: "orchestra", N: 5, Rounds: 1000},
+		"n":         {Algorithm: "count-hop", N: 6, Rounds: 1000},
+		"rho":       {Algorithm: "count-hop", N: 5, Rounds: 1000, RhoNum: 1, RhoDen: 3},
+		"beta":      {Algorithm: "count-hop", N: 5, Rounds: 1000, Beta: 2},
+		"pattern":   {Algorithm: "count-hop", N: 5, Rounds: 1000, Pattern: "bernoulli"},
+		"seed":      {Algorithm: "count-hop", N: 5, Rounds: 1000, Seed: 7},
+		"rounds":    {Algorithm: "count-hop", N: 5, Rounds: 2000},
+		"phases":    {Algorithm: "count-hop", N: 5, Rounds: 1000, Phases: []Phase{{Pattern: "quiet", Rounds: 0}}},
+		"lenient":   {Algorithm: "count-hop", N: 5, Rounds: 1000, Lenient: true},
+	} {
+		if alt.Fingerprint() == fp {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintDistinguishesReplayTraces: a Replay trace replaces the
+// adversary's injections and so determines the Report — two configs
+// replaying different traces must not fingerprint-collide, while
+// replaying the same trace twice must.
+func TestFingerprintDistinguishesReplayTraces(t *testing.T) {
+	record := func(seed int64) *Trace {
+		var buf bytes.Buffer
+		cfg := Config{Algorithm: "count-hop", N: 5, Pattern: "bernoulli", Seed: seed, Rounds: 2000, RecordTo: &buf}
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	trA, trB := record(1), record(2)
+	base := Config{Algorithm: "count-hop", N: 5, Rounds: 2000}
+	withA, withA2, withB := base, base, base
+	withA.Replay, withA2.Replay, withB.Replay = trA, trA, trB
+	if withA.Fingerprint() == base.Fingerprint() {
+		t.Error("setting Replay did not change the fingerprint")
+	}
+	if withA.Fingerprint() == withB.Fingerprint() {
+		t.Error("different replay traces fingerprint-collide")
+	}
+	if withA.Fingerprint() != withA2.Fingerprint() {
+		t.Error("the same replay trace fingerprints differently across calls")
+	}
+}
+
+func TestFingerprintIgnoresRuntimeFields(t *testing.T) {
+	base := Config{Algorithm: "count-hop", N: 5, Rounds: 1000}
+	fp := base.Fingerprint()
+	withRuntime := base
+	withRuntime.Trace = &bytes.Buffer{}
+	withRuntime.TraceFrom, withRuntime.TraceUpTo = 10, 20
+	withRuntime.RecordTo = &bytes.Buffer{}
+	withRuntime.OnProgress = func(Progress) {}
+	withRuntime.ProgressEvery = 500
+	if got := withRuntime.Fingerprint(); got != fp {
+		t.Errorf("runtime-only fields changed the fingerprint:\n%s\n%s", fp, got)
+	}
+}

@@ -96,7 +96,7 @@ func TestEveryAlgorithmEveryPatternStrict(t *testing.T) {
 				if tr.Pending() != 0 {
 					t.Errorf("pending = %d of %d after drain", tr.Pending(), tr.Injected)
 				}
-				if tr.MaxEnergy > sys.Info.EnergyCap {
+				if tr.MaxEnergy > int64(sys.Info.EnergyCap) {
 					t.Errorf("energy %d exceeds declared cap %d", tr.MaxEnergy, sys.Info.EnergyCap)
 				}
 				if sys.Info.PlainPacket && tr.ControlBits > 0 {

@@ -94,7 +94,7 @@ func TestChaosAccountingConsistency(t *testing.T) {
 		if tr.Delivered > tr.Injected {
 			return false
 		}
-		if tr.MaxEnergy > n || tr.MaxEnergy < 0 {
+		if tr.MaxEnergy > int64(n) || tr.MaxEnergy < 0 {
 			return false
 		}
 		// Chaos transmits constantly from several stations: with n ≥ 3 we

@@ -88,7 +88,7 @@ type Outcome struct {
 	MeanLatency float64
 	P99Latency  int64
 	MeanEnergy  float64
-	MaxEnergy   int
+	MaxEnergy   int64
 	Injected    int64
 	Delivered   int64
 	Violations  int

@@ -40,7 +40,7 @@ type Counters struct {
 	LatHist [64]int64
 
 	EnergySum int64
-	MaxEnergy int
+	MaxEnergy int64
 
 	SilentRounds    int64 // nothing transmitted
 	HeardRounds     int64 // exactly one transmitter
@@ -121,8 +121,8 @@ func NewTracker() *Tracker {
 func (t *Tracker) ObserveRound(round int64, queue int64, energy int) {
 	t.Rounds++
 	t.EnergySum += int64(energy)
-	if energy > t.MaxEnergy {
-		t.MaxEnergy = energy
+	if int64(energy) > t.MaxEnergy {
+		t.MaxEnergy = int64(energy)
 	}
 	if queue > t.MaxQueue {
 		t.MaxQueue = queue
@@ -173,11 +173,20 @@ func (t *Tracker) MeanLatency() float64 {
 }
 
 // LatencyPercentile returns an upper bound for the p-quantile of delivery
-// delay (p in [0,1]) from the power-of-two histogram: the top of the
-// bucket containing the quantile.
+// delay from the power-of-two histogram: the top of the bucket containing
+// the quantile. p is clamped into [0,1] — a negative or NaN p behaves as
+// 0 (the smallest observed bucket's top), p > 1 behaves as 1 (the bucket
+// of the largest observed latency) — so out-of-range input can never
+// push the quantile target past Delivered and silently fall through to
+// an unrelated figure.
 func (t *Tracker) LatencyPercentile(p float64) int64 {
 	if t.Delivered == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
 	}
 	target := int64(math.Ceil(p * float64(t.Delivered)))
 	if target < 1 {
@@ -193,7 +202,10 @@ func (t *Tracker) LatencyPercentile(p float64) int64 {
 			return (int64(1) << uint(b+1)) - 1
 		}
 	}
-	return t.MaxLatency
+	// Unreachable: with p clamped, target <= Delivered, and the histogram
+	// sums exactly to Delivered, so the loop always returns. Fail loudly
+	// rather than fall back to an unrelated figure.
+	panic("metrics: latency histogram inconsistent with Delivered")
 }
 
 // MeanEnergy returns the average number of switched-on stations per round.

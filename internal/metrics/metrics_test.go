@@ -43,6 +43,96 @@ func TestDeliveryStats(t *testing.T) {
 	}
 }
 
+// TestLatencyPercentileClamped is the regression test for out-of-range
+// quantiles: p > 1, p < 0, and NaN used to produce a target beyond
+// Delivered and silently fall through to MaxLatency; they now clamp to
+// the [0,1] endpoints.
+func TestLatencyPercentileClamped(t *testing.T) {
+	tr := NewTracker()
+	for _, lat := range []int64{1, 2, 3, 4, 100} {
+		tr.ObserveDelivery(lat)
+	}
+	p0 := tr.LatencyPercentile(0)   // smallest bucket top: latency 1 → bucket [1,2) → 1
+	p1 := tr.LatencyPercentile(1.0) // bucket top of 100 → 127
+	if p0 != 1 {
+		t.Errorf("p=0: %d, want 1", p0)
+	}
+	if p1 != 127 {
+		t.Errorf("p=1: %d, want 127", p1)
+	}
+	for _, p := range []float64{1.0001, 2, 100, math.Inf(1)} {
+		if got := tr.LatencyPercentile(p); got != p1 {
+			t.Errorf("p=%v: %d, want clamp to p=1 result %d", p, got, p1)
+		}
+	}
+	for _, p := range []float64{-0.0001, -3, math.Inf(-1), math.NaN()} {
+		if got := tr.LatencyPercentile(p); got != p0 {
+			t.Errorf("p=%v: %d, want clamp to p=0 result %d", p, got, p0)
+		}
+	}
+}
+
+// TestLatencyPercentileZeroLatency: instant deliveries land in bucket 0,
+// whose upper bound is 1.
+func TestLatencyPercentileZeroLatency(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveDelivery(0)
+	tr.ObserveDelivery(0)
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := tr.LatencyPercentile(p); got != 1 {
+			t.Errorf("p=%v over zero-latency deliveries: %d, want 1", p, got)
+		}
+	}
+	if tr.MaxLatency != 0 {
+		t.Errorf("MaxLatency = %d", tr.MaxLatency)
+	}
+}
+
+// TestLatencyPercentileBucketBoundaries pins the quantile at exact
+// power-of-two boundaries: a latency of exactly 2^b sits at the bottom
+// of bucket b, so its reported upper bound is 2^(b+1)-1.
+func TestLatencyPercentileBucketBoundaries(t *testing.T) {
+	for _, lat := range []int64{1, 2, 4, 8, 1024} {
+		tr := NewTracker()
+		tr.ObserveDelivery(lat)
+		want := int64(1)<<(bucketOf(lat)+1) - 1
+		if got := tr.LatencyPercentile(0.5); got != want {
+			t.Errorf("single delivery at %d: p50 = %d, want %d", lat, got, want)
+		}
+	}
+}
+
+func TestLatencyPercentileTopBucket(t *testing.T) {
+	tr := NewTracker()
+	tr.ObserveDelivery(math.MaxInt64) // bucket 63: upper bound saturates
+	if got := tr.LatencyPercentile(1); got != math.MaxInt64 {
+		t.Errorf("top-bucket percentile = %d, want MaxInt64", got)
+	}
+}
+
+func TestBucketOfNegativeLatency(t *testing.T) {
+	// Defensive: latency is never negative in practice, but bucketOf must
+	// not index out of range if it ever is.
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0", got)
+	}
+}
+
+func TestMaxEnergyWideRange(t *testing.T) {
+	// MaxEnergy is int64: it sits among int64 accumulators and serializes
+	// with the same JSON width (the compile-time assignment below pins
+	// the field's type). Per-round energy is one round's on-station
+	// count, so the int parameter bounds single observations, but the
+	// stored peak must carry the full value without truncation on every
+	// platform.
+	tr := NewTracker()
+	tr.ObserveRound(0, 0, math.MaxInt32)
+	var peak int64 = tr.MaxEnergy
+	if peak != math.MaxInt32 {
+		t.Errorf("MaxEnergy = %d, want %d", peak, int64(math.MaxInt32))
+	}
+}
+
 func TestLatencyPercentileEmpty(t *testing.T) {
 	tr := NewTracker()
 	if tr.LatencyPercentile(0.99) != 0 || tr.MeanLatency() != 0 {

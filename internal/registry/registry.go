@@ -32,6 +32,7 @@ var (
 	ErrBadRounds        = errors.New("bad horizon")
 	ErrBadStation       = errors.New("bad station index")
 	ErrBadTrace         = errors.New("bad trace")
+	ErrConflict         = errors.New("conflicting options")
 )
 
 // AlgorithmMeta declares an algorithm's capabilities in the paper's

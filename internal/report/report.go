@@ -40,7 +40,7 @@ type Report struct {
 	P99Latency  int64   `json:"p99_latency"` // histogram upper bound
 
 	MeanEnergy float64 `json:"mean_energy"`
-	MaxEnergy  int     `json:"max_energy"`
+	MaxEnergy  int64   `json:"max_energy"`
 
 	HeardRounds     int64 `json:"heard_rounds"`
 	SilentRounds    int64 `json:"silent_rounds"`

@@ -1,0 +1,89 @@
+package service
+
+import "sync"
+
+// entry is one cached run: the canonical report bytes served verbatim to
+// every later request for the same fingerprint, and the recorded trace
+// when the run was submitted with recording on.
+type entry struct {
+	report []byte
+	trace  []byte
+}
+
+// cache is the content-addressed result store: fingerprint → entry.
+// Results are immutable once stored (a fingerprint names a deterministic
+// run), so the cache never updates in place; the only mutation besides
+// insert is FIFO eviction past the capacity. FIFO rather than LRU keeps
+// eviction O(1) with no per-hit bookkeeping — for deterministic,
+// recomputable results the cost of a wrong eviction is one re-simulation,
+// not lost data.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]entry
+	order   []string // insertion order, for eviction
+
+	hits, misses int64
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, entries: make(map[string]entry, capacity)}
+}
+
+// peek returns the entry without touching the hit/miss statistics.
+// Lookups never count implicitly: the submission path calls markHit or
+// markMiss once per submission after deciding the outcome, so the
+// statistics measure exactly how often a submitted experiment was
+// deduplicated (served from cache or joined to a live run) versus
+// simulated fresh — not how often a client polled.
+func (c *cache) peek(fp string) (entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	return e, ok
+}
+
+// markHit records one deduplicated submission.
+func (c *cache) markHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// markMiss records one submission that required a fresh simulation.
+func (c *cache) markMiss() {
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+}
+
+// put stores a completed run. A duplicate fingerprint keeps the first
+// stored report bytes authoritative — concurrent completions of the same
+// config can never flip the served representation — but may attach a
+// recorded trace the original entry lacked (a record=true re-run of an
+// already-cached config exists exactly to produce that trace).
+func (c *cache) put(fp string, e entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[fp]; ok {
+		if old.trace == nil && e.trace != nil {
+			old.trace = e.trace
+			c.entries[fp] = old
+		}
+		return
+	}
+	for c.cap > 0 && len(c.entries) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[fp] = e
+	c.order = append(c.order, fp)
+}
+
+// stats returns (entries, hits, misses).
+func (c *cache) stats() (int, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.hits, c.misses
+}

@@ -30,6 +30,11 @@ var (
 	ErrBadRounds        = registry.ErrBadRounds
 	ErrBadStation       = registry.ErrBadStation
 	ErrBadTrace         = registry.ErrBadTrace
+	// ErrConflict marks options that are individually valid but mutually
+	// exclusive — e.g. a replayed trace combined with a scenario source
+	// the trace already supplies, or a submission the serving layer
+	// cannot honour while draining.
+	ErrConflict = registry.ErrConflict
 )
 
 // AlgorithmMeta declares an algorithm's capabilities: energy cap, the

@@ -60,6 +60,101 @@ func TestRunContextCancelMidRunReturnsPartialReport(t *testing.T) {
 	}
 }
 
+// errAfterCtx is a context whose Err flips to Canceled after a fixed
+// number of Err calls — a deterministic way to land a cancellation
+// between progress marks, where the timing of a real cancel would be
+// racy.
+type errAfterCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunContextCancelSnapshotAtCancellationRound: a run cancelled
+// between progress marks delivers exactly one closing snapshot, at the
+// round the run stopped, and never invokes OnProgress after RunContext
+// returns.
+func TestRunContextCancelSnapshotAtCancellationRound(t *testing.T) {
+	ctx := &errAfterCtx{Context: context.Background(), after: 3}
+	var rounds []int64
+	returned := false
+	cfg := Config{
+		Algorithm:     "count-hop",
+		N:             4,
+		Rounds:        100000,
+		ProgressEvery: 1 << 40, // no regular mark before the cancellation
+		OnProgress: func(p Progress) {
+			if returned {
+				t.Error("OnProgress invoked after RunContext returned")
+			}
+			rounds = append(rounds, p.Round)
+		},
+	}
+	rep, err := RunContext(ctx, cfg)
+	returned = true
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The context allows 3 Err checks: 3 chunks of ctxCheckEvery rounds
+	// complete before the 4th check observes the cancellation.
+	const want = 3 * ctxCheckEvery
+	if rep.Rounds != want {
+		t.Fatalf("partial report covers %d rounds, want %d", rep.Rounds, want)
+	}
+	if len(rounds) != 1 || rounds[0] != want {
+		t.Errorf("snapshots at rounds %v, want exactly [%d] (closing snapshot at the cancellation round)", rounds, want)
+	}
+}
+
+// TestRunContextCancelAtMarkNoDuplicateSnapshot: when the cancellation
+// lands exactly on a round whose regular snapshot was already delivered
+// (here: cancel from inside the callback), no duplicate closing
+// snapshot fires — snapshot rounds stay strictly increasing and the last
+// one matches the partial report.
+func TestRunContextCancelAtMarkNoDuplicateSnapshot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var rounds []int64
+	returned := false
+	cfg := Config{
+		Algorithm:     "count-hop",
+		N:             4,
+		Rounds:        100000,
+		ProgressEvery: 2500,
+		OnProgress: func(p Progress) {
+			if returned {
+				t.Error("OnProgress invoked after RunContext returned")
+			}
+			rounds = append(rounds, p.Round)
+			if p.Round >= 5000 {
+				cancel()
+			}
+		},
+	}
+	rep, err := RunContext(ctx, cfg)
+	returned = true
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("no snapshots delivered")
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i] <= rounds[i-1] {
+			t.Fatalf("snapshot rounds not strictly increasing: %v", rounds)
+		}
+	}
+	if last := rounds[len(rounds)-1]; last != rep.Rounds {
+		t.Errorf("last snapshot at round %d, partial report covers %d", last, rep.Rounds)
+	}
+}
+
 func TestRunContextProgressCadence(t *testing.T) {
 	var rounds []int64
 	cfg := Config{

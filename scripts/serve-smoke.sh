@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Smoke test for earmac-serve: start the daemon, submit one Table 1
+# config twice, and assert the second response is served from the
+# content-addressed cache byte-identical to the first; then check that
+# SIGTERM drains gracefully. The CI serve-smoke job runs this script;
+# locally: make smoke-serve.
+set -eu
+
+ADDR="${EARMAC_SERVE_ADDR:-127.0.0.1:8321}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building earmac-serve"
+go build -o "$WORK/earmac-serve" ./cmd/earmac-serve
+
+"$WORK/earmac-serve" -addr "$ADDR" -parallel 2 2>"$WORK/serve.log" &
+SERVE_PID=$!
+
+echo "serve-smoke: waiting for /v1/healthz"
+i=0
+until curl -sf "http://$ADDR/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Table 1, row "orchestra, ρ=1, β=2": the full-rate adversary the paper's
+# O(n²+β) latency bound is exercised against.
+CONFIG='{"algorithm":"orchestra","n":8,"rho_num":1,"rho_den":1,"beta":2,"rounds":200000}'
+
+echo "serve-smoke: first submission (expect cache miss)"
+curl -sf -D "$WORK/h1" -o "$WORK/r1.json" -X POST "http://$ADDR/v1/run" -d "$CONFIG"
+grep -qi '^x-earmac-cache: *miss' "$WORK/h1" || {
+    echo "serve-smoke: first response not a cache miss:" >&2
+    cat "$WORK/h1" >&2
+    exit 1
+}
+
+echo "serve-smoke: second submission (expect cache hit, byte-identical)"
+curl -sf -D "$WORK/h2" -o "$WORK/r2.json" -X POST "http://$ADDR/v1/run" -d "$CONFIG"
+grep -qi '^x-earmac-cache: *hit' "$WORK/h2" || {
+    echo "serve-smoke: second response not served from cache:" >&2
+    cat "$WORK/h2" >&2
+    exit 1
+}
+cmp "$WORK/r1.json" "$WORK/r2.json" || {
+    echo "serve-smoke: cached response is not byte-identical" >&2
+    exit 1
+}
+grep -q '"algorithm":"orchestra"' "$WORK/r1.json" || {
+    echo "serve-smoke: response does not look like a Report:" >&2
+    cat "$WORK/r1.json" >&2
+    exit 1
+}
+
+echo "serve-smoke: SIGTERM drain"
+kill -TERM "$SERVE_PID"
+i=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server did not drain within 20s" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+grep -q 'drained, bye' "$WORK/serve.log" || {
+    echo "serve-smoke: no graceful-drain message in server log:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+}
+
+echo "serve-smoke: OK (cache hit byte-identical, graceful drain)"
