@@ -1,6 +1,6 @@
 GITREV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: test race fuzz bench bench-full baseline table serve smoke-serve
+.PHONY: test race fuzz cover bench bench-full baseline table serve smoke-serve
 
 test:
 	go build ./... && go test ./...
@@ -13,6 +13,13 @@ race:
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzBucket$$' -fuzztime 10s ./internal/adversary
 	go test -run '^$$' -fuzz '^FuzzTraceRoundTrip$$' -fuzztime 10s ./internal/scenario
+
+# Statement coverage with a per-package summary. Writes cover.out (the
+# profile the CI cover job uploads as an artifact); the summary script
+# groups the profile by package, statement-weighted.
+cover:
+	go test -short -coverprofile=cover.out -coverpkg=./... ./...
+	sh scripts/cover-summary.sh cover.out
 
 # Stamp a quick benchmark run for the current revision and gate it
 # against the committed baseline (what CI runs).

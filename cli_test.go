@@ -122,6 +122,7 @@ func TestCLISimReplayConflictingFlags(t *testing.T) {
 		{"alg", []string{"-alg", "aloha"}, []string{"-alg"}},
 		{"size-and-rate", []string{"-n", "16", "-rho", "1/4"}, []string{"-n", "-rho"}},
 		{"rounds", []string{"-rounds", "999"}, []string{"-rounds"}},
+		{"topology", []string{"-topology", "line", "-channels", "3"}, []string{"-channels", "-topology"}},
 		{"all-three", []string{"-pattern", "uniform", "-phases", "quiet:0", "-record", "x.jsonl"},
 			[]string{"-pattern, -phases, -record"}},
 	}
@@ -175,5 +176,61 @@ func TestCLISimRecordReplayIdentical(t *testing.T) {
 	checked := runCLI(t, "run", "./cmd/earmac-sim", "-replay", trace, "-checked", "-json")
 	if !bytes.Equal(recorded, checked) {
 		t.Errorf("checked replay differs from the recorded run")
+	}
+}
+
+// TestCLISimNetworkGoldenJSON pins the network report schema end to end:
+// topology flags through the binary, per-channel breakdown in the JSON.
+func TestCLISimNetworkGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sim",
+		"-alg", "orchestra", "-topology", "line", "-channels", "3", "-n", "5",
+		"-rho", "1/2", "-beta", "3", "-pattern", "bernoulli", "-seed", "11",
+		"-rounds", "3000", "-json")
+	checkGolden(t, "sim-orchestra-line3.json", out)
+}
+
+// The earmac-sweep golden-file tests (the last CLI without any): one
+// per output mode, small horizons, fixed seeds.
+func TestCLISweepSeedGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sweep",
+		"-mode", "seed", "-alg", "orchestra", "-pattern", "bernoulli",
+		"-n", "5", "-rho", "1/3", "-beta", "2", "-seeds", "1,2,3", "-rounds", "2000")
+	checkGolden(t, "sweep-seed.csv", out)
+}
+
+func TestCLISweepChannelsGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sweep",
+		"-mode", "channels", "-topology", "line", "-alg", "count-hop",
+		"-n", "4", "-rho", "1/2", "-beta", "4", "-max-channels", "4", "-rounds", "2000")
+	checkGolden(t, "sweep-channels.csv", out)
+}
+
+func TestCLISweepRhoGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sweep",
+		"-mode", "rho", "-alg", "count-hop", "-n", "5", "-rounds", "1000", "-json")
+	checkGolden(t, "sweep-rho.json", out)
+}
+
+// And the sweep CSV error path: -mode channels without -topology fails
+// fast instead of sweeping a single channel silently.
+func TestCLISweepChannelsNeedsTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	stderr := runCLIExpectError(t, "run", "./cmd/earmac-sweep", "-mode", "channels")
+	if !strings.Contains(stderr, "-topology") {
+		t.Errorf("stderr missing -topology hint:\n%s", stderr)
 	}
 }

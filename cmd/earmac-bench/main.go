@@ -36,12 +36,14 @@ import (
 
 	"earmac/internal/adversary"
 	"earmac/internal/algorithms/ksubsets"
+	"earmac/internal/algorithms/orchestra"
 	"earmac/internal/algorithms/randmac"
 	"earmac/internal/benchcmp"
 	"earmac/internal/core"
 	"earmac/internal/expt"
 	"earmac/internal/mac"
 	"earmac/internal/metrics"
+	"earmac/internal/network"
 	"earmac/internal/pktq"
 	"earmac/internal/ratio"
 )
@@ -92,6 +94,7 @@ func main() {
 		file.Rows = append(file.Rows, benchSpec(spec, reps))
 	}
 	file.Rows = append(file.Rows, substrateRows(scale, reps)...)
+	file.Rows = append(file.Rows, networkRow(scale, reps))
 	for _, row := range file.Rows {
 		fmt.Fprintf(os.Stderr, "earmac-bench: %-14s %8.3f Mrounds/s  %7.4f allocs/round  queue_max=%d\n",
 			row.ID, row.MroundsPerS, row.AllocsPerRound, row.QueueMax)
@@ -283,6 +286,61 @@ func substrateRows(scale expt.Scale, reps int) []benchcmp.Row {
 
 	rows = append(rows, pktqRow(rounds*4, reps))
 	return rows
+}
+
+// networkRow measures the multi-channel topology layer end to end: an
+// orchestra line of 4 channels under the budget-split network adversary,
+// relays included — the loop the network regression gate watches. Rounds
+// are network rounds (each advances all 4 channel sims).
+func networkRow(scale expt.Scale, reps int) benchcmp.Row {
+	rounds := int64(100000)
+	if scale == expt.Full {
+		rounds *= 4
+	}
+	row := benchcmp.Row{ID: "NET.line4", Label: "orchestra line ×4 @ ρ=1/2 β=4, n=6", Rounds: rounds}
+	for rep := 0; rep < reps; rep++ {
+		topo, err := network.Compile(network.Spec{Kind: network.Line, Channels: 4, N: 6})
+		if err != nil {
+			fail(err)
+		}
+		pats := make([]adversary.Pattern, topo.Channels())
+		for c := range pats {
+			pats[c] = adversary.Uniform(topo.Stations(), 31+int64(c)*1000003)
+		}
+		adv, err := network.NewAdversary(topo, adversary.T(1, 2, 4), pats)
+		if err != nil {
+			fail(err)
+		}
+		net, err := network.New(topo, func(ch int) (*core.System, error) {
+			return orchestra.New(6)
+		}, adv, network.Options{})
+		if err != nil {
+			fail(err)
+		}
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := net.Run(rounds); err != nil {
+			fail(fmt.Errorf("NET.line4: %w", err))
+		}
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		speed := float64(rounds) / elapsed / 1e6
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(rounds)
+		if rep == 0 || speed > row.MroundsPerS {
+			row.MroundsPerS = speed
+		}
+		if rep == 0 || allocs < row.AllocsPerRound {
+			row.AllocsPerRound = allocs
+		}
+		tr := net.Tracker()
+		row.QueueMax = tr.MaxQueue
+		row.Energy = tr.MeanEnergy()
+	}
+	return row
 }
 
 // pktqRow measures the raw queue reps times (best run wins, like

@@ -8,6 +8,13 @@
 //	earmac-sim -alg count-hop -n 6 -json          # Report in the shared JSON schema
 //	earmac-sim -alg orchestra -rounds 5000000 -progress
 //
+// A -topology turns the run into a network of shared channels (each an
+// independent contention domain running its own n-station replica set,
+// bridged by relays; see DESIGN.md §11):
+//
+//	earmac-sim -alg orchestra -topology line -channels 3 -n 5 -rho 1/2 -beta 3
+//	earmac-sim -alg count-hop -topology custom -channels 4 -links 0-1,1-2,1-3 -n 4 -json
+//
 // Scenarios are data: a seeded stochastic pattern or a phase schedule
 // describes a whole workload, and any run can be recorded as a
 // replayable trace and re-executed bit-for-bit:
@@ -40,7 +47,10 @@ import (
 func main() {
 	var (
 		alg      = flag.String("alg", "orchestra", "algorithm: "+strings.Join(earmac.Algorithms(), ", "))
-		n        = flag.Int("n", 8, "number of stations")
+		n        = flag.Int("n", 8, "number of stations (per channel, with -topology)")
+		topology = flag.String("topology", "", "network of channels: "+strings.Join(earmac.Topologies(), ", ")+" (empty = single channel)")
+		channels = flag.Int("channels", 0, "channel count for -topology (default 2)")
+		links    = flag.String("links", "", "explicit channel links for -topology custom, e.g. 0-1,1-2,1-3")
 		k        = flag.Int("k", 3, "energy cap parameter for the k-parameterized algorithms")
 		rho      = flag.String("rho", "1/2", "injection rate as a fraction p/q (or an integer)")
 		beta     = flag.Int64("beta", 1, "burstiness coefficient β")
@@ -95,9 +105,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
 			os.Exit(2)
 		}
+		lk, err := parseLinks(*links)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
 		cfg = earmac.Config{
 			Algorithm:           *alg,
 			N:                   *n,
+			Topology:            *topology,
+			Channels:            *channels,
+			Links:               lk,
 			K:                   *k,
 			RhoNum:              num,
 			RhoDen:              den,
@@ -191,6 +209,7 @@ func main() {
 func replayConflicts() error {
 	exclusive := map[string]bool{
 		"alg": true, "n": true, "k": true,
+		"topology": true, "channels": true, "links": true,
 		"rho": true, "beta": true,
 		"pattern": true, "phases": true,
 		"src": true, "dest": true, "seed": true,
@@ -208,6 +227,30 @@ func replayConflicts() error {
 	}
 	return fmt.Errorf("earmac: %w: -replay is exclusive with %s (the replayed trace supplies the scenario)",
 		earmac.ErrConflict, strings.Join(set, ", "))
+}
+
+// parseLinks parses "a-b,c-d,..." into channel-link pairs.
+func parseLinks(spec string) ([][2]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out [][2]int
+	for _, part := range strings.Split(spec, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(part), "-")
+		if !ok {
+			return nil, fmt.Errorf("bad link %q: want from-to", part)
+		}
+		from, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("bad link %q: %v", part, err)
+		}
+		to, err := strconv.Atoi(b)
+		if err != nil {
+			return nil, fmt.Errorf("bad link %q: %v", part, err)
+		}
+		out = append(out, [2]int{from, to})
+	}
+	return out, nil
 }
 
 // parsePhases parses "pattern:rounds,pattern:rounds,..." into a phase

@@ -21,6 +21,13 @@
 //
 //	earmac-sweep -mode seed -alg orchestra -pattern bernoulli -seeds 1,2,3,4 > seeds.csv
 //	earmac-sweep -mode rho  -alg count-hop -pattern poisson-batch -seeds 5,6 -record-dir traces/
+//
+// Networks of channels sweep too: -topology fixes the shape and -mode
+// channels grids the channel count (2..-max-channels), the scaling axis
+// of the multi-hop setting:
+//
+//	earmac-sweep -mode channels -topology line -alg orchestra -n 5 -beta 4 > channels.csv
+//	earmac-sweep -mode rho -topology star -channels 3 -alg count-hop -n 4 > net-rho.csv
 package main
 
 import (
@@ -41,9 +48,12 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "rho", "sweep variable: rho, cap, size, or seed")
+		mode      = flag.String("mode", "rho", "sweep variable: rho, cap, size, seed, or channels")
 		alg       = flag.String("alg", "count-hop", "algorithm")
-		n         = flag.Int("n", 6, "number of stations (fixed for rho/cap sweeps)")
+		n         = flag.Int("n", 6, "number of stations (per channel, with -topology; fixed for rho/cap sweeps)")
+		topology  = flag.String("topology", "", "network of channels: "+strings.Join(earmac.Topologies(), ", ")+" (required for -mode channels)")
+		channels  = flag.Int("channels", 0, "fixed channel count for -topology outside -mode channels (default 2)")
+		maxChan   = flag.Int("max-channels", 6, "largest channel count for -mode channels")
 		k         = flag.Int("k", 3, "energy cap parameter (fixed for rho/size sweeps)")
 		rho       = flag.String("rho", "1/2", "injection rate (fixed for cap/size sweeps)")
 		beta      = flag.Int64("beta", 1, "burstiness coefficient")
@@ -57,6 +67,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Resolve the documented channel default here rather than inside Run,
+	// so every cell's Config (and the CSV channels column) carries the
+	// count the cell actually ran with.
+	if *topology != "" && *channels == 0 {
+		*channels = 2
+	}
+
 	num, den := int64(1), int64(2)
 	if p, q, ok := strings.Cut(*rho, "/"); ok {
 		num, _ = strconv.ParseInt(p, 10, 64)
@@ -68,6 +85,7 @@ func main() {
 	grid := earmac.Grid{
 		Base: earmac.Config{
 			Algorithm: *alg, N: *n, K: *k,
+			Topology: *topology, Channels: *channels,
 			RhoNum: num, RhoDen: den, Beta: *beta,
 			Pattern: *pattern,
 			Rounds:  *rounds, Seed: *seed,
@@ -101,6 +119,14 @@ func main() {
 		}
 	case "size":
 		grid.Ns = []int{4, 6, 8, 10, 12, 14, 16}
+	case "channels":
+		if *topology == "" {
+			fail(fmt.Errorf("-mode channels needs -topology (one of %s)",
+				strings.Join(earmac.Topologies(), ", ")))
+		}
+		for c := 2; c <= *maxChan; c++ {
+			grid.Channels = append(grid.Channels, c)
+		}
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -150,7 +176,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("x,rho,n,k,seed,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
+	fmt.Println("x,rho,n,k,channels,seed,stable,max_queue,final_queue,queue_slope,max_latency,mean_latency,p99_latency,mean_energy")
 	for _, res := range rep.Results {
 		if res.Verdict == earmac.VerdictSkipped {
 			continue
@@ -169,9 +195,11 @@ func main() {
 			x = strconv.Itoa(cfg.N)
 		case "seed":
 			x = strconv.FormatInt(cfg.Seed, 10)
+		case "channels":
+			x = strconv.Itoa(cfg.Channels)
 		}
-		fmt.Printf("%s,%d/%d,%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
-			x, cfg.RhoNum, cfg.RhoDen, cfg.N, cfg.K, cfg.Seed, r.Stable, r.MaxQueue, r.FinalQueue,
+		fmt.Printf("%s,%d/%d,%d,%d,%d,%d,%v,%d,%d,%.6f,%d,%.2f,%d,%.3f\n",
+			x, cfg.RhoNum, cfg.RhoDen, cfg.N, cfg.K, cfg.Channels, cfg.Seed, r.Stable, r.MaxQueue, r.FinalQueue,
 			r.QueueSlope, r.MaxLatency, r.MeanLatency, r.P99Latency, r.MeanEnergy)
 	}
 	if interrupted {

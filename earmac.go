@@ -35,9 +35,18 @@
 // run respects its (ρ, β) contract), time-varying phase schedules
 // (Config.Phases), and a versioned replayable trace format
 // (Config.RecordTo, Config.Replay, ReadTrace, ReplayConfig) that
-// re-executes any run bit-for-bit. See DESIGN.md for the algorithm →
-// paper-theorem mapping, the model invariants the simulator checks, and
-// the scenario/trace determinism rules (§8).
+// re-executes any run bit-for-bit.
+//
+// Setting Config.Topology generalizes the single shared channel to a
+// *network* of them — the paper's framing of routing networks as
+// multiple access channels. Each channel runs its own N-station replica
+// set, a global (ρ, β) budget is split evenly across per-channel entry
+// buckets, and packets are relayed hop by hop through gateway stations
+// along shortest channel-graph paths; reports then carry end-to-end
+// figures plus a per-channel breakdown, and recordings use trace format
+// v2 (a channel id per event). See DESIGN.md for the algorithm →
+// paper-theorem mapping, the model invariants the simulator checks, the
+// scenario/trace determinism rules (§8), and the network model (§11).
 package earmac
 
 // Stamp a benchmark file for the current revision (same as `make bench`
@@ -53,6 +62,7 @@ import (
 	"earmac/internal/adversary"
 	"earmac/internal/core"
 	"earmac/internal/metrics"
+	"earmac/internal/network"
 	"earmac/internal/ratio"
 	"earmac/internal/registry"
 	"earmac/internal/report"
@@ -76,7 +86,25 @@ type Config struct {
 	RhoDen int64 `json:"rho_den,omitempty"`
 	// Beta is the burstiness coefficient β ≥ 1. Default 1.
 	Beta int64 `json:"beta,omitempty"`
-	// Pattern is one of Patterns(). Default "uniform".
+	// Topology, when non-empty, runs a *network* of shared channels
+	// instead of the classic single channel: one of Topologies() —
+	// "line", "star", "clique", or "custom" (explicit Links). Every
+	// channel is its own contention domain running an N-station replica
+	// of the algorithm; packets whose destination lies in another
+	// channel are relayed hop by hop through per-neighbour gateway
+	// stations (see DESIGN.md §11).
+	Topology string `json:"topology,omitempty"`
+	// Channels is the channel count of a network topology. Default 2
+	// when Topology is set; must stay 0 without one.
+	Channels int `json:"channels,omitempty"`
+	// Links is the explicit channel adjacency for Topology "custom":
+	// undirected [from, to] channel-index pairs forming a connected
+	// graph.
+	Links [][2]int `json:"links,omitempty"`
+	// Pattern is one of Patterns(). Default "uniform". On a network,
+	// each channel draws from its own independently-seeded pattern
+	// instance over the global station space: sources are folded into
+	// the entry channel, destinations stay global.
 	Pattern string `json:"pattern,omitempty"`
 	// Phases, when non-empty, replaces Pattern with a time-varying phase
 	// schedule composed from registered patterns (see Phase). Phase i
@@ -155,6 +183,9 @@ func (c Config) withDefaults() Config {
 	if c.Pattern == "" {
 		c.Pattern = "uniform"
 	}
+	if c.Topology != "" && c.Channels == 0 {
+		c.Channels = 2
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -182,21 +213,22 @@ type Progress struct {
 	Report Report `json:"report"`
 }
 
-// buildPattern constructs the configured injection source: a single
-// registered pattern, or a phase schedule composed from several.
-func buildPattern(cfg Config) (adversary.Pattern, error) {
+// buildPattern constructs one injection source over n stations with the
+// given base seed: a single registered pattern, or a phase schedule
+// composed from several (phase i draws with seed+i).
+func buildPattern(cfg Config, n int, seed int64) (adversary.Pattern, error) {
 	one := func(name string, seed int64) (adversary.Pattern, error) {
 		return adversary.BuildPattern(name, adversary.PatternParams{
-			N: cfg.N, Seed: seed, Src: cfg.Src, Dest: cfg.Dest,
+			N: n, Seed: seed, Src: cfg.Src, Dest: cfg.Dest,
 			RhoNum: cfg.RhoNum, RhoDen: cfg.RhoDen,
 		})
 	}
 	if len(cfg.Phases) == 0 {
-		return one(cfg.Pattern, cfg.Seed)
+		return one(cfg.Pattern, seed)
 	}
 	segs := make([]scenario.Segment, len(cfg.Phases))
 	for i, ph := range cfg.Phases {
-		p, err := one(ph.Pattern, cfg.Seed+int64(i))
+		p, err := one(ph.Pattern, seed+int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -205,18 +237,28 @@ func buildPattern(cfg Config) (adversary.Pattern, error) {
 	return scenario.NewPhased(segs)
 }
 
-// run bundles everything one simulation needs.
+// channelSeedStride separates the per-channel base seeds of a network
+// run far enough that channel c's phase seeds (base + phase index)
+// never collide with channel c+1's.
+const channelSeedStride = 1_000_003
+
+// run bundles everything one simulation needs, behind closures so the
+// single-channel and network paths share one driver loop (RunContext).
 type run struct {
-	sim *core.Sim
-	sys *core.System
-	tr  *metrics.Tracker
-	enc *scenario.Encoder // non-nil when recording a trace
+	step     func(rounds int64) error
+	snapshot func() Report
+	counters func() *metrics.Counters // final-counter source for the trace footer
+	enc      *scenario.Encoder        // non-nil when recording a trace
 }
 
-// prepare validates the defaulted config and assembles the simulator.
+// prepare validates the defaulted config and assembles the simulator —
+// a single core.Sim, or a network of them when a Topology is set.
 func prepare(cfg Config) (run, error) {
 	if err := cfg.validate(); err != nil {
 		return run{}, err
+	}
+	if cfg.Topology != "" {
+		return prepareNetwork(cfg)
 	}
 	sys, err := registry.Build(cfg.Algorithm, cfg.N, cfg.K)
 	if err != nil {
@@ -226,7 +268,7 @@ func prepare(cfg Config) (run, error) {
 	if cfg.Replay != nil {
 		adv = scenario.NewReplayer(cfg.Replay)
 	} else {
-		pat, err := buildPattern(cfg)
+		pat, err := buildPattern(cfg, cfg.N, cfg.Seed)
 		if err != nil {
 			return run{}, err
 		}
@@ -241,10 +283,6 @@ func prepare(cfg Config) (run, error) {
 	tr.TrackStations(cfg.N)
 	if se := cfg.Rounds / 512; se > tr.SampleEvery {
 		tr.SampleEvery = se
-	}
-	check := int64(10007)
-	if cfg.DisableChecks {
-		check = 0
 	}
 	var tracer core.Tracer
 	if cfg.Trace != nil {
@@ -264,13 +302,143 @@ func prepare(cfg Config) (run, error) {
 	}
 	sim := core.NewSim(sys, adv, core.Options{
 		Strict:            !cfg.Lenient,
-		CheckEvery:        check,
+		CheckEvery:        conservationCheckEvery(cfg),
 		Tracker:           tr,
 		Tracer:            tracer,
 		ForceChecked:      cfg.ForceChecked,
 		InjectionObserver: injObs,
 	})
-	return run{sim: sim, sys: sys, tr: tr, enc: enc}, nil
+	return run{
+		step:     sim.Run,
+		snapshot: func() Report { return report.FromTracker(sys.Info, cfg.N, tr) },
+		counters: func() *metrics.Counters { return &tr.Counters },
+		enc:      enc,
+	}, nil
+}
+
+// conservationCheckEvery is the packet-conservation cadence Run uses
+// unless DisableChecks is set (a prime, so it never aligns with phase
+// or pattern periods).
+func conservationCheckEvery(cfg Config) int64 {
+	if cfg.DisableChecks {
+		return 0
+	}
+	return 10007
+}
+
+// prepareNetwork assembles a network-of-channels run: one core.Sim per
+// channel behind relay queues, an entry adversary splitting the global
+// (ρ, β) budget across channels (or a trace-v2 replay source), and the
+// aggregate/per-channel report assembly.
+func prepareNetwork(cfg Config) (run, error) {
+	topo, err := network.Compile(network.Spec{
+		Kind: cfg.Topology, Channels: cfg.Channels, N: cfg.N, Links: cfg.Links,
+	})
+	if err != nil {
+		return run{}, fmt.Errorf("earmac: %w", err)
+	}
+	var info core.AlgorithmInfo
+	build := func(ch int) (*core.System, error) {
+		sys, err := registry.Build(cfg.Algorithm, cfg.N, cfg.K)
+		if err == nil && ch == 0 {
+			info = sys.Info
+		}
+		return sys, err
+	}
+	var entry network.Source
+	if cfg.Replay != nil {
+		entry = network.NewReplaySource(cfg.Replay)
+	} else {
+		pats := make([]adversary.Pattern, cfg.Channels)
+		for c := range pats {
+			pat, err := buildPattern(cfg, topo.Stations(), cfg.Seed+int64(c)*channelSeedStride)
+			if err != nil {
+				return run{}, err
+			}
+			if cfg.StopInjectionsAfter > 0 {
+				pat = adversary.Stop(pat, cfg.StopInjectionsAfter)
+			}
+			pats[c] = pat
+		}
+		typ := adversary.Type{Rho: ratio.New(cfg.RhoNum, cfg.RhoDen), Beta: ratio.FromInt(cfg.Beta)}
+		entry, err = network.NewAdversary(topo, typ, pats)
+		if err != nil {
+			return run{}, fmt.Errorf("earmac: %w", err)
+		}
+	}
+	var enc *scenario.Encoder
+	var rec func(round int64, ch int, injs []core.Injection)
+	if cfg.RecordTo != nil {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return run{}, fmt.Errorf("earmac: encoding config into trace header: %w", err)
+		}
+		enc = scenario.NewEncoder(cfg.RecordTo, scenario.Header{
+			N: cfg.N, Rounds: cfg.Rounds, Channels: cfg.Channels, Config: raw,
+		})
+		rec = enc.ChannelRound
+	}
+	var tracer func(ch int) core.Tracer
+	if cfg.Trace != nil {
+		tracer = func(ch int) core.Tracer {
+			names := make([]string, cfg.N)
+			for i := range names {
+				names[i] = fmt.Sprintf("c%d.s%d", ch, i)
+			}
+			return &trace.Logger{W: cfg.Trace, From: cfg.TraceFrom, To: cfg.TraceUpTo, Names: names}
+		}
+	}
+	net, err := network.New(topo, build, entry, network.Options{
+		Strict:        !cfg.Lenient,
+		CheckEvery:    conservationCheckEvery(cfg),
+		ForceChecked:  cfg.ForceChecked,
+		SampleEvery:   cfg.Rounds / 512,
+		TrackStations: true,
+		Recorder:      rec,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		return run{}, err
+	}
+	snapshot := func() Report {
+		rep := report.FromTracker(info, topo.Stations(), net.Tracker())
+		rep.N = cfg.N
+		rep.Topology = cfg.Topology
+		rep.Channels = cfg.Channels
+		rep.EnergyCap = info.EnergyCap * cfg.Channels
+		rep.QueueImbalance = net.QueueImbalance()
+		rep.Violations = net.Violations()
+		rep.PerChannel = perChannelReports(net)
+		return rep
+	}
+	return run{
+		step:     net.Run,
+		snapshot: snapshot,
+		counters: func() *metrics.Counters { return &net.Tracker().Counters },
+		enc:      enc,
+	}, nil
+}
+
+func perChannelReports(net *network.Network) []report.Channel {
+	topo := net.Topology()
+	out := make([]report.Channel, topo.Channels())
+	for c := range out {
+		tr := net.ChannelTracker(c)
+		out[c] = report.Channel{
+			Channel:         c,
+			Stations:        topo.StationsPerChannel(),
+			Injected:        tr.Injected,
+			Delivered:       tr.Delivered,
+			Relayed:         net.Relayed(c),
+			MaxQueue:        tr.MaxQueue,
+			MeanEnergy:      tr.MeanEnergy(),
+			MeanLatency:     tr.MeanLatency(),
+			HeardRounds:     tr.HeardRounds,
+			SilentRounds:    tr.SilentRounds,
+			CollisionRounds: tr.CollisionRounds,
+		}
+	}
+	return out
 }
 
 // Run executes one simulation per the config. It is a thin wrapper over
@@ -292,13 +460,12 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	sim, sys, tr := r.sim, r.sys, r.tr
 	// finish closes the trace recording (footer with the counters
 	// accumulated so far — a cancelled run still yields a replayable,
 	// footer-pinned trace) and folds any encoder error into the result.
 	finish := func(rep Report, err error) (Report, error) {
 		if r.enc != nil {
-			if cerr := r.enc.Close(&tr.Counters); err == nil && cerr != nil {
+			if cerr := r.enc.Close(r.counters()); err == nil && cerr != nil {
 				err = fmt.Errorf("earmac: recording trace: %w", cerr)
 			}
 		}
@@ -314,7 +481,7 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	lastSnap := int64(-1) // round of the last delivered snapshot
 	for done := int64(0); done < cfg.Rounds; {
 		if err := ctx.Err(); err != nil {
-			rep := report.FromTracker(sys.Info, cfg.N, tr)
+			rep := r.snapshot()
 			// Deliver one closing snapshot at the cancellation round (unless
 			// the regular cadence already snapped this exact round), so a
 			// consumer streaming progress sees the rounds measured so far
@@ -331,7 +498,7 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 		if cfg.OnProgress != nil && done+chunk > nextMark {
 			chunk = nextMark - done
 		}
-		if err := sim.Run(chunk); err != nil {
+		if err := r.step(chunk); err != nil {
 			return finish(Report{}, err)
 		}
 		done += chunk
@@ -339,7 +506,7 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 			cfg.OnProgress(Progress{
 				Round:  done,
 				Total:  cfg.Rounds,
-				Report: report.FromTracker(sys.Info, cfg.N, tr),
+				Report: r.snapshot(),
 			})
 			lastSnap = done
 			for nextMark <= done {
@@ -347,5 +514,5 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 			}
 		}
 	}
-	return finish(report.FromTracker(sys.Info, cfg.N, tr), nil)
+	return finish(r.snapshot(), nil)
 }

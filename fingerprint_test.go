@@ -91,3 +91,39 @@ func TestFingerprintIgnoresRuntimeFields(t *testing.T) {
 		t.Errorf("runtime-only fields changed the fingerprint:\n%s\n%s", fp, got)
 	}
 }
+
+// TestFingerprintTopologySpellings: the fingerprint canonicalization
+// must treat equivalent topology spellings as one experiment (defaults
+// omitted vs explicit) and distinct topologies as different ones — the
+// property the serving cache keys on.
+func TestFingerprintTopologySpellings(t *testing.T) {
+	base := Config{Algorithm: "orchestra", N: 5, Rounds: 1000, Topology: "line"}
+	explicit := base
+	explicit.Channels = 2 // the documented default for a set Topology
+	if base.Fingerprint() != explicit.Fingerprint() {
+		t.Error("Topology with defaulted vs explicit Channels fingerprint differently")
+	}
+	single := Config{Algorithm: "orchestra", N: 5, Rounds: 1000}
+	distinct := map[string]Config{
+		"line vs single":  base,
+		"star vs line":    {Algorithm: "orchestra", N: 5, Rounds: 1000, Topology: "star"},
+		"3 vs 2 channels": {Algorithm: "orchestra", N: 5, Rounds: 1000, Topology: "line", Channels: 3},
+		"custom links":    {Algorithm: "orchestra", N: 5, Rounds: 1000, Topology: "custom", Channels: 3, Links: [][2]int{{0, 1}, {1, 2}}},
+	}
+	seen := map[string]string{"single": single.Fingerprint()}
+	for name, cfg := range distinct {
+		fp := cfg.Fingerprint()
+		for prev, prevFP := range seen {
+			if fp == prevFP {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+	// And two custom graphs with different links differ.
+	a := Config{Algorithm: "orchestra", N: 5, Rounds: 1000, Topology: "custom", Channels: 3, Links: [][2]int{{0, 1}, {1, 2}}}
+	b := Config{Algorithm: "orchestra", N: 5, Rounds: 1000, Topology: "custom", Channels: 3, Links: [][2]int{{0, 1}, {0, 2}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different custom links fingerprint-collide")
+	}
+}

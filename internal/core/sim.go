@@ -25,8 +25,22 @@ type Options struct {
 	// on both the fast and checked paths — the hook the trace recorder
 	// (internal/scenario) captures replayable runs with. The slice is
 	// reused between rounds and must not be retained. Unlike Tracer it
-	// does not force the checked path.
+	// does not force the checked path. Externally-sourced injections
+	// (ExtraInjections) are NOT reported: they are derived state, fully
+	// reproducible from the recorded adversarial stream.
 	InjectionObserver func(round int64, injs []Injection)
+	// ExtraInjections, when non-nil, supplies externally-sourced
+	// injections — relay arrivals from a surrounding topology layer
+	// (internal/network) — appended after the adversary's injections
+	// each round. It reuses the InjectAppender buffer contract, so the
+	// steady-state round loop stays allocation-free; when nil (every
+	// single-channel run) the hook costs one pointer comparison.
+	ExtraInjections InjectAppender
+	// DeliveryObserver, when non-nil, receives every delivered packet on
+	// both simulator paths, in the round it was delivered. It is the
+	// hook relay layers intercept deliveries with; like
+	// InjectionObserver it does not force the checked path.
+	DeliveryObserver func(round int64, p mac.Packet)
 	// ForceChecked keeps the fully-validating round loop even when the
 	// fast path would apply (see Sim.FastPath). Used by the equivalence
 	// tests; never needed in normal operation.
@@ -64,6 +78,8 @@ type Sim struct {
 	queueObs  QueueObserver
 	fbObs     FeedbackObserver
 	injObs    func(round int64, injs []Injection)
+	extInj    InjectAppender
+	delObs    func(round int64, p mac.Packet)
 
 	round    int64
 	nextID   int64
@@ -100,6 +116,8 @@ func NewSim(sys *System, adv Adversary, opt Options) *Sim {
 		s.fbObs, _ = adv.(FeedbackObserver)
 	}
 	s.injObs = opt.InjectionObserver
+	s.extInj = opt.ExtraInjections
+	s.delObs = opt.DeliveryObserver
 	if opt.CheckEvery > 0 {
 		s.live = make(map[int64]mac.Packet)
 		s.delivered = make(map[int64]bool)
@@ -169,6 +187,35 @@ func (s *Sim) inject(t int64) []Injection {
 	return nil
 }
 
+// gather assembles one round's full injection list: the adversary's
+// injections (reported to InjectionObserver) followed by the
+// externally-sourced ones (ExtraInjections; not reported — they are
+// derived state, reproducible from the adversarial stream). Both paths
+// call it; with no external injector it is exactly the old inject +
+// observe sequence, so single-channel runs keep the same cost.
+func (s *Sim) gather(t int64) []Injection {
+	injs := s.inject(t)
+	if s.injObs != nil && len(injs) > 0 {
+		s.injObs(t, injs)
+	}
+	if s.extInj == nil {
+		return injs
+	}
+	if s.advAppend == nil {
+		// injs is owned by the adversary (or nil); move it into the
+		// scratch buffer before appending the external stream.
+		s.injBuf = append(s.injBuf[:0], injs...)
+	}
+	s.injBuf = s.extInj.InjectAppend(t, s.injBuf)
+	return s.injBuf
+}
+
+// NextPacketID returns the ID the next accepted injection will be
+// assigned. IDs are handed out sequentially, in injection order, to
+// every in-range injection; topology layers use this to mirror the
+// simulator's ID assignment without a per-packet callback.
+func (s *Sim) NextPacketID() int64 { return s.nextID }
+
 // stepFast is the allocation-free steady-state round loop. It performs
 // the same channel resolution, delivery accounting, and cheap model
 // validation as the checked path (so tracker totals agree), but skips the
@@ -179,11 +226,8 @@ func (s *Sim) stepFast() {
 	t := s.round
 	tr := s.tracker
 
-	// 1. Adversarial injection.
-	injs := s.inject(t)
-	if s.injObs != nil && len(injs) > 0 {
-		s.injObs(t, injs)
-	}
+	// 1. Adversarial injection (plus externally-sourced arrivals).
+	injs := s.gather(t)
 	for _, in := range injs {
 		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
 			tr.Violate("injection out of range: %+v", in)
@@ -247,6 +291,9 @@ func (s *Sim) stepFast() {
 		} else if s.on[msg.Packet.Dest] {
 			tr.DeliveryRounds++
 			tr.ObserveDelivery(t - msg.Packet.Injected)
+			if s.delObs != nil {
+				s.delObs(t, msg.Packet)
+			}
 		}
 	default:
 		fb.Kind = mac.FbCollision
@@ -286,11 +333,8 @@ func (s *Sim) stepChecked() error {
 	n := s.sys.N()
 	t := s.round
 
-	// 1. Adversarial injection.
-	injs := s.inject(t)
-	if s.injObs != nil && len(injs) > 0 {
-		s.injObs(t, injs)
-	}
+	// 1. Adversarial injection (plus externally-sourced arrivals).
+	injs := s.gather(t)
 	for _, in := range injs {
 		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
 			if err := s.violate("injection out of range: %+v", in); err != nil {
@@ -375,6 +419,9 @@ func (s *Sim) stepChecked() error {
 			p := msg.Packet
 			s.tracker.DeliveryRounds++
 			s.tracker.ObserveDelivery(t - p.Injected)
+			if s.delObs != nil {
+				s.delObs(t, p)
+			}
 			deliveredPkts = append(deliveredPkts, p)
 			if s.live != nil {
 				if s.delivered[p.ID] {

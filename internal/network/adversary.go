@@ -1,0 +1,101 @@
+package network
+
+import (
+	"fmt"
+
+	"earmac/internal/adversary"
+	"earmac/internal/core"
+	"earmac/internal/ratio"
+)
+
+// Source supplies each round's adversarial entry injections for one
+// channel, in global station coordinates, appended to buf. The network
+// queries channels in increasing index order within a round and rounds
+// in increasing order; every injection's source station must belong to
+// the queried channel.
+type Source interface {
+	AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection
+}
+
+// SplitType divides a global (ρ, β) adversary type evenly across
+// channels, with exact rational arithmetic: each of the `channels`
+// entry buckets gets rate ρ/channels and burstiness β/channels floored
+// at 1. The floor keeps every channel live — a bucket with β < 1 can
+// never afford even a single packet, because any 1-packet window needs
+// ρ_c·1 + β_c ≥ 1 — so the budget-split invariant is:
+//
+//   - rates split exactly: Σ_c ρ_c = ρ, and
+//   - bursts split exactly whenever β ≥ channels (Σ_c β_c = β);
+//     for β < channels each channel keeps the minimum live burst of 1,
+//     making the network-wide entry stream (ρ, channels)-admissible.
+//
+// Per channel, the entry stream always respects (ρ/channels,
+// max(β/channels, 1)) — the type CheckAdmissibleSplit audits recorded
+// traces against.
+func SplitType(typ adversary.Type, channels int) adversary.Type {
+	if channels < 1 {
+		panic("network: SplitType with no channels")
+	}
+	c := int64(channels)
+	beta := ratio.New(typ.Beta.Num(), typ.Beta.Den()*c)
+	if beta.Less(ratio.One()) {
+		beta = ratio.One()
+	}
+	return adversary.Type{
+		Rho:  ratio.New(typ.Rho.Num(), typ.Rho.Den()*c),
+		Beta: beta,
+	}
+}
+
+// Adversary is the network-level injection source: one injection
+// pattern per channel, each clipped online by that channel's own
+// leaky bucket of the evenly split global (ρ, β) budget (SplitType).
+// Patterns draw over the global station space; each drawn source is
+// folded into the entry channel (local = station mod N), while the
+// destination stays global — so any registered single-channel pattern
+// doubles as a network workload without modification.
+type Adversary struct {
+	topo    *Topology
+	buckets []*adversary.Bucket
+	pats    []adversary.Pattern
+}
+
+// NewAdversary builds the budget-splitting entry source. pats must hold
+// one pattern per channel (independent seeds keep channels'
+// randomness uncorrelated); each draws with the per-channel budget.
+func NewAdversary(topo *Topology, typ adversary.Type, pats []adversary.Pattern) (*Adversary, error) {
+	if len(pats) != topo.Channels() {
+		return nil, fmt.Errorf("network: %d patterns for %d channels", len(pats), topo.Channels())
+	}
+	split := SplitType(typ, topo.Channels())
+	a := &Adversary{
+		topo:    topo,
+		buckets: make([]*adversary.Bucket, topo.Channels()),
+		pats:    pats,
+	}
+	for c := range a.buckets {
+		a.buckets[c] = adversary.NewBucket(split)
+	}
+	return a, nil
+}
+
+// AppendEntries implements Source.
+func (a *Adversary) AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection {
+	b := a.buckets[ch]
+	budget := b.Tick()
+	if budget == 0 {
+		b.Spend(0)
+		return buf
+	}
+	start := len(buf)
+	buf = adversary.DrawAppend(a.pats[ch], round, budget, buf)
+	if len(buf)-start > budget {
+		buf = buf[:start+budget]
+	}
+	n := a.topo.StationsPerChannel()
+	for i := start; i < len(buf); i++ {
+		buf[i].Station = a.topo.Global(ch, buf[i].Station%n)
+	}
+	b.Spend(len(buf) - start)
+	return buf
+}

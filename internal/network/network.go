@@ -1,0 +1,375 @@
+package network
+
+import (
+	"fmt"
+
+	"earmac/internal/core"
+	"earmac/internal/mac"
+	"earmac/internal/metrics"
+)
+
+// Options configures a network run. The per-channel fields mirror
+// core.Options and apply to every channel's simulator.
+type Options struct {
+	// Strict makes per-channel model violations abort the run.
+	Strict bool
+	// CheckEvery enables each channel's packet-conservation checker.
+	CheckEvery int64
+	// ForceChecked keeps every channel on the fully-validating path.
+	ForceChecked bool
+	// SampleEvery sets the aggregate tracker's queue-curve resolution
+	// (0 keeps the metrics.NewTracker default).
+	SampleEvery int64
+	// TrackStations enables per-station queue peaks on every channel
+	// tracker (the network-wide QueueImbalance diagnostic).
+	TrackStations bool
+	// Recorder, when non-nil, receives every channel's adversarial
+	// entry injections (global coordinates) each round, in increasing
+	// (round, channel) order — the trace-v2 recording hook. Relay
+	// arrivals are not reported: they are derived state, reproduced by
+	// routing during replay. The slice is reused and must not be
+	// retained.
+	Recorder func(round int64, ch int, injs []core.Injection)
+	// Tracer, when non-nil, supplies each channel's event tracer (nil
+	// returns are fine). Like core.Options.Tracer, a non-nil tracer
+	// forces that channel onto the checked path. Channels are stepped
+	// in index order, so tracers sharing one writer interleave
+	// deterministically: all of round t's channel-0 lines before its
+	// channel-1 lines.
+	Tracer func(ch int) core.Tracer
+}
+
+// pending is one relayed packet waiting to enter its next channel.
+type pending struct {
+	station int // arrival gateway, local to the next channel
+	dest    int // within-channel destination, local to the next channel
+	meta    netPacket
+}
+
+// netPacket is the network-level identity of an in-flight packet:
+// everything needed to route it onward and to account its end-to-end
+// latency. Channel sims know nothing of it — they see ordinary local
+// packets — so the network keeps a per-channel map from the local
+// packet ids the sims assign (mirrored via emission order) to metas.
+type netPacket struct {
+	origin  int64 // round the packet entered the network
+	destCh  int   // final channel
+	destLoc int   // final station, local to destCh
+}
+
+// Network composes one core.Sim per channel into a synchronous network:
+// lockstep rounds, per-channel adversarial entry, relay queues between
+// adjacent channels, and deterministic aggregate metrics.
+//
+// Aggregate semantics: Injected, Delivered, and the latency figures are
+// *end-to-end* (a packet counts once, when it reaches its final
+// station, with latency measured from network entry); queue and energy
+// figures are network totals per round (relayed packets in flight
+// between two channels count toward the queue); the channel-utilization
+// counters (heard/silent/collision/light/delivery rounds, control bits)
+// are sums over channels. Per-channel trackers additionally expose each
+// channel's own counters, where Injected includes relay arrivals and
+// latency is per-hop.
+type Network struct {
+	topo  *Topology
+	sims  []*core.Sim
+	trks  []*metrics.Tracker
+	entry Source
+	opt   Options
+
+	agg        *metrics.Tracker
+	round      int64
+	prevEnergy []int64
+	relayed    []int64 // per channel: deliveries forwarded onward
+
+	// meta[c] maps channel c's local packet ids to network identities;
+	// nextID[c] mirrors the sim's sequential id assignment.
+	meta   []map[int64]netPacket
+	nextID []int64
+
+	// Relay double-buffer: deliveries of round t append to incoming;
+	// at the start of round t+1 incoming becomes arriving, so arrivals
+	// never depend on the order channels are stepped in.
+	incoming [][]pending
+	arriving [][]pending
+
+	entryScratch []core.Injection
+}
+
+// New assembles a network. build constructs channel c's system (every
+// channel runs its own replica set of topo.StationsPerChannel()
+// stations); entry supplies the adversarial entry injections.
+func New(topo *Topology, build func(ch int) (*core.System, error), entry Source, opt Options) (*Network, error) {
+	C := topo.Channels()
+	n := &Network{
+		topo:       topo,
+		sims:       make([]*core.Sim, C),
+		trks:       make([]*metrics.Tracker, C),
+		entry:      entry,
+		opt:        opt,
+		agg:        metrics.NewTracker(),
+		prevEnergy: make([]int64, C),
+		relayed:    make([]int64, C),
+		meta:       make([]map[int64]netPacket, C),
+		nextID:     make([]int64, C),
+		incoming:   make([][]pending, C),
+		arriving:   make([][]pending, C),
+	}
+	if opt.SampleEvery > n.agg.SampleEvery {
+		n.agg.SampleEvery = opt.SampleEvery
+	}
+	for c := 0; c < C; c++ {
+		sys, err := build(c)
+		if err != nil {
+			return nil, fmt.Errorf("network: building channel %d: %w", c, err)
+		}
+		if sys.N() != topo.StationsPerChannel() {
+			return nil, fmt.Errorf("network: channel %d has %d stations, topology says %d",
+				c, sys.N(), topo.StationsPerChannel())
+		}
+		tr := metrics.NewTracker()
+		tr.SampleEvery = 0 // the aggregate tracker owns the time series
+		if opt.TrackStations {
+			tr.TrackStations(sys.N())
+		}
+		n.trks[c] = tr
+		n.meta[c] = make(map[int64]netPacket)
+		var tracer core.Tracer
+		if opt.Tracer != nil {
+			tracer = opt.Tracer(c)
+		}
+		ch := c
+		n.sims[c] = core.NewSim(sys, &feed{net: n, ch: c}, core.Options{
+			Strict:           opt.Strict,
+			CheckEvery:       opt.CheckEvery,
+			ForceChecked:     opt.ForceChecked,
+			Tracer:           tracer,
+			Tracker:          tr,
+			ExtraInjections:  &relayFeed{net: n, ch: c},
+			DeliveryObserver: func(round int64, p mac.Packet) { n.onDelivery(ch, round, p) },
+		})
+	}
+	return n, nil
+}
+
+// feed is channel ch's core.Adversary: it pulls the channel's entry
+// injections from the network Source, records them for tracing, and
+// routes them into local coordinates.
+type feed struct {
+	net *Network
+	ch  int
+}
+
+func (f *feed) Inject(round int64) []core.Injection { return f.InjectAppend(round, nil) }
+
+// InjectAppend implements core.InjectAppender.
+func (f *feed) InjectAppend(round int64, buf []core.Injection) []core.Injection {
+	n := f.net
+	n.entryScratch = n.entry.AppendEntries(round, f.ch, n.entryScratch[:0])
+	if n.opt.Recorder != nil && len(n.entryScratch) > 0 {
+		n.opt.Recorder(round, f.ch, n.entryScratch)
+	}
+	for _, in := range n.entryScratch {
+		buf = n.admit(round, f.ch, in, buf)
+	}
+	return buf
+}
+
+// relayFeed is channel ch's core.Options.ExtraInjections: the relay
+// arrivals scheduled for this round.
+type relayFeed struct {
+	net *Network
+	ch  int
+}
+
+// InjectAppend implements core.InjectAppender.
+func (r *relayFeed) InjectAppend(round int64, buf []core.Injection) []core.Injection {
+	n := r.net
+	for _, p := range n.arriving[r.ch] {
+		buf = append(buf, core.Injection{Station: p.station, Dest: p.dest})
+		n.register(r.ch, p.meta)
+	}
+	return buf
+}
+
+// admit validates one global entry injection for channel ch, translates
+// it into the channel's local coordinates, registers its network
+// identity, and appends the local injection. Invalid entries (possible
+// only via hand-edited replay traces) are recorded as violations on the
+// aggregate tracker and skipped before the channel sim sees them, so
+// local packet-id mirroring stays in sync.
+func (n *Network) admit(round int64, ch int, in core.Injection, buf []core.Injection) []core.Injection {
+	total := n.topo.Stations()
+	if in.Station < 0 || in.Station >= total || in.Dest < 0 || in.Dest >= total ||
+		n.topo.ChannelOf(in.Station) != ch {
+		n.agg.Violate("round %d channel %d: entry injection out of range: %+v", round, ch, in)
+		return buf
+	}
+	destCh := n.topo.ChannelOf(in.Dest)
+	m := netPacket{origin: round, destCh: destCh, destLoc: n.topo.Local(in.Dest)}
+	var dest int
+	if destCh == ch {
+		dest = m.destLoc
+	} else {
+		dest = n.topo.Gateway(ch, n.topo.NextHop(ch, destCh))
+	}
+	n.register(ch, m)
+	n.agg.ObserveInjections(1)
+	return append(buf, core.Injection{Station: n.topo.Local(in.Station), Dest: dest})
+}
+
+// register mirrors the channel sim's sequential packet-id assignment:
+// the k-th in-range injection emitted to channel ch this run gets local
+// id k. Both feeds emit only in-range injections, in the exact order
+// the sim processes them, so the mirror never drifts.
+func (n *Network) register(ch int, m netPacket) {
+	n.meta[ch][n.nextID[ch]] = m
+	n.nextID[ch]++
+}
+
+// onDelivery is channel ch's DeliveryObserver: a within-channel
+// delivery either completes a packet's journey or relays it into the
+// next channel on its path (arriving next round).
+func (n *Network) onDelivery(ch int, round int64, p mac.Packet) {
+	m, ok := n.meta[ch][p.ID]
+	if !ok {
+		panic(fmt.Sprintf("network: channel %d delivered unregistered packet %v", ch, p))
+	}
+	delete(n.meta[ch], p.ID)
+	if m.destCh == ch {
+		n.agg.ObserveDelivery(round - m.origin)
+		return
+	}
+	next := n.topo.NextHop(ch, m.destCh)
+	var dest int
+	if next == m.destCh {
+		dest = m.destLoc
+	} else {
+		dest = n.topo.Gateway(next, n.topo.NextHop(next, m.destCh))
+	}
+	n.incoming[next] = append(n.incoming[next], pending{
+		station: n.topo.Gateway(next, ch),
+		dest:    dest,
+		meta:    m,
+	})
+	n.relayed[ch]++
+}
+
+// Step advances every channel by one lockstep round.
+func (n *Network) Step() error {
+	// Last round's deliveries become this round's relay arrivals.
+	for c := range n.arriving {
+		n.arriving[c], n.incoming[c] = n.incoming[c], n.arriving[c][:0]
+	}
+	for c, sim := range n.sims {
+		if err := sim.Step(); err != nil {
+			return fmt.Errorf("channel %d: %w", c, err)
+		}
+	}
+	var totalQueue int64
+	totalEnergy := 0
+	for c, tr := range n.trks {
+		totalQueue += tr.FinalQueue
+		totalEnergy += int(tr.EnergySum - n.prevEnergy[c])
+		n.prevEnergy[c] = tr.EnergySum
+	}
+	for _, inc := range n.incoming {
+		totalQueue += int64(len(inc)) // relayed packets in flight between channels
+	}
+	n.agg.ObserveRound(n.round, totalQueue, totalEnergy)
+	n.round++
+	return nil
+}
+
+// Run executes the given number of rounds.
+func (n *Network) Run(rounds int64) error {
+	for i := int64(0); i < rounds; i++ {
+		if err := n.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Round returns the number of completed rounds.
+func (n *Network) Round() int64 { return n.round }
+
+// Topology returns the compiled topology.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// Tracker returns the aggregate tracker with the channel-summed
+// utilization counters synchronized, ready for report assembly or a
+// trace footer. The end-to-end fields (Injected, Delivered, latency,
+// queue, energy, Rounds) are maintained live; the utilization sums are
+// folded in here because they are pure functions of the per-channel
+// counters.
+func (n *Network) Tracker() *metrics.Tracker {
+	a := &n.agg.Counters
+	a.HeardRounds, a.SilentRounds, a.CollisionRounds = 0, 0, 0
+	a.LightRounds, a.DeliveryRounds, a.ControlBits = 0, 0, 0
+	for _, tr := range n.trks {
+		a.HeardRounds += tr.HeardRounds
+		a.SilentRounds += tr.SilentRounds
+		a.CollisionRounds += tr.CollisionRounds
+		a.LightRounds += tr.LightRounds
+		a.DeliveryRounds += tr.DeliveryRounds
+		a.ControlBits += tr.ControlBits
+	}
+	return n.agg
+}
+
+// ChannelTracker returns channel ch's own tracker (hop-level counters).
+func (n *Network) ChannelTracker(ch int) *metrics.Tracker { return n.trks[ch] }
+
+// Relayed returns how many deliveries channel ch forwarded onward.
+func (n *Network) Relayed(ch int) int64 { return n.relayed[ch] }
+
+// InFlight returns the number of packets currently inside the network:
+// registered with some channel or queued between two channels.
+func (n *Network) InFlight() int {
+	total := 0
+	for _, m := range n.meta {
+		total += len(m)
+	}
+	for _, q := range n.incoming {
+		total += len(q)
+	}
+	for _, q := range n.arriving {
+		total += len(q)
+	}
+	return total
+}
+
+// QueueImbalance is the network-wide fairness diagnostic: the largest
+// per-station queue peak across all channels relative to the mean peak
+// (0 unless Options.TrackStations was set).
+func (n *Network) QueueImbalance() float64 {
+	var sum, max int64
+	count := 0
+	for _, tr := range n.trks {
+		for _, m := range tr.StationMaxQueues() {
+			sum += m
+			if m > max {
+				max = m
+			}
+			count++
+		}
+	}
+	if count == 0 || sum == 0 {
+		return 0
+	}
+	return float64(max) / (float64(sum) / float64(count))
+}
+
+// Violations collects every channel's model violations (prefixed with
+// the channel id) after the aggregate tracker's own.
+func (n *Network) Violations() []string {
+	var out []string
+	out = append(out, n.agg.Violations...)
+	for c, tr := range n.trks {
+		for _, v := range tr.Violations {
+			out = append(out, fmt.Sprintf("channel %d: %s", c, v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package network
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/scenario"
+)
+
+// ReplaySource re-executes the entry stream of a recorded trace-v2
+// network run. Events carry (round, channel, global [src, dest] pairs);
+// routing and relaying are recomputed deterministically, so the replay
+// reproduces the recorded run bit-for-bit without the trace having to
+// store any relay traffic. It implements Source; like the
+// single-channel scenario.Replayer it applies no bucket and no RNG —
+// the recording already proved admissibility.
+type ReplaySource struct {
+	events []scenario.Event
+	cur    int
+}
+
+// NewReplaySource returns a source positioned at round 0.
+func NewReplaySource(t *scenario.Trace) *ReplaySource {
+	return &ReplaySource{events: t.Events}
+}
+
+// AppendEntries implements Source. The network queries in increasing
+// (round, channel) order, matching the trace's event order; events for
+// rounds or channels the driver skipped are passed over.
+func (r *ReplaySource) AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection {
+	for r.cur < len(r.events) {
+		ev := r.events[r.cur]
+		if ev.Round < round || (ev.Round == round && ev.Channel < ch) {
+			r.cur++ // skipped by the driver
+			continue
+		}
+		if ev.Round == round && ev.Channel == ch {
+			for _, p := range ev.Injs {
+				buf = append(buf, core.Injection{Station: p[0], Dest: p[1]})
+			}
+			r.cur++
+		}
+		break
+	}
+	return buf
+}

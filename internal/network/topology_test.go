@@ -1,0 +1,119 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"earmac/internal/registry"
+)
+
+func TestSpecValidateErrors(t *testing.T) {
+	cases := map[string]Spec{
+		"unknown kind":        {Kind: "ring", Channels: 3, N: 4},
+		"one channel":         {Kind: Line, Channels: 1, N: 4},
+		"tiny channel":        {Kind: Star, Channels: 3, N: 1},
+		"links on named":      {Kind: Line, Channels: 3, N: 4, Links: [][2]int{{0, 1}}},
+		"custom without link": {Kind: Custom, Channels: 3, N: 4},
+		"link out of range":   {Kind: Custom, Channels: 3, N: 4, Links: [][2]int{{0, 3}}},
+		"self loop":           {Kind: Custom, Channels: 3, N: 4, Links: [][2]int{{1, 1}}},
+		"duplicate link":      {Kind: Custom, Channels: 3, N: 4, Links: [][2]int{{0, 1}, {1, 0}}},
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, registry.ErrBadTopology) {
+			t.Errorf("%s: error %v does not wrap ErrBadTopology", name, err)
+		}
+	}
+	// Disconnected graphs surface at Compile (reachability needs BFS).
+	if _, err := Compile(Spec{Kind: Custom, Channels: 4, N: 3,
+		Links: [][2]int{{0, 1}, {2, 3}}}); !errors.Is(err, registry.ErrBadTopology) {
+		t.Errorf("disconnected custom graph: got %v, want ErrBadTopology", err)
+	}
+}
+
+func TestCompileRouting(t *testing.T) {
+	line, err := Compile(Spec{Kind: Line, Channels: 4, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := line.NextHop(0, 3); got != 1 {
+		t.Errorf("line next hop 0->3 = %d, want 1", got)
+	}
+	if got := line.Hops(0, 3); got != 3 {
+		t.Errorf("line hops 0->3 = %d, want 3", got)
+	}
+	if got := line.NextHop(2, 2); got != 2 {
+		t.Errorf("self next hop = %d, want 2", got)
+	}
+
+	star, err := Compile(Spec{Kind: Star, Channels: 4, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := star.NextHop(1, 3); got != 0 {
+		t.Errorf("star next hop 1->3 = %d, want hub 0", got)
+	}
+	if got := star.Hops(1, 3); got != 2 {
+		t.Errorf("star hops 1->3 = %d, want 2", got)
+	}
+
+	clique, err := Compile(Spec{Kind: Clique, Channels: 5, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if a != b && clique.NextHop(a, b) != b {
+				t.Errorf("clique next hop %d->%d = %d, want direct", a, b, clique.NextHop(a, b))
+			}
+		}
+	}
+}
+
+func TestGlobalLocalMapping(t *testing.T) {
+	topo, err := Compile(Spec{Kind: Line, Channels: 3, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Stations() != 12 {
+		t.Fatalf("stations = %d, want 12", topo.Stations())
+	}
+	for g := 0; g < 12; g++ {
+		ch, loc := topo.ChannelOf(g), topo.Local(g)
+		if ch != g/4 || loc != g%4 || topo.Global(ch, loc) != g {
+			t.Errorf("mapping of %d: (%d, %d)", g, ch, loc)
+		}
+	}
+}
+
+func TestGatewaysDeterministicAndInRange(t *testing.T) {
+	// A clique with more neighbours than stations per channel: gateways
+	// must still be valid local stations (shared, mod N).
+	topo, err := Compile(Spec{Kind: Clique, Channels: 5, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 5; c++ {
+		for d := 0; d < 5; d++ {
+			if c == d {
+				continue
+			}
+			g := topo.Gateway(c, d)
+			if g < 0 || g >= 2 {
+				t.Errorf("gateway(%d, %d) = %d outside [0, 2)", c, d, g)
+			}
+			if g2 := topo.Gateway(c, d); g2 != g {
+				t.Errorf("gateway(%d, %d) not deterministic: %d vs %d", c, d, g, g2)
+			}
+		}
+	}
+	// Non-adjacent channels have no gateway.
+	lineT, _ := Compile(Spec{Kind: Line, Channels: 3, N: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("Gateway between non-adjacent channels did not panic")
+		}
+	}()
+	lineT.Gateway(0, 2)
+}

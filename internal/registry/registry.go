@@ -32,6 +32,7 @@ var (
 	ErrBadRounds        = errors.New("bad horizon")
 	ErrBadStation       = errors.New("bad station index")
 	ErrBadTrace         = errors.New("bad trace")
+	ErrBadTopology      = errors.New("bad topology")
 	ErrConflict         = errors.New("conflicting options")
 )
 

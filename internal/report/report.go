@@ -11,10 +11,36 @@ import (
 	"earmac/internal/metrics"
 )
 
-// Report holds the measurements of one simulation.
+// Channel is one channel's slice of a network report (internal/network).
+// Injected counts everything entering the channel's simulator — entries
+// plus relay arrivals — Delivered counts hop deliveries on the channel,
+// Relayed the deliveries forwarded onward to a further channel, and the
+// latency figure is per-hop; the end-to-end view lives in the enclosing
+// Report.
+type Channel struct {
+	Channel         int     `json:"channel"`
+	Stations        int     `json:"stations"`
+	Injected        int64   `json:"injected"`
+	Delivered       int64   `json:"delivered"`
+	Relayed         int64   `json:"relayed"`
+	MaxQueue        int64   `json:"max_queue"`
+	MeanEnergy      float64 `json:"mean_energy"`
+	MeanLatency     float64 `json:"mean_latency"`
+	HeardRounds     int64   `json:"heard_rounds"`
+	SilentRounds    int64   `json:"silent_rounds"`
+	CollisionRounds int64   `json:"collision_rounds"`
+}
+
+// Report holds the measurements of one simulation. For a network of
+// channels (Topology set) the top-level Injected/Delivered/latency
+// figures are end-to-end, queue and energy figures are network totals,
+// the channel-utilization counters are channel sums, and PerChannel
+// breaks the run down per contention domain.
 type Report struct {
 	Algorithm   string `json:"algorithm"`
 	N           int    `json:"n"`
+	Topology    string `json:"topology,omitempty"`
+	Channels    int    `json:"channels,omitempty"`
 	EnergyCap   int    `json:"energy_cap"`
 	PlainPacket bool   `json:"plain_packet"`
 	Direct      bool   `json:"direct"`
@@ -47,6 +73,8 @@ type Report struct {
 	CollisionRounds int64 `json:"collision_rounds"`
 	LightRounds     int64 `json:"light_rounds"`
 	ControlBits     int64 `json:"control_bits"`
+
+	PerChannel []Channel `json:"per_channel,omitempty"`
 
 	Violations []string `json:"violations,omitempty"`
 }
@@ -110,6 +138,14 @@ func (r Report) Summary() string {
 		caps += " oblivious"
 	}
 	s := fmt.Sprintf("%s (n=%d, cap %d,%s)\n", r.Algorithm, r.N, r.EnergyCap, caps)
+	if r.Topology != "" {
+		s += fmt.Sprintf("  network: %s topology, %d channels × %d stations (end-to-end figures below)\n",
+			r.Topology, r.Channels, r.N)
+		for _, c := range r.PerChannel {
+			s += fmt.Sprintf("    channel %d: injected %d, delivered %d, relayed %d, max queue %d, mean energy %.2f\n",
+				c.Channel, c.Injected, c.Delivered, c.Relayed, c.MaxQueue, c.MeanEnergy)
+		}
+	}
 	s += fmt.Sprintf("  rounds %d: injected %d, delivered %d, pending %d\n",
 		r.Rounds, r.Injected, r.Delivered, r.Pending)
 	s += fmt.Sprintf("  queue: max %d, final %d, slope %.5f pkt/round → %s\n",

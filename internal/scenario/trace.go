@@ -12,13 +12,28 @@ package scenario
 //	{"r":19,"i":[[4,1]]}                                    injecting round
 //	{"final":{"injected":123,"counters":{...}}}             footer
 //
+// Version 2 extends the format to networks of channels
+// (internal/network): the header carries the channel count, station
+// coordinates are global, and each event names the entry channel it
+// belongs to (omitted when 0), so one round may carry one event per
+// injecting channel:
+//
+//	{"earmac_trace":2,"n":5,"rounds":3000,"channels":3,"config":{...}}
+//	{"r":17,"i":[[0,11]]}                                   channel 0
+//	{"r":17,"c":2,"i":[[12,3],[14,1]]}                      channel 2
+//	{"final":{"injected":123,"counters":{...}}}
+//
 // Versioning rules: the "earmac_trace" field doubles as the format
-// version; decoders reject any version they do not know. Within a
-// version, unknown fields are ignored on read and never emitted on
+// version; decoders reject any version they do not know, and reject
+// version-2 constructs (a channel id) inside a version-1 trace. Within
+// a version, unknown fields are ignored on read and never emitted on
 // write, so fields may be *added* by bumping the version while old
-// decoders fail loudly instead of misreading. Event rounds are strictly
-// increasing; the footer, when present, is the last line and pins the
-// run's final flat counters so replays can be checked bit-identical.
+// decoders fail loudly instead of misreading. Events are strictly
+// increasing by (round, channel); the footer, when present, is the last
+// line and pins the run's final flat counters so replays can be checked
+// bit-identical. Encoders emit version 1 for single-channel recordings
+// — byte-compatible with every previously committed trace — and
+// version 2 exactly when the header declares channels.
 
 import (
 	"bufio"
@@ -34,27 +49,40 @@ import (
 	"earmac/internal/registry"
 )
 
-// TraceVersion is the format version this package reads and writes.
-const TraceVersion = 1
+// TraceVersion is the newest format version this package writes;
+// ReadTrace additionally accepts TraceVersionLegacy. Encoders pick the
+// version from the header: single-channel recordings (Channels == 0)
+// stay on version 1, network recordings use version 2.
+const (
+	TraceVersion       = 2
+	TraceVersionLegacy = 1
+)
 
 // Header is the first line of a trace.
 type Header struct {
 	// Version is the trace format version (the "earmac_trace" field).
 	Version int `json:"earmac_trace"`
-	// N is the system size the trace was recorded against.
+	// N is the system size the trace was recorded against: stations per
+	// channel (the whole system, when single-channel).
 	N int `json:"n"`
 	// Rounds is the recorded horizon.
 	Rounds int64 `json:"rounds"`
+	// Channels is the channel count of a network recording; 0 marks a
+	// single-channel trace (and selects format version 1 on write).
+	Channels int `json:"channels,omitempty"`
 	// Config is the recording façade Config, verbatim; its schema is
 	// owned by the caller (package earmac), so this package stays
 	// independent of the façade.
 	Config json.RawMessage `json:"config,omitempty"`
 }
 
-// Event is one injecting round: the packets as [station, dest] pairs.
+// Event is one channel's injections for one round, as [station, dest]
+// pairs — global station ids in a network trace, plain ids otherwise.
+// Channel is always 0 in version-1 traces.
 type Event struct {
-	Round int64    `json:"r"`
-	Injs  [][2]int `json:"i"`
+	Round   int64    `json:"r"`
+	Channel int      `json:"c,omitempty"`
+	Injs    [][2]int `json:"i"`
 }
 
 // Footer pins the totals of the recorded run.
@@ -90,10 +118,14 @@ type Encoder struct {
 }
 
 // NewEncoder writes the header line and returns a streaming encoder.
-// The header's Version is forced to TraceVersion.
+// The header's Version is forced to the version its Channels field
+// selects: 1 for single-channel recordings, 2 for networks.
 func NewEncoder(w io.Writer, h Header) *Encoder {
 	e := &Encoder{bw: bufio.NewWriter(w)}
-	h.Version = TraceVersion
+	h.Version = TraceVersionLegacy
+	if h.Channels > 0 {
+		h.Version = TraceVersion
+	}
 	line, err := json.Marshal(h)
 	if err != nil {
 		e.err = fmt.Errorf("scenario: encoding trace header: %w", err)
@@ -116,13 +148,18 @@ func (e *Encoder) writeLine(line []byte) {
 	}
 }
 
-// appendEventLine serializes one event line {"r":..,"i":[[s,d],...]}
-// into b; pair yields the i-th [station, dest]. The single serializer
-// keeps live recordings (Encoder.Round) and re-encodings (Write)
-// byte-identical by construction.
-func appendEventLine(b []byte, round int64, n int, pair func(int) (int, int)) []byte {
+// appendEventLine serializes one event line {"r":..,"c":..,"i":[[s,d],...]}
+// into b ("c" omitted for channel 0); pair yields the i-th [station,
+// dest]. The single serializer keeps live recordings (Encoder.Round,
+// Encoder.ChannelRound) and re-encodings (Write) byte-identical by
+// construction.
+func appendEventLine(b []byte, round int64, ch, n int, pair func(int) (int, int)) []byte {
 	b = append(b, `{"r":`...)
 	b = strconv.AppendInt(b, round, 10)
+	if ch != 0 {
+		b = append(b, `,"c":`...)
+		b = strconv.AppendInt(b, int64(ch), 10)
+	}
 	b = append(b, `,"i":[`...)
 	for i := 0; i < n; i++ {
 		if i > 0 {
@@ -142,10 +179,18 @@ func appendEventLine(b []byte, round int64, n int, pair func(int) (int, int)) []
 // nothing and leave no line. The injections slice may be reused by the
 // caller; Round has the signature of core.Options.InjectionObserver.
 func (e *Encoder) Round(round int64, injs []core.Injection) {
+	e.ChannelRound(round, 0, injs)
+}
+
+// ChannelRound records one channel's injections for one round (the
+// network recording hook; global station coordinates). Callers must
+// supply events in increasing (round, channel) order, as
+// network.Options.Recorder does.
+func (e *Encoder) ChannelRound(round int64, ch int, injs []core.Injection) {
 	if e.err != nil || len(injs) == 0 {
 		return
 	}
-	e.scratch = appendEventLine(e.scratch[:0], round, len(injs), func(i int) (int, int) {
+	e.scratch = appendEventLine(e.scratch[:0], round, ch, len(injs), func(i int) (int, int) {
 		return injs[i].Station, injs[i].Dest
 	})
 	e.writeLine(e.scratch)
@@ -172,13 +217,31 @@ func (e *Encoder) Close(c *metrics.Counters) error {
 	return e.err
 }
 
+// writeVersion picks the version Write re-encodes a trace at: any
+// channel dimension forces version 2, a decoded version is otherwise
+// preserved, and hand-assembled traces (Version 0) default to legacy.
+func writeVersion(t *Trace) int {
+	if t.Header.Channels > 0 {
+		return TraceVersion
+	}
+	for _, ev := range t.Events {
+		if ev.Channel != 0 {
+			return TraceVersion
+		}
+	}
+	if t.Header.Version == TraceVersion {
+		return TraceVersion
+	}
+	return TraceVersionLegacy
+}
+
 // Write re-encodes a decoded trace verbatim (events and footer as they
-// are, header forced to TraceVersion). Decode(Write(t)) == t for any t
+// are, header version preserved). Decode(Write(t)) == t for any t
 // returned by ReadTrace.
 func Write(w io.Writer, t *Trace) error {
 	e := &Encoder{bw: bufio.NewWriter(w)}
 	h := t.Header
-	h.Version = TraceVersion
+	h.Version = writeVersion(t)
 	line, err := json.Marshal(h)
 	if err != nil {
 		return fmt.Errorf("scenario: encoding trace header: %w", err)
@@ -186,7 +249,7 @@ func Write(w io.Writer, t *Trace) error {
 	e.writeLine(line)
 	for _, ev := range t.Events {
 		injs := ev.Injs
-		e.scratch = appendEventLine(e.scratch[:0], ev.Round, len(injs), func(i int) (int, int) {
+		e.scratch = appendEventLine(e.scratch[:0], ev.Round, ev.Channel, len(injs), func(i int) (int, int) {
 			return injs[i][0], injs[i][1]
 		})
 		e.writeLine(e.scratch)
@@ -206,9 +269,10 @@ func Write(w io.Writer, t *Trace) error {
 
 // probeLine distinguishes event and footer lines by field presence.
 type probeLine struct {
-	Round *int64   `json:"r"`
-	Injs  [][2]int `json:"i"`
-	Final *Footer  `json:"final"`
+	Round   *int64   `json:"r"`
+	Channel *int     `json:"c"`
+	Injs    [][2]int `json:"i"`
+	Final   *Footer  `json:"final"`
 }
 
 // ReadTrace decodes a whole trace. It fails loudly — wrapping
@@ -241,9 +305,9 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if uerr := json.Unmarshal(line, &t.Header); uerr != nil {
 				return nil, fmt.Errorf("scenario: %w: header: %v", registry.ErrBadTrace, uerr)
 			}
-			if t.Header.Version != TraceVersion {
-				return nil, fmt.Errorf("scenario: %w: unsupported trace version %d (this build reads %d)",
-					registry.ErrBadTrace, t.Header.Version, TraceVersion)
+			if t.Header.Version != TraceVersion && t.Header.Version != TraceVersionLegacy {
+				return nil, fmt.Errorf("scenario: %w: unsupported trace version %d (this build reads %d and %d)",
+					registry.ErrBadTrace, t.Header.Version, TraceVersionLegacy, TraceVersion)
 			}
 			// Normalize the raw config to json.Marshal's form (compact,
 			// HTML-escaped) so decode ∘ encode is the identity: Write
@@ -271,15 +335,33 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				if *p.Round < 0 {
 					return nil, fmt.Errorf("scenario: %w: line %d: negative round %d", registry.ErrBadTrace, lineNo, *p.Round)
 				}
-				if n := len(t.Events); n > 0 && *p.Round <= t.Events[n-1].Round {
-					return nil, fmt.Errorf("scenario: %w: line %d: round %d not after round %d",
-						registry.ErrBadTrace, lineNo, *p.Round, t.Events[n-1].Round)
+				ch := 0
+				if p.Channel != nil {
+					if t.Header.Version == TraceVersionLegacy {
+						return nil, fmt.Errorf("scenario: %w: line %d: channel id in a version 1 trace",
+							registry.ErrBadTrace, lineNo)
+					}
+					ch = *p.Channel
+					if ch < 0 {
+						return nil, fmt.Errorf("scenario: %w: line %d: negative channel %d", registry.ErrBadTrace, lineNo, ch)
+					}
+					if t.Header.Channels > 0 && ch >= t.Header.Channels {
+						return nil, fmt.Errorf("scenario: %w: line %d: channel %d outside [0, %d)",
+							registry.ErrBadTrace, lineNo, ch, t.Header.Channels)
+					}
+				}
+				if n := len(t.Events); n > 0 {
+					prev := t.Events[n-1]
+					if *p.Round < prev.Round || (*p.Round == prev.Round && ch <= prev.Channel) {
+						return nil, fmt.Errorf("scenario: %w: line %d: event (round %d, channel %d) not after (round %d, channel %d)",
+							registry.ErrBadTrace, lineNo, *p.Round, ch, prev.Round, prev.Channel)
+					}
 				}
 				injs := p.Injs
 				if len(injs) == 0 {
 					injs = nil
 				}
-				t.Events = append(t.Events, Event{Round: *p.Round, Injs: injs})
+				t.Events = append(t.Events, Event{Round: *p.Round, Channel: ch, Injs: injs})
 			default:
 				return nil, fmt.Errorf("scenario: %w: line %d is neither an event nor a footer", registry.ErrBadTrace, lineNo)
 			}
@@ -294,11 +376,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// Replayer re-executes a recorded injection stream. It implements
-// core.Adversary and core.InjectAppender (so replays run on the
-// simulator's allocation-free fast path as well as the checked one) and
-// injects exactly what the trace recorded, no bucket and no RNG — the
-// recording already proved admissibility.
+// Replayer re-executes a recorded single-channel injection stream. It
+// implements core.Adversary and core.InjectAppender (so replays run on
+// the simulator's allocation-free fast path as well as the checked one)
+// and injects exactly what the trace recorded, no bucket and no RNG —
+// the recording already proved admissibility. Network traces (version
+// 2 with a channel dimension) replay through network.ReplaySource
+// instead, which routes each event to its entry channel.
 type Replayer struct {
 	events []Event
 	cur    int
@@ -326,25 +410,59 @@ func (r *Replayer) InjectAppend(round int64, buf []core.Injection) []core.Inject
 	return buf
 }
 
-// CheckAdmissible verifies that every prefix of the trace respects the
-// (ρ, β) leaky-bucket contract, by driving the same integer Bucket the
-// live adversary clips against over the trace's rounds (cost is linear
-// in the last event's round number).
+// CheckAdmissible verifies that every prefix of a single-channel trace
+// respects the (ρ, β) leaky-bucket contract, by driving the same
+// integer Bucket the live adversary clips against over the trace's
+// rounds (cost is linear in the last event's round number). For a
+// network trace, use CheckAdmissibleSplit with the per-channel type.
 func CheckAdmissible(t *Trace, typ adversary.Type) error {
-	b := adversary.NewBucket(typ)
-	next := int64(0)
-	for _, ev := range t.Events {
-		for ; next < ev.Round; next++ {
-			b.Tick()
-			b.Spend(0)
+	return checkAdmissible(t, typ, 1)
+}
+
+// CheckAdmissibleSplit verifies a network trace against the budget-split
+// invariant (network.SplitType): every channel's entry stream must
+// independently respect the given per-channel (ρ/C, β/C) type, which
+// makes the network total respect the global (ρ, β) contract.
+func CheckAdmissibleSplit(t *Trace, perChannel adversary.Type, channels int) error {
+	return checkAdmissible(t, perChannel, channels)
+}
+
+func checkAdmissible(t *Trace, typ adversary.Type, channels int) error {
+	if channels < 1 {
+		return fmt.Errorf("scenario: admissibility check over %d channels", channels)
+	}
+	if len(t.Events) == 0 {
+		return nil
+	}
+	buckets := make([]*adversary.Bucket, channels)
+	for c := range buckets {
+		buckets[c] = adversary.NewBucket(typ)
+	}
+	budgets := make([]int, channels)
+	spent := make([]int, channels)
+	last := t.Events[len(t.Events)-1].Round
+	i := 0
+	for r := int64(0); r <= last; r++ {
+		for c, b := range buckets {
+			budgets[c] = b.Tick()
+			spent[c] = 0
 		}
-		budget := b.Tick()
-		if m := len(ev.Injs); m > budget {
-			return fmt.Errorf("scenario: round %d injects %d packets but the %v bucket allows %d",
-				ev.Round, m, typ, budget)
+		for i < len(t.Events) && t.Events[i].Round == r {
+			ev := t.Events[i]
+			i++
+			if ev.Channel < 0 || ev.Channel >= channels {
+				return fmt.Errorf("scenario: round %d: event channel %d outside [0, %d)",
+					r, ev.Channel, channels)
+			}
+			spent[ev.Channel] += len(ev.Injs)
+			if spent[ev.Channel] > budgets[ev.Channel] {
+				return fmt.Errorf("scenario: round %d channel %d injects %d packets but the %v bucket allows %d",
+					r, ev.Channel, spent[ev.Channel], typ, budgets[ev.Channel])
+			}
 		}
-		b.Spend(len(ev.Injs))
-		next = ev.Round + 1
+		for c, b := range buckets {
+			b.Spend(spent[c])
+		}
 	}
 	return nil
 }

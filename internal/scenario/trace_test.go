@@ -57,7 +57,7 @@ func TestEncoderStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Header.N != 4 || tr.Header.Rounds != 50 || tr.Header.Version != TraceVersion {
+	if tr.Header.N != 4 || tr.Header.Rounds != 50 || tr.Header.Version != TraceVersionLegacy {
 		t.Errorf("bad header %+v", tr.Header)
 	}
 	wantEvents := []Event{
@@ -76,7 +76,12 @@ func TestReadTraceRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"empty":               "",
 		"garbage":             "not json at all\n",
-		"wrong version":       `{"earmac_trace":2,"n":4,"rounds":10}` + "\n",
+		"wrong version":       `{"earmac_trace":3,"n":4,"rounds":10}` + "\n",
+		"channel id in v1":    "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":1,\"c\":1,\"i\":[[0,1]]}\n",
+		"negative channel":    "{\"earmac_trace\":2,\"n\":4,\"rounds\":10,\"channels\":2}\n{\"r\":1,\"c\":-1,\"i\":[[0,1]]}\n",
+		"channel overflow":    "{\"earmac_trace\":2,\"n\":4,\"rounds\":10,\"channels\":2}\n{\"r\":1,\"c\":2,\"i\":[[0,1]]}\n",
+		"channel regression":  "{\"earmac_trace\":2,\"n\":4,\"rounds\":10,\"channels\":3}\n{\"r\":1,\"c\":2,\"i\":[[0,1]]}\n{\"r\":1,\"c\":1,\"i\":[[0,1]]}\n",
+		"same round+channel":  "{\"earmac_trace\":2,\"n\":4,\"rounds\":10,\"channels\":3}\n{\"r\":1,\"c\":2,\"i\":[[0,1]]}\n{\"r\":1,\"c\":2,\"i\":[[0,1]]}\n",
 		"no version":          `{"n":4,"rounds":10}` + "\n",
 		"bad event":           "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":\"zero\"}\n",
 		"unknown line":        "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"x\":1}\n",
@@ -185,6 +190,7 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add([]byte("{\"earmac_trace\":1,\"n\":2,\"rounds\":5}\n{\"r\":1,\"i\":[[0,1]]}\n"))
 	f.Add([]byte("{\"earmac_trace\":1}\n{\"final\":{\"injected\":0}}\n"))
 	f.Add([]byte("{\"earmac_trace\":2}\n"))
+	f.Add([]byte("{\"earmac_trace\":2,\"n\":4,\"rounds\":9,\"channels\":3}\n{\"r\":1,\"i\":[[0,5]]}\n{\"r\":1,\"c\":2,\"i\":[[9,1]]}\n{\"final\":{\"injected\":2}}\n"))
 	f.Add([]byte("garbage\n{\"r\":1}\n"))
 	f.Add([]byte{0xff, 0xfe, 0x00})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -204,4 +210,77 @@ func FuzzTraceRoundTrip(f *testing.F) {
 			t.Fatalf("decode(encode(x)) != x:\nx:  %+v\nx': %+v", tr, tr2)
 		}
 	})
+}
+
+// TestTraceV2EncoderStream pins the network recording surface: a header
+// with a channel dimension selects version 2, ChannelRound emits "c"
+// for non-zero channels only, and decode reproduces the stream.
+func TestTraceV2EncoderStream(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, Header{N: 4, Rounds: 50, Channels: 3})
+	enc.ChannelRound(0, 0, []core.Injection{{Station: 1, Dest: 9}})
+	enc.ChannelRound(0, 2, []core.Injection{{Station: 8, Dest: 2}, {Station: 11, Dest: 0}})
+	enc.ChannelRound(5, 1, []core.Injection{{Station: 4, Dest: 10}})
+	c := metrics.Counters{Rounds: 50, Injected: 4}
+	if err := enc.Close(&c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.String()
+	if !strings.Contains(raw, `"earmac_trace":2`) || !strings.Contains(raw, `"channels":3`) {
+		t.Errorf("header not version 2 with channels:\n%s", raw)
+	}
+	if strings.Contains(raw, `{"r":0,"c":0`) {
+		t.Errorf("channel 0 should omit the c field:\n%s", raw)
+	}
+	tr, err := ReadTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := []Event{
+		{Round: 0, Injs: [][2]int{{1, 9}}},
+		{Round: 0, Channel: 2, Injs: [][2]int{{8, 2}, {11, 0}}},
+		{Round: 5, Channel: 1, Injs: [][2]int{{4, 10}}},
+	}
+	if !reflect.DeepEqual(tr.Events, wantEvents) {
+		t.Errorf("events %+v, want %+v", tr.Events, wantEvents)
+	}
+	if tr.Footer == nil || tr.Footer.Injected != 4 {
+		t.Errorf("footer %+v", tr.Footer)
+	}
+	// And Write preserves version 2 bit-for-bit.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != raw {
+		t.Errorf("re-encoding differs:\ngot  %s\nwant %s", buf2.String(), raw)
+	}
+}
+
+// TestCheckAdmissibleSplit: per-channel budget audit of a v2 stream —
+// each channel independently bounded by the split type.
+func TestCheckAdmissibleSplit(t *testing.T) {
+	// Per-channel type (ρ=1/2, β=1): one packet every other round, burst 1.
+	typ := adversary.T(1, 2, 1)
+	ok := &Trace{Events: []Event{
+		{Round: 0, Channel: 0, Injs: [][2]int{{0, 1}}},
+		{Round: 0, Channel: 1, Injs: [][2]int{{4, 5}}},
+		{Round: 2, Channel: 0, Injs: [][2]int{{1, 0}}},
+	}}
+	if err := CheckAdmissibleSplit(ok, typ, 2); err != nil {
+		t.Errorf("admissible stream rejected: %v", err)
+	}
+	// Channel 1 overdraws its round-0 burst (2 > ⌊ρ+β⌋ = 1) even though
+	// channel 0 is idle: the split budget must not leak across channels.
+	bad := &Trace{Events: []Event{
+		{Round: 0, Channel: 1, Injs: [][2]int{{4, 5}, {5, 4}}},
+	}}
+	if err := CheckAdmissibleSplit(bad, typ, 2); err == nil {
+		t.Error("per-channel overdraw accepted")
+	}
+	// Out-of-range channel fails loudly.
+	oob := &Trace{Events: []Event{{Round: 0, Channel: 5, Injs: [][2]int{{0, 1}}}}}
+	if err := CheckAdmissibleSplit(oob, typ, 2); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
 }

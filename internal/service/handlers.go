@@ -429,11 +429,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type capabilitiesResponse struct {
 	Algorithms []earmac.AlgorithmEntry `json:"algorithms"`
 	Patterns   []earmac.PatternEntry   `json:"patterns"`
+	// Topologies lists the network-of-channels kinds Config.Topology
+	// accepts; TraceVersions the trace format versions this build
+	// reads (it writes the highest, and version 1 for single-channel
+	// recordings). Clients probe these before submitting network
+	// configs or uploading traces.
+	Topologies    []string `json:"topologies"`
+	TraceVersions []int    `json:"trace_versions"`
 }
 
 func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, capabilitiesResponse{
-		Algorithms: earmac.AllAlgorithms(),
-		Patterns:   earmac.AllPatterns(),
+		Algorithms:    earmac.AllAlgorithms(),
+		Patterns:      earmac.AllPatterns(),
+		Topologies:    earmac.Topologies(),
+		TraceVersions: []int{1, earmac.TraceVersion},
 	})
 }

@@ -741,6 +741,48 @@ func TestHealthzAndCapabilities(t *testing.T) {
 	if len(caps.Algorithms) == 0 || len(caps.Patterns) == 0 {
 		t.Errorf("capabilities empty: %s", raw)
 	}
+	if len(caps.Topologies) == 0 || caps.Topologies[len(caps.Topologies)-1] != "star" {
+		t.Errorf("capabilities topologies = %v, want the sorted topology kinds", caps.Topologies)
+	}
+	if len(caps.TraceVersions) != 2 || caps.TraceVersions[0] != 1 || caps.TraceVersions[1] != earmac.TraceVersion {
+		t.Errorf("capabilities trace versions = %v", caps.TraceVersions)
+	}
+}
+
+// TestRunNetworkConfig: a network-of-channels config flows through the
+// service — the per-channel breakdown survives the cache, and the same
+// experiment with the channel count spelled explicitly (its default) is
+// a byte-identical cache hit, while a different topology misses.
+func TestRunNetworkConfig(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	body := `{"algorithm":"orchestra","n":5,"topology":"line","rho_num":1,"rho_den":2,"beta":3,"pattern":"bernoulli","seed":7,"rounds":3000}`
+	resp, raw := post(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("network run: %d: %s", resp.StatusCode, raw)
+	}
+	var rep earmac.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Topology != "line" || rep.Channels != 2 || len(rep.PerChannel) != 2 {
+		t.Fatalf("network report lost its channel dimension: %+v", rep)
+	}
+	// Explicit default channel count: same fingerprint, cache hit,
+	// byte-identical body.
+	explicit := `{"algorithm":"orchestra","n":5,"topology":"line","channels":2,"rho_num":1,"rho_den":2,"beta":3,"pattern":"bernoulli","seed":7,"rounds":3000}`
+	resp2, raw2 := post(t, ts.URL+"/v1/run", explicit)
+	if resp2.Header.Get(headerCache) != cacheHit {
+		t.Errorf("equivalent topology spelling was not a cache hit")
+	}
+	if string(raw2) != string(raw) {
+		t.Errorf("cache hit not byte-identical")
+	}
+	// A different topology is a different experiment.
+	star := `{"algorithm":"orchestra","n":5,"topology":"star","channels":2,"rho_num":1,"rho_den":2,"beta":3,"pattern":"bernoulli","seed":7,"rounds":3000}`
+	resp3, _ := post(t, ts.URL+"/v1/run", star)
+	if resp3.Header.Get(headerCache) != cacheMiss {
+		t.Errorf("different topology served from cache")
+	}
 }
 
 func TestUnknownJob404(t *testing.T) {

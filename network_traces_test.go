@@ -1,0 +1,204 @@
+package earmac
+
+// The multi-channel golden-trace conformance corpus: line and star
+// topologies × two algorithms, each pinned by a committed trace-v2
+// recording whose footer carries the network's aggregate counters. The
+// conformance test asserts the same three-way equivalence the
+// single-channel corpus does — the recorded run, a checked-path replay,
+// and a fast-path replay must agree bit-for-bit on counters and on the
+// re-recorded entry stream — plus the per-channel budget-split audit.
+// Regenerate with
+//
+//	go test -run TestNetworkGoldenTraceCorpus -update .
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/network"
+	"earmac/internal/scenario"
+)
+
+// networkCorpusCases: β = 3 with 3 channels keeps the burst split exact
+// (each entry bucket gets β/C = 1), so the recorded streams witness the
+// clean Σ(ρ_c, β_c) = (ρ, β) budget-split invariant.
+func networkCorpusCases() []corpusCase {
+	var out []corpusCase
+	for _, topo := range []string{"line", "star"} {
+		for _, alg := range []string{"orchestra", "count-hop"} {
+			out = append(out, corpusCase{"net-" + topo + "-" + alg, Config{
+				Algorithm: alg, N: 5,
+				Topology: topo, Channels: 3,
+				RhoNum: 1, RhoDen: 2, Beta: 3,
+				Pattern: "bernoulli", Seed: 11, Rounds: 3000,
+			}})
+		}
+	}
+	return out
+}
+
+func TestNetworkGoldenTraceCorpus(t *testing.T) {
+	cases := networkCorpusCases()
+	if *update {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			f, err := os.Create(tracePath(c.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := c.cfg
+			cfg.RecordTo = f
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("%s: recording: %v", c.name, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, err := os.Open(tracePath(c.name))
+			if err != nil {
+				t.Fatalf("missing golden trace (regenerate with -update): %v", err)
+			}
+			tr, err := ReadTrace(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Header.Version != TraceVersion || tr.Header.Channels != c.cfg.Channels {
+				t.Fatalf("header %+v: want version %d with %d channels", tr.Header, TraceVersion, c.cfg.Channels)
+			}
+			if tr.Footer == nil || tr.Footer.Counters == nil {
+				t.Fatal("golden trace has no pinned counters")
+			}
+			want := *tr.Footer.Counters
+
+			// Budget-split invariant: every channel's recorded entry
+			// stream independently respects the split (ρ/C, β/C) type.
+			cfg, err := TraceConfig(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typ := adversary.T(cfg.RhoNum, cfg.RhoDen, cfg.Beta)
+			split := network.SplitType(typ, cfg.Channels)
+			if err := scenario.CheckAdmissibleSplit(tr, split, cfg.Channels); err != nil {
+				t.Errorf("golden trace violates the split contract: %v", err)
+			}
+
+			modes := []struct {
+				name   string
+				mutate func(*Config)
+			}{
+				{"checked", func(c *Config) { c.ForceChecked = true }},
+				{"fast", func(c *Config) { c.Lenient, c.DisableChecks = true, true }},
+			}
+			for _, mode := range modes {
+				rcfg, err := ReplayConfig(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mode.mutate(&rcfg)
+				var buf bytes.Buffer
+				rcfg.RecordTo = &buf
+				rep, err := Run(rcfg)
+				if err != nil {
+					t.Fatalf("%s replay: %v", mode.name, err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("%s replay hit violations: %v", mode.name, rep.Violations)
+				}
+				if rep.Topology != c.cfg.Topology || rep.Channels != c.cfg.Channels ||
+					len(rep.PerChannel) != c.cfg.Channels {
+					t.Fatalf("%s replay report lost the network dimension: %+v", mode.name, rep)
+				}
+				got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s replay re-recording: %v", mode.name, err)
+				}
+				if got.Footer == nil || got.Footer.Counters == nil {
+					t.Fatalf("%s replay recorded no counters", mode.name)
+				}
+				if *got.Footer.Counters != want {
+					t.Errorf("%s replay counters differ from the golden footer:\ngot  %+v\nwant %+v",
+						mode.name, *got.Footer.Counters, want)
+				}
+				if !reflect.DeepEqual(got.Events, tr.Events) {
+					t.Errorf("%s replay re-recorded a different entry stream (%d events vs %d)",
+						mode.name, len(got.Events), len(tr.Events))
+				}
+			}
+		})
+	}
+}
+
+// TestNetworkGoldenTraceCorpusComplete pins the multi-channel corpus
+// inventory: line and star × two algorithms.
+func TestNetworkGoldenTraceCorpusComplete(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(traceDir, "net-*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(networkCorpusCases()); len(files) != want {
+		t.Fatalf("network corpus has %d traces, want %d; regenerate with -update", len(files), want)
+	}
+}
+
+// TestNetworkRunDeliversAcrossChannels is the end-to-end sanity check
+// behind the corpus: under sustained cross-channel traffic a line
+// network actually relays — packets reach destinations in other
+// channels, and relays show up in the per-channel report.
+func TestNetworkRunDeliversAcrossChannels(t *testing.T) {
+	rep, err := Run(Config{
+		Algorithm: "orchestra", N: 5, Topology: "line", Channels: 3,
+		RhoNum: 1, RhoDen: 2, Beta: 3, Pattern: "uniform", Seed: 3, Rounds: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("network delivered nothing")
+	}
+	var relayed int64
+	for _, c := range rep.PerChannel {
+		relayed += c.Relayed
+	}
+	if relayed == 0 {
+		t.Error("no packet was relayed across a channel boundary")
+	}
+	if !rep.Stable {
+		t.Errorf("orchestra line at ρ=1/2 should be stable: %+v", rep)
+	}
+}
+
+// TestNetworkTraceLogger: Config.Trace works on network runs (it used
+// to be silently ignored) — per-channel labeled event lines within the
+// configured window.
+func TestNetworkTraceLogger(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Run(Config{
+		Algorithm: "orchestra", N: 4, Topology: "line", Channels: 2,
+		RhoNum: 1, RhoDen: 2, Beta: 2, Rounds: 50,
+		Trace: &buf, TraceUpTo: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"r0", "c0.s0", "c1.s0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "r4 ") {
+		t.Errorf("trace ran past TraceUpTo:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"earmac/internal/adversary"
+	"earmac/internal/network"
 	"earmac/internal/registry"
 
 	// Built-in algorithms self-register from their init functions; linking
@@ -30,6 +31,10 @@ var (
 	ErrBadRounds        = registry.ErrBadRounds
 	ErrBadStation       = registry.ErrBadStation
 	ErrBadTrace         = registry.ErrBadTrace
+	// ErrBadTopology marks an invalid network-of-channels spec: unknown
+	// kind, too few channels, malformed or disconnecting custom links,
+	// or channel fields set without a topology.
+	ErrBadTopology = registry.ErrBadTopology
 	// ErrConflict marks options that are individually valid but mutually
 	// exclusive — e.g. a replayed trace combined with a scenario source
 	// the trace already supplies, or a submission the serving layer
@@ -90,6 +95,10 @@ func AllAlgorithms() []AlgorithmEntry { return registry.All() }
 // Patterns lists the available injection pattern names, sorted.
 func Patterns() []string { return adversary.Patterns() }
 
+// Topologies lists the supported network topology kinds, sorted. Any of
+// them (via Config.Topology) turns a run into a network of channels.
+func Topologies() []string { return network.Kinds() }
+
 // PatternInfo returns the registry entry for one pattern.
 func PatternInfo(name string) (PatternEntry, bool) { return adversary.PatternInfo(name) }
 
@@ -115,17 +124,34 @@ func (c Config) validate() error {
 	if err := alg.CheckNK(c.Algorithm, c.N, c.K); err != nil {
 		return fmt.Errorf("earmac: %w", err)
 	}
+	stations := c.N // the station id space targeted patterns draw from
+	if c.Topology == "" {
+		if c.Channels != 0 {
+			return fmt.Errorf("earmac: %w: channels = %d without a topology (set Topology to one of %v)",
+				ErrBadTopology, c.Channels, Topologies())
+		}
+		if len(c.Links) != 0 {
+			return fmt.Errorf("earmac: %w: links given without a topology (set Topology to %q)",
+				ErrBadTopology, network.Custom)
+		}
+	} else {
+		spec := network.Spec{Kind: c.Topology, Channels: c.Channels, N: c.N, Links: c.Links}
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("earmac: %w", err)
+		}
+		stations = c.N * c.Channels
+	}
 	checkPattern := func(name string) error {
 		pat, ok := adversary.PatternInfo(name)
 		if !ok {
 			return fmt.Errorf("earmac: %w %q (have %v)", ErrUnknownPattern, name, Patterns())
 		}
 		if pat.Targeted {
-			if c.Src < 0 || c.Src >= c.N {
-				return fmt.Errorf("earmac: %w: src %d outside [0, %d)", ErrBadStation, c.Src, c.N)
+			if c.Src < 0 || c.Src >= stations {
+				return fmt.Errorf("earmac: %w: src %d outside [0, %d)", ErrBadStation, c.Src, stations)
 			}
-			if c.Dest < 0 || c.Dest >= c.N {
-				return fmt.Errorf("earmac: %w: dest %d outside [0, %d)", ErrBadStation, c.Dest, c.N)
+			if c.Dest < 0 || c.Dest >= stations {
+				return fmt.Errorf("earmac: %w: dest %d outside [0, %d)", ErrBadStation, c.Dest, stations)
 			}
 		}
 		return nil
@@ -142,9 +168,15 @@ func (c Config) validate() error {
 				ErrBadRounds, i, ph.Pattern, ph.Rounds)
 		}
 	}
-	if c.Replay != nil && c.Replay.Header.N != c.N {
-		return fmt.Errorf("earmac: %w: trace recorded for n = %d, config has n = %d",
-			ErrBadTrace, c.Replay.Header.N, c.N)
+	if c.Replay != nil {
+		if c.Replay.Header.N != c.N {
+			return fmt.Errorf("earmac: %w: trace recorded for n = %d, config has n = %d",
+				ErrBadTrace, c.Replay.Header.N, c.N)
+		}
+		if c.Replay.Header.Channels != c.Channels {
+			return fmt.Errorf("earmac: %w: trace recorded for %d channels, config has %d",
+				ErrBadTrace, c.Replay.Header.Channels, c.Channels)
+		}
 	}
 	if c.RhoDen <= 0 || c.RhoNum <= 0 {
 		return fmt.Errorf("earmac: %w: ρ = %d/%d is not a positive fraction", ErrBadRate, c.RhoNum, c.RhoDen)

@@ -31,12 +31,15 @@ type Phase struct {
 // ReplayConfig.
 type Trace = scenario.Trace
 
-// TraceVersion is the trace format version this build reads and writes.
+// TraceVersion is the newest trace format version this build writes:
+// version 2 adds a channel id per event for networks of channels.
+// Single-channel recordings still emit version 1 — byte-compatible
+// with every previously recorded trace — and ReadTrace accepts both.
 const TraceVersion = scenario.TraceVersion
 
 // ReadTrace decodes a recorded trace. Malformed input — unknown
-// version, bad lines, non-increasing rounds — fails with an error
-// wrapping ErrBadTrace; ReadTrace never panics.
+// version, bad lines, non-increasing (round, channel) order — fails
+// with an error wrapping ErrBadTrace; ReadTrace never panics.
 func ReadTrace(r io.Reader) (*Trace, error) { return scenario.ReadTrace(r) }
 
 // WriteTrace re-encodes a decoded trace. WriteTrace followed by

@@ -1,0 +1,30 @@
+#!/bin/sh
+# cover-summary.sh <coverprofile> — per-package, statement-weighted
+# coverage summary from a Go coverprofile (what `make cover` prints).
+# Profile lines look like
+#   earmac/internal/core/sim.go:177.22,184.3 5 1
+# i.e. <file>:<range> <statements> <hitcount>; we group by package
+# directory and weight by statement count.
+set -e
+if [ $# -ne 1 ] || [ ! -f "$1" ]; then
+    echo "usage: $0 <coverprofile>" >&2
+    exit 2
+fi
+awk '
+NR == 1 { next }  # "mode:" line
+{
+    pkg = $1
+    sub(/:[^:]*$/, "", pkg)      # strip :range suffix
+    sub(/\/[^\/]*\.go$/, "", pkg) # strip file name
+    stmts[pkg] += $(NF-1)
+    total += $(NF-1)
+    if ($NF > 0) {
+        covered[pkg] += $(NF-1)
+        totalCovered += $(NF-1)
+    }
+}
+END {
+    for (p in stmts)
+        printf "%-40s %6.1f%%  (%d/%d statements)\n", p, 100 * covered[p] / stmts[p], covered[p], stmts[p]
+    printf "%-40s %6.1f%%  (%d/%d statements)\n", "TOTAL", 100 * totalCovered / total, totalCovered, total
+}' "$1" | sort

@@ -25,6 +25,10 @@ type Grid struct {
 	Rhos       []Rho    `json:"rhos,omitempty"`
 	Betas      []int64  `json:"betas,omitempty"`
 	Patterns   []string `json:"patterns,omitempty"`
+	// Channels, when non-empty, crosses network channel counts (the
+	// sweep axis for networks of shared channels; Base.Topology selects
+	// the shape). An empty dimension keeps Base.Channels.
+	Channels []int `json:"channels,omitempty"`
 	// Seeds, when non-empty, crosses the listed pattern seeds as the
 	// innermost dimension — the seed-sweep axis for stochastic
 	// scenarios. Each cell then runs with exactly the listed seed
@@ -34,7 +38,7 @@ type Grid struct {
 }
 
 // Configs enumerates the cross product in deterministic order: algorithm
-// outermost, then n, k, ρ, β, pattern, and seed innermost. Without an
+// outermost, then n, k, ρ, β, pattern, channel count, and seed innermost. Without an
 // explicit Seeds dimension each cell gets its own derived seed —
 // Base.Seed (default 1) plus the cell's index — so randomized patterns
 // are independent across cells yet reproducible; with Seeds, cells use
@@ -65,6 +69,10 @@ func (g Grid) Configs() []Config {
 	if len(pats) == 0 {
 		pats = []string{g.Base.Pattern}
 	}
+	chans := g.Channels
+	if len(chans) == 0 {
+		chans = []int{g.Base.Channels}
+	}
 	baseSeed := g.Base.Seed
 	if baseSeed == 0 {
 		baseSeed = 1
@@ -74,35 +82,38 @@ func (g Grid) Configs() []Config {
 	if deriveSeed {
 		seeds = []int64{0} // placeholder; the cell derives its own
 	}
-	cfgs := make([]Config, 0, len(algs)*len(ns)*len(ks)*len(rhos)*len(betas)*len(pats)*len(seeds))
+	cfgs := make([]Config, 0, len(algs)*len(ns)*len(ks)*len(rhos)*len(betas)*len(pats)*len(chans)*len(seeds))
 	for _, alg := range algs {
 		for _, n := range ns {
 			for _, k := range ks {
 				for _, rho := range rhos {
 					for _, beta := range betas {
 						for _, pat := range pats {
-							for _, seed := range seeds {
-								c := g.Base
-								// RecordTo is per-cell state: one shared writer
-								// interleaved by parallel cells would yield a
-								// corrupt trace. Assign per-cell writers on the
-								// Suite's Configs instead (as earmac-sweep
-								// -record-dir does). Replay stays inherited —
-								// cells build independent cursors over the
-								// shared, read-only trace.
-								c.RecordTo = nil
-								c.Algorithm = alg
-								c.N = n
-								c.K = k
-								c.RhoNum, c.RhoDen = rho.Num, rho.Den
-								c.Beta = beta
-								c.Pattern = pat
-								if deriveSeed {
-									c.Seed = baseSeed + int64(len(cfgs))
-								} else {
-									c.Seed = seed
+							for _, ch := range chans {
+								for _, seed := range seeds {
+									c := g.Base
+									// RecordTo is per-cell state: one shared writer
+									// interleaved by parallel cells would yield a
+									// corrupt trace. Assign per-cell writers on the
+									// Suite's Configs instead (as earmac-sweep
+									// -record-dir does). Replay stays inherited —
+									// cells build independent cursors over the
+									// shared, read-only trace.
+									c.RecordTo = nil
+									c.Algorithm = alg
+									c.N = n
+									c.K = k
+									c.RhoNum, c.RhoDen = rho.Num, rho.Den
+									c.Beta = beta
+									c.Pattern = pat
+									c.Channels = ch
+									if deriveSeed {
+										c.Seed = baseSeed + int64(len(cfgs))
+									} else {
+										c.Seed = seed
+									}
+									cfgs = append(cfgs, c)
 								}
-								cfgs = append(cfgs, c)
 							}
 						}
 					}

@@ -172,3 +172,28 @@ func TestSuiteOnResultSeesEveryCell(t *testing.T) {
 		t.Errorf("OnResult saw %d distinct cells, want %d", len(got), len(suite.Configs))
 	}
 }
+
+// TestGridChannelsDimension: the channel-count axis crosses like any
+// other dimension and lands in each cell's Config.
+func TestGridChannelsDimension(t *testing.T) {
+	g := Grid{
+		Algorithms: []string{"orchestra", "count-hop"},
+		Channels:   []int{2, 3, 4},
+		Base:       Config{Topology: "line", N: 5, Rounds: 500},
+	}
+	cfgs := g.Configs()
+	if len(cfgs) != 6 {
+		t.Fatalf("got %d cells, want 6", len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		if cfg.Topology != "line" {
+			t.Errorf("cell %d lost the topology", i)
+		}
+		if want := []int{2, 3, 4}[i%3]; cfg.Channels != want {
+			t.Errorf("cell %d channels = %d, want %d", i, cfg.Channels, want)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("cell %d invalid: %v", i, err)
+		}
+	}
+}

@@ -35,6 +35,15 @@ func TestValidateTypedErrors(t *testing.T) {
 		{"targeted src out of range", Config{Pattern: "single-target", N: 4, Src: 4}, ErrBadStation},
 		{"targeted dest out of range", Config{Pattern: "single-target", N: 4, Dest: -1}, ErrBadStation},
 		{"hot-source src out of range", Config{Pattern: "hot-source", N: 4, Src: 7}, ErrBadStation},
+		{"unknown topology", Config{Topology: "ring"}, ErrBadTopology},
+		{"channels without topology", Config{Channels: 3}, ErrBadTopology},
+		{"links without topology", Config{Links: [][2]int{{0, 1}}}, ErrBadTopology},
+		{"one channel", Config{Topology: "line", Channels: 1}, ErrBadTopology},
+		{"links on named topology", Config{Topology: "star", Channels: 3, Links: [][2]int{{0, 1}}}, ErrBadTopology},
+		{"custom without links", Config{Topology: "custom", Channels: 3}, ErrBadTopology},
+		{"custom link out of range", Config{Topology: "custom", Channels: 2, Links: [][2]int{{0, 2}}}, ErrBadTopology},
+		{"custom self-loop", Config{Topology: "custom", Channels: 2, Links: [][2]int{{1, 1}}}, ErrBadTopology},
+		{"network src out of range", Config{Topology: "line", Channels: 2, N: 4, Pattern: "single-target", Src: 8}, ErrBadStation},
 	}
 	for _, c := range cases {
 		err := c.cfg.Validate()
@@ -115,5 +124,29 @@ func TestPatternMetadataComplete(t *testing.T) {
 	}
 	if p, ok := PatternInfo("uniform"); !ok || !p.Randomized || p.Targeted {
 		t.Error("uniform should be randomized and untargeted")
+	}
+}
+
+// TestValidateNetworkConfigs: valid network spellings pass, including
+// the global station space for targeted patterns and the connected
+// custom graph surfaced at Run time.
+func TestValidateNetworkConfigs(t *testing.T) {
+	ok := []Config{
+		{Topology: "line"}, // channels default to 2
+		{Topology: "star", Channels: 4},
+		{Topology: "clique", Channels: 3},
+		{Topology: "custom", Channels: 3, Links: [][2]int{{0, 1}, {1, 2}}},
+		{Topology: "line", Channels: 2, N: 4, Pattern: "single-target", Src: 1, Dest: 7}, // dest in channel 1
+	}
+	for _, cfg := range ok {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", cfg, err)
+		}
+	}
+	// A disconnected custom graph passes metadata validation but fails
+	// loudly at Run (routing needs reachability).
+	cfg := Config{Topology: "custom", Channels: 4, Links: [][2]int{{0, 1}, {2, 3}}, Rounds: 10}
+	if _, err := Run(cfg); !errors.Is(err, ErrBadTopology) {
+		t.Errorf("disconnected graph: Run returned %v, want ErrBadTopology", err)
 	}
 }
