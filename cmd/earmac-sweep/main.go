@@ -28,14 +28,24 @@
 //
 //	earmac-sweep -mode channels -topology line -alg orchestra -n 5 -beta 4 > channels.csv
 //	earmac-sweep -mode rho -topology star -channels 3 -alg count-hop -n 4 > net-rho.csv
+//
+// With -server the sweep is submitted as one Grid to an earmac-serve
+// /v1/suite endpoint — a single worker or a cluster coordinator —
+// instead of simulating in-process. The SuiteReport is byte-identical
+// either way, so -server changes where the cells run, never the output:
+//
+//	earmac-sweep -mode seed -alg orchestra -pattern bernoulli -seeds 1,2,3 -server localhost:8320 > seeds.csv
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -64,6 +74,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut   = flag.Bool("json", false, "emit the full SuiteReport as JSON instead of CSV")
 		recordDir = flag.String("record-dir", "", "record every cell as a replayable trace cell-NNN.trace.jsonl under this directory")
+		server    = flag.String("server", "", "submit the sweep to this earmac-serve /v1/suite endpoint (worker or coordinator) instead of running in-process")
 	)
 	flag.Parse()
 
@@ -133,26 +144,35 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
-	suite := earmac.NewSuite(grid)
-	var traceFiles []*os.File
-	if *recordDir != "" {
-		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
-			fail(err)
+	var rep earmac.SuiteReport
+	var err error
+	if *server != "" {
+		if *recordDir != "" {
+			fail(errors.New("-server cannot record traces on the remote side; drop -record-dir or run locally"))
 		}
-		for i := range suite.Configs {
-			f, err := os.Create(filepath.Join(*recordDir, fmt.Sprintf("cell-%03d.trace.jsonl", i)))
-			if err != nil {
+		rep, err = remoteSuite(ctx, *server, grid)
+	} else {
+		suite := earmac.NewSuite(grid)
+		var traceFiles []*os.File
+		if *recordDir != "" {
+			if err := os.MkdirAll(*recordDir, 0o755); err != nil {
 				fail(err)
 			}
-			traceFiles = append(traceFiles, f)
-			suite.Configs[i].RecordTo = f
+			for i := range suite.Configs {
+				f, err := os.Create(filepath.Join(*recordDir, fmt.Sprintf("cell-%03d.trace.jsonl", i)))
+				if err != nil {
+					fail(err)
+				}
+				traceFiles = append(traceFiles, f)
+				suite.Configs[i].RecordTo = f
+			}
 		}
-	}
-	workers := pool.Workers(*parallel)
-	rep, err := suite.Run(ctx, earmac.SuiteOptions{Workers: workers})
-	for _, f := range traceFiles {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
+		workers := pool.Workers(*parallel)
+		rep, err = suite.Run(ctx, earmac.SuiteOptions{Workers: workers})
+		for _, f := range traceFiles {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 	}
 	interrupted := errors.Is(err, context.Canceled)
@@ -205,6 +225,55 @@ func main() {
 	if interrupted {
 		os.Exit(130)
 	}
+}
+
+// remoteSuite submits the grid to an earmac-serve /v1/suite endpoint
+// and decodes the merged SuiteReport. The server expands the same grid
+// with the same enumeration, so the decoded report is the one a local
+// run would have produced.
+func remoteSuite(ctx context.Context, server string, g earmac.Grid) (earmac.SuiteReport, error) {
+	if !strings.Contains(server, "://") {
+		server = "http://" + server
+	}
+	body, err := json.Marshal(g)
+	if err != nil {
+		return earmac.SuiteReport{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(server, "/")+"/v1/suite", bytes.NewReader(body))
+	if err != nil {
+		return earmac.SuiteReport{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return earmac.SuiteReport{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return earmac.SuiteReport{}, err
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		// A plain worker queues suite cells asynchronously; only the
+		// coordinator answers with the merged report.
+		return earmac.SuiteReport{}, fmt.Errorf(
+			"server %s queued the suite instead of running it synchronously; point -server at an earmac-serve -coordinator", server)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return earmac.SuiteReport{}, fmt.Errorf("server %s: %s", server, eb.Error)
+		}
+		return earmac.SuiteReport{}, fmt.Errorf("server %s: status %d", server, resp.StatusCode)
+	}
+	var rep earmac.SuiteReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return earmac.SuiteReport{}, fmt.Errorf("decoding suite report: %w", err)
+	}
+	return rep, nil
 }
 
 func parseSeeds(s string) ([]int64, error) {

@@ -1,0 +1,272 @@
+// Package cluster is the horizontal scale-out tier behind
+// `earmac-serve -coordinator`: a coordinator process that accepts the
+// same POST /v1/suite the single-process service serves, expands the
+// Grid locally, shards the cells across a pool of earmac-serve worker
+// processes over their existing /v1 HTTP endpoints, and merges the
+// per-cell reports into a SuiteReport byte-identical to a
+// single-process run of the same grid.
+//
+// Byte-identity is by construction, not by luck: the coordinator
+// expands the Grid with the same earmac.NewSuite enumeration the
+// in-process runner uses, workers return the canonical report bytes
+// from their content-addressed caches, results are merged by cell
+// index (never arrival order) through Suite.MergeResults, and the
+// response is report.CanonicalJSON of the merged report — the same
+// encoder every other tool uses.
+//
+// Robustness is first-class: workers are health-probed on
+// /v1/healthz, each cell dispatch has a timeout and a bounded retry
+// budget with re-dispatch to a different worker, slow attempts are
+// hedged with a racing attempt on another worker, and a worker dying
+// mid-grid only costs the retries that land on its corpse. The
+// coordinator runs the same two-tier result cache as the workers
+// (in-memory LRU over an optional disk tier), so a re-submitted grid
+// is served without dispatching at all — across restarts when
+// -cache-dir is set.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"earmac/internal/service"
+)
+
+// Options tunes a Coordinator. The zero value of every field but
+// Workers selects the documented default.
+type Options struct {
+	// Workers lists the worker base URLs ("http://host:port").
+	// At least one is required.
+	Workers []string
+	// CellTimeout bounds one dispatch attempt for one cell. Default 5m.
+	CellTimeout time.Duration
+	// Retries is the number of additional attempts a retryable cell
+	// failure gets, re-dispatched to a different worker when one is
+	// available. Default 3. A worker's 500 is never retried: the
+	// simulation is deterministic, so every worker reproduces it.
+	Retries int
+	// HedgeAfter races a second attempt on another worker when the
+	// first has not answered within this duration — the straggler
+	// shield. Default 30s; negative disables hedging.
+	HedgeAfter time.Duration
+	// Parallel bounds the cells in flight per suite submission.
+	// <= 0 means GOMAXPROCS.
+	Parallel int
+	// CacheEntries bounds the in-memory tier of the coordinator's
+	// result cache. Default 1024.
+	CacheEntries int
+	// CacheDir, when non-empty, adds the disk tier (same layout as the
+	// worker's -cache-dir): results survive coordinator restarts.
+	CacheDir string
+	// ProbeEvery is the worker health-probe period. Default 5s.
+	ProbeEvery time.Duration
+	// Client issues every worker request. Default &http.Client{}
+	// (per-attempt deadlines come from CellTimeout).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 5 * time.Minute
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 30 * time.Second
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = 5 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// worker is the coordinator's view of one earmac-serve process.
+// healthy is optimistic at construction: a worker is assumed alive
+// until a probe or a failed dispatch says otherwise, so dispatch works
+// before the first probe completes.
+type worker struct {
+	url        string
+	healthy    atomic.Bool
+	dispatched atomic.Int64 // /v1/run attempts sent to this worker
+	failures   atomic.Int64 // transport failures and 503s observed
+}
+
+// Coordinator fans suite cells out to a pool of workers. It implements
+// http.Handler with a /v1 surface mirroring the worker's where it
+// makes sense (suite, run, healthz, cache/preload); the caller owns
+// the listener.
+type Coordinator struct {
+	opts    Options
+	mux     *http.ServeMux
+	cache   *service.Cache
+	client  *http.Client
+	workers []*worker
+	next    atomic.Uint64 // round-robin pick cursor
+
+	// Cumulative dispatch counters, served by /v1/healthz. dispatched
+	// counts attempts that went over the wire — the figure the disk-tier
+	// acceptance check pins at zero for a fully cached grid.
+	dispatched atomic.Int64
+	retries    atomic.Int64
+	hedges     atomic.Int64
+
+	probeCtx  context.Context
+	stopProbe context.CancelFunc
+	probeDone chan struct{}
+	started   sync.Once
+	stopped   sync.Once
+}
+
+// New builds a Coordinator over the given worker pool. Call Start to
+// launch health probing.
+func New(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		opts:      opts,
+		cache:     service.NewCache(opts.CacheEntries, opts.CacheDir),
+		client:    opts.Client,
+		probeCtx:  ctx,
+		stopProbe: cancel,
+		probeDone: make(chan struct{}),
+	}
+	for _, u := range opts.Workers {
+		w := &worker{url: strings.TrimRight(u, "/")}
+		w.healthy.Store(true)
+		c.workers = append(c.workers, w)
+	}
+	c.routes()
+	return c, nil
+}
+
+// Start launches the background health-probe loop. Safe to call once;
+// serving without Start works (workers stay optimistically healthy
+// until a dispatch fails) but dead workers are then only discovered
+// the expensive way.
+func (c *Coordinator) Start() {
+	c.started.Do(func() {
+		go c.probeLoop()
+	})
+}
+
+// Stop halts health probing and waits for the in-flight sweep. It does
+// not interrupt in-flight suite requests — the HTTP server's shutdown
+// handles those.
+func (c *Coordinator) Stop() {
+	c.stopped.Do(func() {
+		c.stopProbe()
+		c.started.Do(func() { close(c.probeDone) }) // never started: nothing to wait for
+		<-c.probeDone
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+func (c *Coordinator) probeLoop() {
+	defer close(c.probeDone)
+	c.probeAll()
+	t := time.NewTicker(c.opts.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeCtx.Done():
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.probe(w)
+		}()
+	}
+	wg.Wait()
+}
+
+// probe marks a worker healthy iff its /v1/healthz answers 200 within
+// the probe budget. A draining worker answers 200 with status
+// "draining" — it still completes in-flight work, so it stays
+// dispatchable until it stops answering; submissions it refuses with
+// 503 are retried elsewhere by the dispatch path.
+func (c *Coordinator) probe(w *worker) {
+	budget := c.opts.ProbeEvery
+	if budget > 2*time.Second {
+		budget = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(c.probeCtx, budget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/healthz", nil)
+	if err != nil {
+		w.healthy.Store(false)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		w.healthy.Store(false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	w.healthy.Store(resp.StatusCode == http.StatusOK)
+}
+
+// pick selects the dispatch target: round-robin over healthy workers
+// not yet tried for this cell, then healthy ones already tried, then —
+// when every worker looks down — anything, so the last retry still
+// probes reality rather than giving up on bookkeeping. Returns nil
+// only for an empty pool (New rejects that).
+func (c *Coordinator) pick(avoid map[*worker]bool) *worker {
+	n := len(c.workers)
+	if n == 0 {
+		return nil
+	}
+	start := int(c.next.Add(1)-1) % n
+	var healthyTried *worker
+	for i := 0; i < n; i++ {
+		w := c.workers[(start+i)%n]
+		if !w.healthy.Load() {
+			continue
+		}
+		if !avoid[w] {
+			return w
+		}
+		if healthyTried == nil {
+			healthyTried = w
+		}
+	}
+	if healthyTried != nil {
+		return healthyTried
+	}
+	for i := 0; i < n; i++ {
+		if w := c.workers[(start+i)%n]; !avoid[w] {
+			return w
+		}
+	}
+	return c.workers[start]
+}

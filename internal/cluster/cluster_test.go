@@ -1,0 +1,348 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"earmac"
+	"earmac/internal/report"
+	"earmac/internal/service"
+)
+
+// newWorker starts one real earmac-serve service — the coordinator's
+// workers in these tests are the actual single-process implementation,
+// so byte-identity is checked against the real thing, not a stub.
+func newWorker(t *testing.T, opts service.Options) *httptest.Server {
+	t.Helper()
+	svc := service.New(opts)
+	svc.Start()
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Drain(ctx)
+	})
+	return ts
+}
+
+func newCoordinator(t *testing.T, opts Options) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c)
+	t.Cleanup(func() {
+		ts.Close()
+		c.Stop()
+	})
+	return c, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// testGrid crosses two algorithms, two sizes and two rates at a small
+// horizon: eight cells, a mix of stable and unstable verdicts.
+const testGrid = `{"algorithms":["count-hop","orchestra"],"ns":[4,5],"rhos":[{"num":1,"den":3},{"num":3,"den":4}],"base":{"rounds":8000}}`
+
+// singleProcess runs the grid in-process and returns the canonical
+// SuiteReport bytes — the reference every distributed test compares
+// against.
+func singleProcess(t *testing.T, gridJSON string) []byte {
+	t.Helper()
+	var g earmac.Grid
+	if err := json.Unmarshal([]byte(gridJSON), &g); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := earmac.NewSuite(g).Run(context.Background(), earmac.SuiteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report.CanonicalJSON(rep)
+}
+
+// TestCoordinatorMatchesSingleProcess is the tentpole guarantee: a grid
+// sharded across two worker processes merges to the byte-identical
+// SuiteReport a single process produces.
+func TestCoordinatorMatchesSingleProcess(t *testing.T) {
+	w1 := newWorker(t, service.Options{Workers: 2})
+	w2 := newWorker(t, service.Options{Workers: 2})
+	_, ts := newCoordinator(t, Options{Workers: []string{w1.URL, w2.URL}, Parallel: 4})
+
+	want := singleProcess(t, testGrid)
+	resp, got := post(t, ts.URL+"/v1/suite", testGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("distributed SuiteReport differs from single-process:\n got: %s\nwant: %s", got, want)
+	}
+	if cells := resp.Header.Get("X-Earmac-Cells"); cells != "8" {
+		t.Errorf("X-Earmac-Cells = %q, want 8", cells)
+	}
+
+	// Both workers did some of the grid: the coordinator sharded, it did
+	// not just forward everything to one place.
+	_, raw := get(t, ts.URL+"/v1/healthz")
+	var h healthResponse
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Totals.Dispatched != 8 {
+		t.Errorf("dispatched = %d, want 8", h.Totals.Dispatched)
+	}
+	for _, ws := range h.Workers {
+		if ws.Dispatched == 0 {
+			t.Errorf("worker %s received no cells; sharding did not spread the grid", ws.URL)
+		}
+	}
+
+	// Resubmission is served from the coordinator's cache: no new
+	// dispatches, same bytes.
+	resp, again := post(t, ts.URL+"/v1/suite", testGrid)
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(want, again) {
+		t.Fatalf("cached resubmit: %d, identical=%v", resp.StatusCode, bytes.Equal(want, again))
+	}
+	_, raw = get(t, ts.URL+"/v1/healthz")
+	json.Unmarshal(raw, &h)
+	if h.Totals.Dispatched != 8 {
+		t.Errorf("dispatched after cached resubmit = %d, want still 8", h.Totals.Dispatched)
+	}
+	if h.Cache.Hits != 8 {
+		t.Errorf("cache hits after resubmit = %d, want 8", h.Cache.Hits)
+	}
+}
+
+// TestWorkerDiesMidGrid kills one of two workers after it has served
+// its first cell. The coordinator must mark it unhealthy, re-dispatch
+// the lost and remaining cells to the survivor, and still produce the
+// byte-identical report.
+func TestWorkerDiesMidGrid(t *testing.T) {
+	w1 := newWorker(t, service.Options{Workers: 2})
+
+	// The doomed worker: a real service wrapped so the test learns when
+	// its first cell has been fully served.
+	svc2 := service.New(service.Options{Workers: 2})
+	svc2.Start()
+	var once sync.Once
+	served := make(chan struct{})
+	w2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		svc2.ServeHTTP(w, r)
+		if r.URL.Path == "/v1/run" {
+			once.Do(func() { close(served) })
+		}
+	}))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc2.Drain(ctx)
+	})
+
+	_, ts := newCoordinator(t, Options{
+		Workers:  []string{w1.URL, w2.URL},
+		Parallel: 2,
+		Retries:  4,
+	})
+
+	killed := make(chan struct{})
+	go func() {
+		<-served
+		w2.CloseClientConnections()
+		w2.Close()
+		close(killed)
+	}()
+
+	want := singleProcess(t, testGrid)
+	resp, got := post(t, ts.URL+"/v1/suite", testGrid)
+	<-killed
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite with dying worker: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("report after worker death differs from single-process:\n got: %s\nwant: %s", got, want)
+	}
+	_, raw := get(t, ts.URL+"/v1/healthz")
+	var h healthResponse
+	json.Unmarshal(raw, &h)
+	if h.Status != "degraded" {
+		t.Errorf("healthz status = %q after losing a worker, want degraded", h.Status)
+	}
+}
+
+// TestDiskCacheServesRestartedCoordinator is the acceptance check for
+// the disk tier: a grid run once through a coordinator with -cache-dir
+// is served entirely from disk by a fresh coordinator over the same
+// directory — zero dispatches, asserted via the healthz counters, even
+// though its only configured worker is dead.
+func TestDiskCacheServesRestartedCoordinator(t *testing.T) {
+	dir := t.TempDir()
+	w1 := newWorker(t, service.Options{Workers: 2})
+	c1, ts1 := newCoordinator(t, Options{Workers: []string{w1.URL}, Parallel: 4, CacheDir: dir})
+	resp, want := post(t, ts1.URL+"/v1/suite", testGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d %s", resp.StatusCode, want)
+	}
+	ts1.Close()
+	c1.Stop()
+
+	// The restarted coordinator points at a worker that no longer
+	// exists: only the disk tier can satisfy the grid.
+	dead := w1.URL
+	w1.Close()
+	_, ts2 := newCoordinator(t, Options{Workers: []string{dead}, Parallel: 4, CacheDir: dir})
+	resp, raw := post(t, ts2.URL+"/v1/cache/preload", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("preload: %d %s", resp.StatusCode, raw)
+	}
+	var pre struct {
+		Loaded int `json:"loaded"`
+	}
+	json.Unmarshal(raw, &pre)
+	if pre.Loaded != 8 {
+		t.Fatalf("preload loaded %d entries, want 8", pre.Loaded)
+	}
+	resp, got := post(t, ts2.URL+"/v1/suite", testGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached run: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("disk-served report differs:\n got: %s\nwant: %s", got, want)
+	}
+	_, raw = get(t, ts2.URL+"/v1/healthz")
+	var h healthResponse
+	json.Unmarshal(raw, &h)
+	if h.Totals.Dispatched != 0 {
+		t.Errorf("restarted coordinator dispatched %d cells, want 0 (disk tier must carry the grid)", h.Totals.Dispatched)
+	}
+}
+
+// TestHedgedDispatch: worker 0 hangs, worker 1 is fine; with a short
+// hedge delay the coordinator races a second attempt and the cell
+// completes without waiting out the straggler.
+func TestHedgedDispatch(t *testing.T) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read runs — that is
+		// what lets r.Context() fire when the coordinator abandons the
+		// attempt (otherwise the disconnect goes unnoticed and the
+		// handler stalls forever).
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // stalls until the coordinator gives up on this attempt
+	}))
+	defer func() {
+		hang.CloseClientConnections()
+		hang.Close()
+	}()
+	w2 := newWorker(t, service.Options{Workers: 2})
+	_, ts := newCoordinator(t, Options{
+		Workers:    []string{hang.URL, w2.URL},
+		HedgeAfter: 50 * time.Millisecond,
+	})
+	resp, _ := post(t, ts.URL+"/v1/run", `{"algorithm":"count-hop","n":4,"rho_num":1,"rho_den":3,"rounds":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged run: %d", resp.StatusCode)
+	}
+	_, raw := get(t, ts.URL+"/v1/healthz")
+	var h healthResponse
+	json.Unmarshal(raw, &h)
+	if h.Totals.Hedges == 0 {
+		t.Error("straggling worker produced no hedged attempt")
+	}
+}
+
+// TestRunProxyMatchesWorker: the coordinator's /v1/run is transparent —
+// same bytes and cache headers a worker would have produced.
+func TestRunProxyMatchesWorker(t *testing.T) {
+	w1 := newWorker(t, service.Options{Workers: 1})
+	_, ts := newCoordinator(t, Options{Workers: []string{w1.URL}})
+	cfg := `{"algorithm":"orchestra","n":4,"rounds":5000}`
+	respW, direct := post(t, w1.URL+"/v1/run", cfg)
+	respC, proxied := post(t, ts.URL+"/v1/run", cfg)
+	if respW.StatusCode != http.StatusOK || respC.StatusCode != http.StatusOK {
+		t.Fatalf("status: worker %d, coordinator %d", respW.StatusCode, respC.StatusCode)
+	}
+	if !bytes.Equal(direct, proxied) {
+		t.Fatalf("proxied run differs:\n%s\n%s", direct, proxied)
+	}
+	// Second submission through the coordinator is its own cache hit.
+	respC2, again := post(t, ts.URL+"/v1/run", cfg)
+	if respC2.Header.Get("X-Earmac-Cache") != "hit" {
+		t.Errorf("second proxied run disposition = %q, want hit", respC2.Header.Get("X-Earmac-Cache"))
+	}
+	if !bytes.Equal(direct, again) {
+		t.Error("cached proxy response not byte-identical")
+	}
+	if respC.Header.Get("X-Earmac-Job") != respW.Header.Get("X-Earmac-Job") {
+		t.Errorf("job id differs: coordinator %q, worker %q",
+			respC.Header.Get("X-Earmac-Job"), respW.Header.Get("X-Earmac-Job"))
+	}
+}
+
+// TestSuiteValidationRejectsBeforeDispatch mirrors the worker's /v1/suite
+// contract: one invalid cell rejects the grid, nothing is dispatched.
+func TestSuiteValidationRejectsBeforeDispatch(t *testing.T) {
+	w1 := newWorker(t, service.Options{Workers: 1})
+	c, ts := newCoordinator(t, Options{Workers: []string{w1.URL}})
+	resp, raw := post(t, ts.URL+"/v1/suite", `{"algorithms":["count-hop","no-such-alg"],"base":{"rounds":1000}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid grid: %d %s", resp.StatusCode, raw)
+	}
+	if n := c.dispatched.Load(); n != 0 {
+		t.Errorf("invalid grid dispatched %d cells", n)
+	}
+}
+
+// TestQueueFullRetryHonored: a worker whose queue is saturated answers
+// 503 + Retry-After; the coordinator backs off and the cell eventually
+// lands instead of erroring out.
+func TestQueueFullRetryHonored(t *testing.T) {
+	// One execution slot, queue depth 1: concurrent cells force 503s.
+	w1 := newWorker(t, service.Options{Workers: 1, QueueDepth: 1})
+	_, ts := newCoordinator(t, Options{
+		Workers:  []string{w1.URL},
+		Parallel: 4,
+		Retries:  30,
+	})
+	want := singleProcess(t, testGrid)
+	resp, got := post(t, ts.URL+"/v1/suite", testGrid)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite against saturated worker: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("report through saturated worker differs from single-process")
+	}
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"earmac"
+	"earmac/internal/service"
+)
+
+// workerError is a permanent per-cell failure: the worker ran the
+// simulation and it failed deterministically, so re-dispatching the
+// cell anywhere reproduces the same outcome. msg is the worker's error
+// string with the job envelope stripped — exactly what a single-process
+// runCell would have recorded in SuiteResult.Error.
+type workerError struct {
+	msg string
+}
+
+func (e *workerError) Error() string { return e.msg }
+
+// retryableError is a transient dispatch failure — a transport error,
+// a timeout, or a 503 (queue full / draining). after carries the
+// worker's Retry-After wish, when it sent one.
+type retryableError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// resolve returns the canonical report bytes for a config: from the
+// coordinator's two-tier cache when present (hit=true), otherwise
+// dispatched to the worker pool and cached on success. The error is a
+// *workerError for a deterministic simulation failure, or a transient
+// condition (retries exhausted, no workers, context cancelled).
+func (c *Coordinator) resolve(ctx context.Context, cfg earmac.Config) (raw []byte, hit bool, err error) {
+	fp := cfg.Fingerprint()
+	if e, ok := c.cache.Peek(fp); ok {
+		c.cache.MarkHit()
+		return e.Report, true, nil
+	}
+	c.cache.MarkMiss()
+	raw, err = c.fetch(ctx, fp, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	c.cache.Put(fp, service.Entry{Report: raw})
+	return raw, false, nil
+}
+
+// fetch runs one cell on the worker pool: up to 1+Retries attempts,
+// each re-dispatched to a different worker when one is available, with
+// hedging inside each attempt. Permanent failures short-circuit;
+// Retry-After wishes from busy workers are honoured between attempts.
+func (c *Coordinator) fetch(ctx context.Context, fp string, cfg earmac.Config) ([]byte, error) {
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("encoding config: %w", err)
+	}
+	tried := make(map[*worker]bool)
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		w := c.pick(tried)
+		if w == nil {
+			return nil, errors.New("cluster: no workers configured")
+		}
+		raw, err := c.attemptHedged(ctx, w, tried, fp, body)
+		if err == nil {
+			return raw, nil
+		}
+		var pe *workerError
+		if errors.As(err, &pe) {
+			return nil, err
+		}
+		lastErr = err
+		tried[w] = true
+		var re *retryableError
+		if errors.As(err, &re) && re.after > 0 && attempt < c.opts.Retries {
+			select {
+			case <-time.After(re.after):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return nil, fmt.Errorf("cell %s: %d attempts failed, last: %w", fp, c.opts.Retries+1, lastErr)
+}
+
+// attemptHedged runs one attempt on w and, if it is still in flight
+// after HedgeAfter, races a second attempt on a different worker —
+// first success wins, the loser's request is cancelled. A permanent
+// failure from either attempt wins immediately (it is the cell's
+// deterministic outcome, not the worker's fault).
+func (c *Coordinator) attemptHedged(ctx context.Context, w *worker, tried map[*worker]bool, fp string, body []byte) ([]byte, error) {
+	if c.opts.HedgeAfter < 0 {
+		return c.attempt(ctx, w, fp, body)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		raw []byte
+		err error
+	}
+	results := make(chan outcome, 2) // buffered: a losing attempt must not leak its goroutine
+	go func() {
+		raw, err := c.attempt(actx, w, fp, body)
+		results <- outcome{raw, err}
+	}()
+	timer := time.NewTimer(c.opts.HedgeAfter)
+	defer timer.Stop()
+	outstanding, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				return out.raw, nil
+			}
+			var pe *workerError
+			if errors.As(out.err, &pe) {
+				return nil, out.err
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			avoid := map[*worker]bool{w: true}
+			for t := range tried {
+				avoid[t] = true
+			}
+			h := c.pick(avoid)
+			if h == nil || h == w {
+				continue // nobody to hedge onto
+			}
+			hedged = true
+			outstanding++
+			c.hedges.Add(1)
+			go func() {
+				raw, err := c.attempt(actx, h, fp, body)
+				results <- outcome{raw, err}
+			}()
+		}
+	}
+}
+
+// attempt sends one POST /v1/run to one worker and classifies the
+// response: 200 is the canonical report bytes; 503 is retryable with
+// the worker's Retry-After wish; transport failures are retryable and
+// mark the worker unhealthy until a probe revives it; anything else is
+// the cell's deterministic outcome and permanent.
+func (c *Coordinator) attempt(ctx context.Context, w *worker, fp string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.CellTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, &retryableError{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	w.dispatched.Add(1)
+	c.dispatched.Add(1)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		w.healthy.Store(false)
+		w.failures.Add(1)
+		return nil, &retryableError{err: fmt.Errorf("worker %s: %w", w.url, err)}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		w.healthy.Store(false)
+		w.failures.Add(1)
+		return nil, &retryableError{err: fmt.Errorf("worker %s: reading response: %w", w.url, err)}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, nil
+	case http.StatusServiceUnavailable, http.StatusConflict:
+		// Busy, draining, or the job was cancelled under us on that
+		// worker — another worker (or the same one, later) can run it.
+		w.failures.Add(1)
+		return nil, &retryableError{
+			err:   fmt.Errorf("worker %s: %s", w.url, bodyError(raw, resp.StatusCode)),
+			after: retryAfter(resp),
+		}
+	default:
+		return nil, &workerError{msg: permanentMessage(fp, resp.StatusCode, raw)}
+	}
+}
+
+// bodyError extracts the service's {"error": ...} message, falling
+// back to the status code.
+func bodyError(raw []byte, status int) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return http.StatusText(status)
+}
+
+// permanentMessage recovers the worker-side simulation error. The
+// worker's 500 body wraps the RunContext error as
+// "job <fp> failed: <msg>"; stripping the envelope leaves <msg> —
+// byte-for-byte what a single-process runCell records, which keeps
+// error cells inside the byte-identity guarantee.
+func permanentMessage(fp string, status int, raw []byte) string {
+	msg := bodyError(raw, status)
+	if rest, ok := strings.CutPrefix(msg, "job "+fp+" failed: "); ok {
+		return rest
+	}
+	return msg
+}
+
+// retryAfter parses a Retry-After header (delta-seconds form, the only
+// one the service emits), clamped to [0, 30s] so a confused worker
+// cannot park the coordinator.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"earmac"
+	"earmac/internal/pool"
+	"earmac/internal/report"
+	"earmac/internal/service"
+)
+
+// The coordinator's HTTP surface — a subset of the worker's /v1,
+// same shapes, so clients point at a coordinator without changing:
+//
+//	POST /v1/suite          expand a Grid, shard the cells across the
+//	                        worker pool, respond with the merged
+//	                        SuiteReport (canonical bytes, synchronous)
+//	POST /v1/run            run one Config through the cache + pool
+//	POST /v1/cache/preload  warm the in-memory LRU from the disk tier
+//	GET  /v1/healthz        coordinator + per-worker health and counters
+func (c *Coordinator) routes() {
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST /v1/suite", c.handleSuite)
+	c.mux.HandleFunc("POST /v1/run", c.handleRun)
+	c.mux.HandleFunc("POST /v1/cache/preload", c.handlePreload)
+	c.mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// handleSuite is the tentpole endpoint: one Grid in, one merged
+// SuiteReport out. Cells run concurrently across the worker pool
+// (bounded by Options.Parallel) and land in the results slice by
+// index, so the merge — and therefore the response bytes — cannot
+// depend on which worker answered first. Validation mirrors the
+// worker's /v1/suite: any invalid cell rejects the whole grid before
+// anything is dispatched.
+func (c *Coordinator) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var g earmac.Grid
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding grid: %w", err))
+		return
+	}
+	suite := earmac.NewSuite(g)
+	for i, cfg := range suite.Configs {
+		if err := cfg.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("cell %d: %w", i, err))
+			return
+		}
+	}
+	ctx := r.Context()
+	results := make([]earmac.SuiteResult, len(suite.Configs))
+	pool.RunIndexed(ctx, len(suite.Configs), c.opts.Parallel, func(i int) {
+		results[i] = c.runCell(ctx, i, suite.Configs[i])
+	})
+	// Cells the pool never reached (cancelled request) still hold their
+	// zero value; only completed results enter the merge — MergeResults
+	// fills every gap with the same skipped placeholder Suite.Run uses.
+	done := results[:0]
+	for _, res := range results {
+		if res.Verdict != "" {
+			done = append(done, res)
+		}
+	}
+	rep := suite.MergeResults(done)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Earmac-Cells", strconv.Itoa(rep.Cells))
+	w.Write(report.CanonicalJSON(rep))
+}
+
+// runCell resolves one cell to a SuiteResult, mirroring the verdict
+// derivation of the single-process runCell: a report with Stable set is
+// "stable", otherwise "unstable"; a deterministic worker failure is
+// "error" with the worker's message verbatim; a cell the pool could not
+// place (every retry exhausted, or the request cancelled) stays
+// "skipped" — it was not run, and the summary says so.
+func (c *Coordinator) runCell(ctx context.Context, i int, cfg earmac.Config) earmac.SuiteResult {
+	res := earmac.SuiteResult{Index: i, Config: cfg}
+	raw, _, err := c.resolve(ctx, cfg)
+	if err != nil {
+		var pe *workerError
+		switch {
+		case errors.As(err, &pe):
+			res.Verdict = earmac.VerdictError
+			res.Error = pe.msg
+		default:
+			res.Verdict = earmac.VerdictSkipped
+			res.Error = err.Error()
+		}
+		return res
+	}
+	if err := json.Unmarshal(raw, &res.Report); err != nil {
+		res.Verdict = earmac.VerdictError
+		res.Error = fmt.Sprintf("decoding worker report: %v", err)
+		return res
+	}
+	if res.Report.Stable {
+		res.Verdict = earmac.VerdictStable
+	} else {
+		res.Verdict = earmac.VerdictUnstable
+	}
+	return res
+}
+
+// handleRun proxies a single config through the coordinator's cache
+// and the worker pool, byte-identical to asking a worker directly —
+// same canonical bytes, same X-Earmac-Cache/X-Earmac-Job headers.
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	var cfg earmac.Config
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding config: %w", err))
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := cfg.Fingerprint()
+	raw, hit, err := c.resolve(r.Context(), cfg)
+	if err != nil {
+		var pe *workerError
+		if errors.As(err, &pe) {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", fp, pe.msg))
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	disposition := "miss"
+	if hit {
+		disposition = "hit"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Earmac-Cache", disposition)
+	w.Header().Set("X-Earmac-Job", fp)
+	w.Write(raw)
+}
+
+func (c *Coordinator) handlePreload(w http.ResponseWriter, r *http.Request) {
+	n, err := c.cache.Preload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("preloading cache: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Loaded int `json:"loaded"`
+	}{n})
+}
+
+// workerStatus is one worker's row in the coordinator healthz.
+type workerStatus struct {
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	Dispatched int64  `json:"dispatched"`
+	Failures   int64  `json:"failures"`
+}
+
+// dispatchTotals are the coordinator-wide counters. Dispatched counts
+// attempts that went over the wire; a grid served entirely from the
+// cache leaves it untouched — the figure the disk-tier smoke check
+// pins at zero.
+type dispatchTotals struct {
+	Dispatched int64 `json:"dispatched"`
+	Retries    int64 `json:"retries"`
+	Hedges     int64 `json:"hedges"`
+}
+
+type healthResponse struct {
+	Status  string             `json:"status"` // ok | degraded | down
+	Role    string             `json:"role"`
+	Workers []workerStatus     `json:"workers"`
+	Totals  dispatchTotals     `json:"totals"`
+	Cache   service.CacheStats `json:"cache"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthResponse{
+		Role: "coordinator",
+		Totals: dispatchTotals{
+			Dispatched: c.dispatched.Load(),
+			Retries:    c.retries.Load(),
+			Hedges:     c.hedges.Load(),
+		},
+		Cache: c.cache.Stats(),
+	}
+	healthy := 0
+	for _, wk := range c.workers {
+		ok := wk.healthy.Load()
+		if ok {
+			healthy++
+		}
+		resp.Workers = append(resp.Workers, workerStatus{
+			URL:        wk.url,
+			Healthy:    ok,
+			Dispatched: wk.dispatched.Load(),
+			Failures:   wk.failures.Load(),
+		})
+	}
+	switch {
+	case healthy == len(c.workers):
+		resp.Status = "ok"
+	case healthy > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "down"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"earmac/internal/service"
+)
+
+// TestSweepServerGoldenCSV shells the real earmac-sweep binary with
+// -server pointed at an in-process coordinator (one worker behind it)
+// and compares stdout against the committed sweep-seed.csv fixture —
+// the same golden file the local-run CLI test uses. One fixture, two
+// execution paths: -server must change where the cells run, never a
+// byte of the output.
+//
+// The test lives here rather than next to the other CLI golden tests
+// because the root package cannot import internal/cluster (cluster
+// imports earmac).
+func TestSweepServerGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	worker := newWorker(t, service.Options{Workers: 2})
+	_, ts := newCoordinator(t, Options{Workers: []string{worker.URL}, Parallel: 2})
+
+	cmd := exec.Command("go", "run", "earmac/cmd/earmac-sweep",
+		"-mode", "seed", "-alg", "orchestra", "-pattern", "bernoulli",
+		"-n", "5", "-rho", "1/3", "-beta", "2", "-seeds", "1,2,3", "-rounds", "2000",
+		"-server", ts.URL)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("earmac-sweep -server: %v\nstderr:\n%s", err, errb.String())
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "cli", "sweep-seed.csv"))
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-server sweep differs from the local-run golden fixture:\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+
+	// And the misuse path: -server pointed at a plain worker explains
+	// itself instead of dumping a bare status code.
+	cmd = exec.Command("go", "run", "earmac/cmd/earmac-sweep",
+		"-mode", "seed", "-alg", "orchestra", "-pattern", "bernoulli",
+		"-n", "5", "-rho", "1/3", "-beta", "2", "-seeds", "1,2,3", "-rounds", "2000",
+		"-server", worker.URL)
+	errb.Reset()
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err == nil {
+		t.Fatal("-server against a plain worker succeeded, want a coordinator hint")
+	}
+	if !strings.Contains(errb.String(), "-coordinator") {
+		t.Errorf("stderr missing the -coordinator hint:\n%s", errb.String())
+	}
+}

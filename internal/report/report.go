@@ -4,12 +4,30 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
 	"earmac/internal/core"
 	"earmac/internal/metrics"
 )
+
+// CanonicalJSON fixes the one byte representation the serving tier
+// caches, serves, and merges for a report-shaped value: compact
+// json.Marshal plus a trailing newline. The result cache stores these
+// exact bytes and the cluster coordinator assembles its SuiteReport
+// from them, which is what makes the byte-identical guarantees
+// (cache hit == first run; distributed run == single-process run)
+// checkable with cmp rather than with semantic comparison.
+func CanonicalJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for Report/SuiteReport: they contain only
+		// marshalable field types.
+		panic("report: canonical encoding: " + err.Error())
+	}
+	return append(raw, '\n')
+}
 
 // Channel is one channel's slice of a network report (internal/network).
 // Injected counts everything entering the channel's simulator — entries

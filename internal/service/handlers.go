@@ -23,7 +23,8 @@ import (
 //	GET    /v1/jobs/{id}/result  the report (cache bytes)
 //	GET    /v1/jobs/{id}/trace   the recorded injection trace (JSONL)
 //	DELETE /v1/jobs/{id}      cancel
-//	GET    /v1/healthz        liveness + queue/cache stats
+//	POST   /v1/cache/preload  warm the in-memory LRU from the disk tier
+//	GET    /v1/healthz        liveness + queue/cache/job-state stats
 //	GET    /v1/capabilities   registered algorithms and patterns
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
@@ -35,6 +36,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/cache/preload", s.handlePreload)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 }
@@ -71,6 +73,18 @@ func submitCode(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
+}
+
+// writeSubmitError writes an admission failure. A queue-full 503
+// carries a Retry-After header (seconds, derived from the backlog) so
+// well-behaved clients — the cluster coordinator's retry loop among
+// them — back off for roughly one drain interval instead of hammering.
+// A draining 503 carries none: the server is going away, not busy.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errQueueFull) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeError(w, submitCode(err), err)
 }
 
 // recordParam parses the ?record= query parameter. Absent means false;
@@ -123,11 +137,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	fp, j, e, cached, err := s.submit(cfg, record)
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	if cached {
-		s.writeReport(w, e.report, cacheHit, fp)
+		s.writeReport(w, e.Report, cacheHit, fp)
 		return
 	}
 	select {
@@ -177,7 +191,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	fp, j, _, cached, err := s.submit(cfg, record)
 	if err != nil {
-		writeError(w, submitCode(err), err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	if cached {
@@ -210,6 +224,9 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		fp, j, _, cached, err := s.submit(cfg, false)
 		if err != nil {
 			// Cells already admitted keep running; report how far we got.
+			if errors.Is(err, errQueueFull) {
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			}
 			writeError(w, submitCode(err), fmt.Errorf("cell %d (after %d admitted): %w", i, len(out), err))
 			return
 		}
@@ -244,7 +261,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	if _, ok := s.cache.peek(id); ok {
+	if _, ok := s.cache.Peek(id); ok {
 		writeJSON(w, http.StatusOK, statusResponse{ID: id, Status: StateDone, Cached: true})
 		return
 	}
@@ -253,8 +270,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if e, ok := s.cache.peek(id); ok {
-		s.writeReport(w, e.report, cacheHit, id)
+	if e, ok := s.cache.Peek(id); ok {
+		s.writeReport(w, e.Report, cacheHit, id)
 		return
 	}
 	if j, ok := s.lookup(id); ok {
@@ -275,8 +292,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // Encoder, replayable with `earmac-sim -replay`.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.cache.peek(id)
-	if !ok || e.trace == nil {
+	e, ok := s.cache.Peek(id)
+	if !ok || e.Trace == nil {
 		// Not served from the cache: distinguish in-flight (not ready
 		// yet), terminal-without-trace, and genuinely unknown, mirroring
 		// handleResult.
@@ -303,7 +320,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Content-Disposition", `attachment; filename="`+strings.TrimPrefix(id, "sha256:")+`.trace.jsonl"`)
-	w.Write(e.trace)
+	w.Write(e.Trace)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -313,7 +330,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// A completed job lives only in the cache; cancelling it is a
 		// no-op, not an unknown id — keep the view consistent with
 		// handleStatus.
-		if _, cached := s.cache.peek(id); cached {
+		if _, cached := s.cache.Peek(id); cached {
 			writeJSON(w, http.StatusOK, statusResponse{ID: id, Status: StateDone, Cached: true})
 			return
 		}
@@ -341,7 +358,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// A job completed earlier lives only in the cache: nothing to
 		// stream but the terminal state (j stays nil).
-		if _, cached := s.cache.peek(id); !cached {
+		if _, cached := s.cache.Peek(id); !cached {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
@@ -400,17 +417,26 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// jobStats is the per-state job tally healthz serves: the live gauges
+// (queued, running) next to the cumulative terminal counters, so the
+// coordinator's health probe and the smoke scripts can see both the
+// instantaneous load and how jobs have been ending.
+type jobStats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+}
+
 type healthResponse struct {
-	Status   string `json:"status"`
-	Draining bool   `json:"draining,omitempty"`
-	Workers  int    `json:"workers"`
-	Queued   int    `json:"queued"`
-	Running  int    `json:"running"`
-	Cache    struct {
-		Entries int   `json:"entries"`
-		Hits    int64 `json:"hits"`
-		Misses  int64 `json:"misses"`
-	} `json:"cache"`
+	Status   string     `json:"status"`
+	Draining bool       `json:"draining,omitempty"`
+	Workers  int        `json:"workers"`
+	Queued   int        `json:"queued"`
+	Running  int        `json:"running"`
+	Jobs     jobStats   `json:"jobs"`
+	Cache    CacheStats `json:"cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -422,8 +448,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Workers = s.opts.Workers
 	resp.Queued, resp.Running = s.counts()
-	resp.Cache.Entries, resp.Cache.Hits, resp.Cache.Misses = s.cache.stats()
+	resp.Jobs.Queued, resp.Jobs.Running = resp.Queued, resp.Running
+	resp.Jobs.Done, resp.Jobs.Failed, resp.Jobs.Cancelled = s.tallies()
+	resp.Cache = s.cache.Stats()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// preloadResponse reports how many disk-tier entries a preload promoted
+// into the memory LRU.
+type preloadResponse struct {
+	Loaded int `json:"loaded"`
+}
+
+// handlePreload warms the in-memory cache from the disk tier (a no-op
+// without -cache-dir). Idempotent: already-resident entries are skipped.
+func (s *Server) handlePreload(w http.ResponseWriter, r *http.Request) {
+	n, err := s.cache.Preload()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("preloading cache: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, preloadResponse{Loaded: n})
 }
 
 type capabilitiesResponse struct {

@@ -34,6 +34,7 @@ type job struct {
 	cancelled bool                              // cancel requested (possibly before dispatch)
 	result    []byte                            // canonical report bytes once done
 	trace     []byte                            // recorded trace once done (when record)
+	counted   bool                              // tallied into the per-state counters
 	done      chan struct{}                     // closed on reaching a terminal state
 }
 
@@ -191,6 +192,21 @@ func (j *job) terminalLocked() bool {
 		return true
 	}
 	return false
+}
+
+// markCounted claims the job's single slot in the server's per-state
+// tallies: the first caller gets true, every later one false. retire can
+// run more than once for the same job (a cancelled corpse is retired
+// both by the cancel path and by the worker that pops it), so the tally
+// is guarded here rather than at the call sites.
+func (j *job) markCounted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.counted {
+		return false
+	}
+	j.counted = true
+	return true
 }
 
 // terminal reports whether the job has reached a terminal state.

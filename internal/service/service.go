@@ -16,7 +16,6 @@ package service
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -24,6 +23,7 @@ import (
 
 	"earmac"
 	"earmac/internal/pool"
+	"earmac/internal/report"
 )
 
 // Options tunes a Server. The zero value selects the documented
@@ -33,11 +33,16 @@ type Options struct {
 	// (resolved through pool.Workers like every other -parallel knob).
 	Workers int
 	// QueueDepth bounds the number of accepted-but-not-yet-running jobs;
-	// a full queue rejects submissions with 503. Default 64.
+	// a full queue rejects submissions with 503 + Retry-After. Default 64.
 	QueueDepth int
-	// CacheEntries bounds the content-addressed result cache (FIFO
-	// eviction past the bound). Default 1024.
+	// CacheEntries bounds the in-memory tier of the content-addressed
+	// result cache (LRU eviction past the bound). Default 1024.
 	CacheEntries int
+	// CacheDir, when non-empty, enables the disk tier: every completed
+	// result is spilled to <dir>/<hex>.report atomically, memory misses
+	// fall through to disk, and POST /v1/cache/preload warms the LRU
+	// from the directory. Results survive restarts.
+	CacheDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -55,7 +60,7 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts  Options
 	mux   *http.ServeMux
-	cache *cache
+	cache *Cache
 	queue chan *job
 
 	mu       sync.Mutex
@@ -64,6 +69,9 @@ type Server struct {
 	recent   map[string]*job // terminal non-cached jobs (failed/cancelled), bounded FIFO
 	order    []string        // recent insertion order, for eviction
 	draining bool
+	// Cumulative terminal-state tallies (each job counted exactly once,
+	// at first retire); the healthz per-state job counters.
+	doneJobs, failedJobs, cancelledJobs int64
 
 	dispatchCtx  context.Context
 	stopDispatch context.CancelFunc
@@ -81,7 +89,7 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:         opts,
-		cache:        newCache(opts.CacheEntries),
+		cache:        NewCache(opts.CacheEntries, opts.CacheDir),
 		queue:        make(chan *job, opts.QueueDepth),
 		live:         make(map[string]*job),
 		recent:       make(map[string]*job),
@@ -199,19 +207,19 @@ var errQueueFull = errors.New("job queue is full, retry later")
 // fingerprint plus either a cache entry (cached true — no simulation)
 // or the live job executing it, joining an existing identical
 // submission when there is one: a fingerprint never has two live jobs.
-func (s *Server) submit(cfg earmac.Config, record bool) (fp string, j *job, e entry, cached bool, err error) {
+func (s *Server) submit(cfg earmac.Config, record bool) (fp string, j *job, e Entry, cached bool, err error) {
 	fp = cfg.Fingerprint()
 	// A recording submission must run even if the report is cached but
 	// the trace is not: only serve the cache when it satisfies the
 	// request.
-	if e, ok := s.cache.peek(fp); ok && (!record || e.trace != nil) {
-		s.cache.markHit()
+	if e, ok := s.cache.Peek(fp); ok && (!record || e.Trace != nil) {
+		s.cache.MarkHit()
 		return fp, nil, e, true, nil
 	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return fp, nil, entry{}, false, errDraining
+		return fp, nil, Entry{}, false, errDraining
 	}
 	if j, ok := s.live[fp]; ok {
 		if j.terminal() {
@@ -223,14 +231,14 @@ func (s *Server) submit(cfg earmac.Config, record bool) (fp string, j *job, e en
 			// while the job is queued (the flag flips before dispatch).
 			// Joining is deduplication too: count it as a hit.
 			s.mu.Unlock()
-			s.cache.markHit()
-			return fp, j, entry{}, false, nil
+			s.cache.MarkHit()
+			return fp, j, Entry{}, false, nil
 		} else {
 			// Running without recording: a second concurrent run of the
 			// same fingerprint would break the dedup invariant, so the
 			// trace request conflicts until the run completes.
 			s.mu.Unlock()
-			return fp, nil, entry{}, false, fmt.Errorf(
+			return fp, nil, Entry{}, false, fmt.Errorf(
 				"%w: an identical experiment is already running without trace recording; retry once it completes", earmac.ErrConflict)
 		}
 	}
@@ -239,8 +247,8 @@ func (s *Server) submit(cfg earmac.Config, record bool) (fp string, j *job, e en
 	s.mu.Unlock()
 	select {
 	case s.queue <- j:
-		s.cache.markMiss()
-		return fp, j, entry{}, false, nil
+		s.cache.MarkMiss()
+		return fp, j, Entry{}, false, nil
 	default:
 		// Roll back through the job's terminal machinery, not just the
 		// live map: a concurrent identical submission may already have
@@ -249,7 +257,7 @@ func (s *Server) submit(cfg earmac.Config, record bool) (fp string, j *job, e en
 		// never enqueued.
 		j.fail(StateFailed, errQueueFull.Error())
 		s.retire(j)
-		return fp, nil, entry{}, false, errQueueFull
+		return fp, nil, Entry{}, false, errQueueFull
 	}
 }
 
@@ -286,7 +294,7 @@ func (s *Server) runJob(j *job) {
 		}
 		// Store before publishing completion: from the first moment a
 		// waiter can observe "done" the cache already serves the bytes.
-		s.cache.put(j.id, entry{report: raw, trace: tr})
+		s.cache.Put(j.id, Entry{Report: raw, Trace: tr})
 		j.complete(raw, tr)
 	case errors.Is(err, context.Canceled):
 		j.fail(StateCancelled, "cancelled after "+fmt.Sprint(rep.Rounds)+" rounds")
@@ -301,8 +309,19 @@ func (s *Server) runJob(j *job) {
 // from the cache).
 func (s *Server) retire(j *job) {
 	state, _, _ := j.snapshot()
+	counted := j.markCounted()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if counted {
+		switch state {
+		case StateDone:
+			s.doneJobs++
+		case StateFailed:
+			s.failedJobs++
+		case StateCancelled:
+			s.cancelledJobs++
+		}
+	}
 	if s.live[j.id] == j {
 		delete(s.live, j.id)
 	}
@@ -320,7 +339,7 @@ func (s *Server) retire(j *job) {
 	// fingerprint is cached, a late-retiring failure (e.g. a cancelled
 	// corpse popped from the queue after a fresh resubmission completed)
 	// must not shadow it in status responses.
-	if _, ok := s.cache.peek(j.id); ok {
+	if _, ok := s.cache.Peek(j.id); ok {
 		return
 	}
 	if _, ok := s.recent[j.id]; !ok {
@@ -372,15 +391,33 @@ func (s *Server) counts() (queued, running int) {
 	return
 }
 
-// canonicalReport fixes the byte representation every endpoint serves
-// for a Report: compact json.Marshal plus a trailing newline. The cache
-// stores these exact bytes, which is what makes the byte-identical
-// guarantee checkable with cmp.
-func canonicalReport(rep earmac.Report) []byte {
-	raw, err := json.Marshal(rep)
-	if err != nil {
-		// Unreachable: Report contains only marshalable field types.
-		panic("service: encoding report: " + err.Error())
+// tallies returns the cumulative terminal-state job counters.
+func (s *Server) tallies() (done, failed, cancelled int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doneJobs, s.failedJobs, s.cancelledJobs
+}
+
+// retryAfterSeconds derives a Retry-After hint for a queue-full 503
+// from the current backlog: roughly the queue depth divided by the
+// worker count (how many "queue drain slots" precede the retry),
+// clamped to [1, 60]. The coordinator's retry loop honours it.
+func (s *Server) retryAfterSeconds() int {
+	queued, _ := s.counts()
+	secs := queued / s.opts.Workers
+	if secs < 1 {
+		secs = 1
 	}
-	return append(raw, '\n')
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// canonicalReport fixes the byte representation every endpoint serves
+// for a Report: report.CanonicalJSON (compact marshal + newline). The
+// cache stores these exact bytes, which is what makes the
+// byte-identical guarantee checkable with cmp.
+func canonicalReport(rep earmac.Report) []byte {
+	return report.CanonicalJSON(rep)
 }

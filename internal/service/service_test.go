@@ -8,7 +8,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -477,6 +481,170 @@ func TestQueueFull(t *testing.T) {
 	}
 }
 
+// TestQueueFullRetryAfter: the queue-full 503 carries a Retry-After
+// header (whole seconds, derived from the backlog) that clients — the
+// cluster coordinator's retry loop among them — can honour. A draining
+// 503 carries none: the server is going away, not busy.
+func TestQueueFullRetryAfter(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	long := func(n int) string {
+		return fmt.Sprintf(`{"algorithm":"orchestra","n":%d,"rounds":4000000000}`, n)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for n := 6; ; n++ {
+		resp, raw := post(t, ts.URL+"/v1/jobs", long(n))
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			ra := resp.Header.Get("Retry-After")
+			secs, err := strconv.Atoi(ra)
+			if err != nil || secs < 1 || secs > 60 {
+				t.Fatalf("queue-full Retry-After = %q, want an integer in [1, 60]", ra)
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", n, resp.StatusCode, raw)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	svc.cancelAll()
+	svc.Drain(ctx)
+	resp, _ := post(t, ts.URL+"/v1/jobs", quickConfig)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Errorf("draining 503 carries Retry-After %q; retrying a draining server is pointless", ra)
+	}
+}
+
+// TestConcurrentDuplicateSubmissions: N goroutines submitting equivalent
+// spellings of one Config must join a single job — exactly one
+// simulation — and every one of them must receive byte-identical result
+// bytes. This is the dedup/join path under race (the -race CI job runs
+// this test with the detector on).
+func TestConcurrentDuplicateSubmissions(t *testing.T) {
+	svc, ts := newTestServer(t, Options{Workers: 2})
+	// Equivalent spellings: zero fields vs their explicit defaults, and
+	// permuted key order — all one fingerprint.
+	spellings := []string{
+		`{"algorithm":"count-hop","n":5,"rho_num":1,"rho_den":3,"rounds":25000}`,
+		`{"algorithm":"count-hop","n":5,"k":3,"rho_num":1,"rho_den":3,"rounds":25000}`,
+		`{"algorithm":"count-hop","n":5,"rho_num":1,"rho_den":3,"beta":1,"rounds":25000,"seed":1}`,
+		`{"rounds":25000,"rho_den":3,"rho_num":1,"n":5,"algorithm":"count-hop","pattern":"uniform"}`,
+	}
+	const waves = 4 // 16 concurrent submissions
+	n := waves * len(spellings)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+				strings.NewReader(spellings[i%len(spellings)]))
+			if err != nil {
+				t.Errorf("submission %d: %v", i, err)
+				return
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Errorf("submission %d: %d %v %s", i, resp.StatusCode, err, raw)
+				return
+			}
+			bodies[i] = raw
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("submission %d received different bytes:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	// Exactly one submission created the job (miss); the rest were
+	// deduplicated onto it or served from the cache (hits).
+	st := svc.cache.Stats()
+	if st.Misses != 1 || st.Hits != int64(n-1) {
+		t.Errorf("dedup stats: hits=%d misses=%d, want %d/1", st.Hits, st.Misses, n-1)
+	}
+	done, failed, cancelled := svc.tallies()
+	if done != 1 || failed != 0 || cancelled != 0 {
+		t.Errorf("job tallies = %d done, %d failed, %d cancelled, want exactly one done job", done, failed, cancelled)
+	}
+}
+
+// TestDiskCacheAcrossRestart: with CacheDir set, a completed result
+// survives a server restart — the fresh process serves it byte-identical
+// from the disk tier without re-simulating, and /v1/cache/preload warms
+// the memory tier explicitly.
+func TestDiskCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc1 := New(Options{Workers: 1, CacheDir: dir})
+	svc1.Start()
+	ts1 := httptest.NewServer(svc1)
+	resp, first := post(t, ts1.URL+"/v1/run", quickConfig)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run: %d %s", resp.StatusCode, first)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	svc1.Drain(ctx)
+	ts1.Close()
+
+	svc2, ts2 := newTestServer(t, Options{Workers: 1, CacheDir: dir})
+	resp, raw := post(t, ts2.URL+"/v1/cache/preload", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("preload: %d %s", resp.StatusCode, raw)
+	}
+	var pre preloadResponse
+	json.Unmarshal(raw, &pre)
+	if pre.Loaded != 1 {
+		t.Fatalf("preload loaded %d entries, want 1", pre.Loaded)
+	}
+	resp, second := post(t, ts2.URL+"/v1/run", quickConfig)
+	if got := resp.Header.Get(headerCache); got != cacheHit {
+		t.Errorf("restarted server cache header = %q, want %q", got, cacheHit)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("disk-tier response not byte-identical:\n%s\n%s", first, second)
+	}
+	if done, _, _ := svc2.tallies(); done != 0 {
+		t.Errorf("restarted server ran %d jobs; the disk tier should have served the result", done)
+	}
+}
+
+// TestHealthzJobAndCacheCounters pins the new healthz schema: per-state
+// job counters plus cache hit/miss/eviction/disk figures.
+func TestHealthzJobAndCacheCounters(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	post(t, ts.URL+"/v1/run", quickConfig) // miss
+	post(t, ts.URL+"/v1/run", quickConfig) // hit
+	_, raw := get(t, ts.URL+"/v1/healthz")
+	var h healthResponse
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("healthz: %v (%s)", err, raw)
+	}
+	if h.Jobs.Done != 1 || h.Jobs.Failed != 0 || h.Jobs.Cancelled != 0 {
+		t.Errorf("healthz jobs = %+v, want exactly one done", h.Jobs)
+	}
+	if h.Cache.Hits != 1 || h.Cache.Misses != 1 || h.Cache.Entries != 1 {
+		t.Errorf("healthz cache = %+v, want 1 hit / 1 miss / 1 entry", h.Cache)
+	}
+	// The raw JSON carries every counter field the smoke scripts grep for.
+	for _, key := range []string{`"jobs"`, `"done"`, `"failed"`, `"cancelled"`, `"evictions"`, `"disk_hits"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("healthz body missing %s:\n%s", key, raw)
+		}
+	}
+}
+
 // TestRecordParamFalseDoesNotForceRerun: ?record=0 must behave like no
 // record request at all — served from the cache, no re-simulation.
 func TestRecordParamFalseDoesNotForceRerun(t *testing.T) {
@@ -711,9 +879,9 @@ func TestStatusPollingDoesNotSkewCacheStats(t *testing.T) {
 		get(t, ts.URL+"/v1/jobs/"+fp+"/result")
 		get(t, ts.URL+"/v1/jobs/sha256:unknown")
 	}
-	_, hits, misses := svc.cache.stats()
-	if hits != 0 || misses != 1 {
-		t.Errorf("after polling: hits=%d misses=%d, want 0/1 (submission stats only)", hits, misses)
+	st := svc.cache.Stats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Errorf("after polling: hits=%d misses=%d, want 0/1 (submission stats only)", st.Hits, st.Misses)
 	}
 }
 
@@ -795,29 +963,96 @@ func TestUnknownJob404(t *testing.T) {
 	}
 }
 
-func TestCacheEvictionFIFO(t *testing.T) {
-	c := newCache(2)
-	c.put("a", entry{report: []byte("A")})
-	c.put("b", entry{report: []byte("B")})
-	c.put("c", entry{report: []byte("C")}) // evicts a
-	if _, ok := c.peek("a"); ok {
-		t.Error("oldest entry not evicted")
+func TestCacheEvictionLRU(t *testing.T) {
+	c := NewCache(2, "")
+	c.Put("a", Entry{Report: []byte("A")})
+	c.Put("b", Entry{Report: []byte("B")})
+	// Touch a: it is now the most recently used, so inserting c must
+	// evict b, not a — the LRU upgrade over the old FIFO.
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("entry a missing before eviction")
 	}
-	for _, k := range []string{"b", "c"} {
-		if _, ok := c.peek(k); !ok {
+	c.Put("c", Entry{Report: []byte("C")}) // evicts b (least recently used)
+	if _, ok := c.Peek("b"); ok {
+		t.Error("least-recently-used entry not evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Peek(k); !ok {
 			t.Errorf("entry %s evicted prematurely", k)
 		}
 	}
 	// Duplicate put keeps the original report bytes but attaches a trace.
-	c.put("b", entry{report: []byte("B2"), trace: []byte("T")})
-	e, _ := c.peek("b")
-	if string(e.report) != "B" || string(e.trace) != "T" {
-		t.Errorf("duplicate put: report %q trace %q, want B / T", e.report, e.trace)
+	c.Put("a", Entry{Report: []byte("A2"), Trace: []byte("T")})
+	e, _ := c.Peek("a")
+	if string(e.Report) != "A" || string(e.Trace) != "T" {
+		t.Errorf("duplicate put: report %q trace %q, want A / T", e.Report, e.Trace)
 	}
-	c.markHit()
-	c.markMiss()
-	n, hits, misses := c.stats()
-	if n != 2 || hits != 1 || misses != 1 {
-		t.Errorf("stats = %d entries, %d hits, %d misses", n, hits, misses)
+	c.MarkHit()
+	c.MarkMiss()
+	st := c.Stats()
+	if st.Entries != 2 || st.Hits != 1 || st.Misses != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 hit, 1 miss, 1 eviction", st)
+	}
+}
+
+// TestCacheDiskTier: the disk tier persists entries across cache
+// instances (the coordinator-restart scenario), promotes them back into
+// memory on a miss, counts disk hits, and keeps entries that were
+// evicted from the memory LRU.
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	fpA := "sha256:" + strings.Repeat("a", 64)
+	fpB := "sha256:" + strings.Repeat("b", 64)
+	fpC := "sha256:" + strings.Repeat("c", 64)
+
+	c1 := NewCache(2, dir)
+	c1.Put(fpA, Entry{Report: []byte("A\n"), Trace: []byte("TA\n")})
+	c1.Put(fpB, Entry{Report: []byte("B\n")})
+	c1.Put(fpC, Entry{Report: []byte("C\n")}) // evicts A from memory only
+	if st := c1.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The evicted entry comes back from disk, trace intact.
+	e, ok := c1.Peek(fpA)
+	if !ok || string(e.Report) != "A\n" || string(e.Trace) != "TA\n" {
+		t.Fatalf("evicted entry not recovered from disk: %+v ok=%v", e, ok)
+	}
+	if st := c1.Stats(); st.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.DiskHits)
+	}
+
+	// A fresh cache over the same directory (a restarted process) serves
+	// every entry from the disk tier.
+	c2 := NewCache(16, dir)
+	for fp, want := range map[string]string{fpA: "A\n", fpB: "B\n", fpC: "C\n"} {
+		e, ok := c2.Peek(fp)
+		if !ok || string(e.Report) != want {
+			t.Errorf("restart peek %s = %q ok=%v, want %q", fp[:16], e.Report, ok, want)
+		}
+	}
+	if st := c2.Stats(); st.DiskHits != 3 || st.Entries != 3 {
+		t.Errorf("restart stats = %+v, want 3 disk hits, 3 entries", st)
+	}
+
+	// Preload warms a cold cache without counting disk hits as traffic.
+	c3 := NewCache(16, dir)
+	n, err := c3.Preload()
+	if err != nil || n != 3 {
+		t.Fatalf("preload = %d, %v, want 3 entries", n, err)
+	}
+	if n, err = c3.Preload(); err != nil || n != 0 {
+		t.Errorf("second preload = %d, %v, want 0 (idempotent)", n, err)
+	}
+	if st := c3.Stats(); st.Entries != 3 || st.DiskHits != 0 {
+		t.Errorf("preloaded stats = %+v, want 3 resident entries, 0 disk hits", st)
+	}
+
+	// Stray files never round-trip into fingerprints.
+	if err := os.WriteFile(filepath.Join(dir, "junk.report"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c4 := NewCache(16, dir)
+	if n, _ := c4.Preload(); n != 3 {
+		t.Errorf("preload with stray file = %d, want 3", n)
 	}
 }

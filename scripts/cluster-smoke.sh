@@ -1,0 +1,127 @@
+#!/usr/bin/env sh
+# Smoke test for the cluster tier: a coordinator sharding suite cells
+# across two earmac-serve workers must produce SuiteReports that are
+# byte-identical to a single-process run — including when one worker is
+# killed -9 mid-grid, and when a restarted coordinator serves the whole
+# grid from its disk cache with every worker gone. The CI cluster-smoke
+# job runs this script; locally: make cluster-smoke.
+set -eu
+
+COORD="${EARMAC_COORD_ADDR:-127.0.0.1:8330}"
+W1="${EARMAC_WORKER1_ADDR:-127.0.0.1:8331}"
+W2="${EARMAC_WORKER2_ADDR:-127.0.0.1:8332}"
+WORK="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+    i=0
+    until curl -sf "http://$1/v1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "cluster-smoke: $1 never became healthy" >&2
+            cat "$WORK"/*.log >&2 || true
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+echo "cluster-smoke: building earmac-serve and earmac-sweep"
+go build -o "$WORK/earmac-serve" ./cmd/earmac-serve
+go build -o "$WORK/earmac-sweep" ./cmd/earmac-sweep
+
+"$WORK/earmac-serve" -addr "$W1" -parallel 2 2>"$WORK/w1.log" &
+W1_PID=$!; PIDS="$PIDS $W1_PID"
+"$WORK/earmac-serve" -addr "$W2" -parallel 2 2>"$WORK/w2.log" &
+W2_PID=$!; PIDS="$PIDS $W2_PID"
+"$WORK/earmac-serve" -addr "$COORD" -coordinator -workers "$W1,$W2" \
+    -cache-dir "$WORK/cache" -retries 5 -parallel 4 2>"$WORK/coord.log" &
+COORD_PID=$!; PIDS="$PIDS $COORD_PID"
+wait_healthy "$W1"
+wait_healthy "$W2"
+wait_healthy "$COORD"
+
+SWEEP="-mode rho -alg count-hop -n 6 -rounds 1000000 -json"
+
+echo "cluster-smoke: single-process reference sweep"
+# shellcheck disable=SC2086 # SWEEP is a flag list, splitting is the point
+"$WORK/earmac-sweep" $SWEEP >"$WORK/ref.json"
+
+echo "cluster-smoke: distributed sweep, killing worker 2 mid-grid"
+# shellcheck disable=SC2086
+"$WORK/earmac-sweep" $SWEEP -server "$COORD" >"$WORK/dist.json" &
+SWEEP_PID=$!
+# Kill -9 the second worker as soon as it has completed its first cell —
+# cells are still pending, so the coordinator must re-dispatch its share.
+i=0
+while :; do
+    if curl -sf "http://$W2/v1/healthz" 2>/dev/null | grep -Eq '"done":[1-9]'; then
+        kill -9 "$W2_PID" 2>/dev/null || true
+        echo "cluster-smoke: worker 2 killed"
+        break
+    fi
+    kill -0 "$SWEEP_PID" 2>/dev/null || break # sweep already finished
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "cluster-smoke: worker 2 never served a cell" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$SWEEP_PID" || {
+    echo "cluster-smoke: distributed sweep failed:" >&2
+    cat "$WORK/coord.log" >&2
+    exit 1
+}
+cmp "$WORK/ref.json" "$WORK/dist.json" || {
+    echo "cluster-smoke: distributed SuiteReport differs from single-process run" >&2
+    exit 1
+}
+echo "cluster-smoke: byte-identical despite worker death"
+
+echo "cluster-smoke: worker healthz carries job and cache counters"
+curl -sf "http://$W1/v1/healthz" >"$WORK/w1-health.json"
+for key in '"jobs"' '"done"' '"failed"' '"cancelled"' '"evictions"' '"disk_hits"'; do
+    grep -q "$key" "$WORK/w1-health.json" || {
+        echo "cluster-smoke: worker healthz missing $key:" >&2
+        cat "$WORK/w1-health.json" >&2
+        exit 1
+    }
+done
+
+echo "cluster-smoke: restarting coordinator with all workers gone (disk cache must carry the grid)"
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+kill -9 "$W1_PID" 2>/dev/null || true
+"$WORK/earmac-serve" -addr "$COORD" -coordinator -workers "127.0.0.1:1" \
+    -cache-dir "$WORK/cache" 2>"$WORK/coord2.log" &
+COORD_PID=$!; PIDS="$PIDS $COORD_PID"
+wait_healthy "$COORD"
+curl -sf -X POST "http://$COORD/v1/cache/preload" >"$WORK/preload.json"
+grep -Eq '"loaded":[1-9]' "$WORK/preload.json" || {
+    echo "cluster-smoke: preload loaded nothing:" >&2
+    cat "$WORK/preload.json" >&2
+    exit 1
+}
+# shellcheck disable=SC2086
+"$WORK/earmac-sweep" $SWEEP -server "$COORD" >"$WORK/cached.json" || {
+    echo "cluster-smoke: cached sweep failed:" >&2
+    cat "$WORK/coord2.log" >&2
+    exit 1
+}
+cmp "$WORK/ref.json" "$WORK/cached.json" || {
+    echo "cluster-smoke: disk-served SuiteReport differs" >&2
+    exit 1
+}
+curl -sf "http://$COORD/v1/healthz" | grep -q '"totals":{"dispatched":0' || {
+    echo "cluster-smoke: restarted coordinator dispatched cells; disk tier did not carry the grid:" >&2
+    curl -sf "http://$COORD/v1/healthz" >&2 || true
+    exit 1
+}
+
+echo "cluster-smoke: OK (sharded run byte-identical, survives worker death, disk cache serves restarts)"
