@@ -94,7 +94,7 @@ func main() {
 		file.Rows = append(file.Rows, benchSpec(spec, reps))
 	}
 	file.Rows = append(file.Rows, substrateRows(scale, reps)...)
-	file.Rows = append(file.Rows, networkRow(scale, reps))
+	file.Rows = append(file.Rows, networkRows(scale, reps)...)
 	for _, row := range file.Rows {
 		fmt.Fprintf(os.Stderr, "earmac-bench: %-14s %8.3f Mrounds/s  %7.4f allocs/round  queue_max=%d\n",
 			row.ID, row.MroundsPerS, row.AllocsPerRound, row.QueueMax)
@@ -288,34 +288,109 @@ func substrateRows(scale expt.Scale, reps int) []benchcmp.Row {
 	return rows
 }
 
-// networkRow measures the multi-channel topology layer end to end: an
-// orchestra line of 4 channels under the budget-split network adversary,
-// relays included — the loop the network regression gate watches. Rounds
-// are network rounds (each advances all 4 channel sims).
-func networkRow(scale expt.Scale, reps int) benchcmp.Row {
-	rounds := int64(100000)
+// networkRows measures the multi-channel topology layer end to end:
+// orchestra replica sets under the budget-split network adversary,
+// relays included — the loop the network regression gate watches.
+// Rounds are network rounds (each advances all C channel sims), so the
+// per-channel step rate is MroundsPerS × C.
+//
+// Topology shapes scale C from 4 to 1024; each parallel row (workers =
+// GOMAXPROCS) is paired with a .ser twin (workers = 1) of the same
+// configuration, and the pair's deterministic outputs are asserted
+// identical — the worker-count-independence contract, gated on every
+// bench run. Rows warm up before the measured window so steady-state
+// allocs/round is 0 (buffer growth and ring sizing settle during
+// warmup).
+func networkRows(scale expt.Scale, reps int) []benchcmp.Row {
+	mult := int64(1)
 	if scale == expt.Full {
-		rounds *= 4
+		mult = 4
 	}
-	row := benchcmp.Row{ID: "NET.line4", Label: "orchestra line ×4 @ ρ=1/2 β=4, n=6", Rounds: rounds}
-	for rep := 0; rep < reps; rep++ {
-		topo, err := network.Compile(network.Spec{Kind: network.Line, Channels: 4, N: 6})
-		if err != nil {
-			fail(err)
+	cases := []struct {
+		id, label string
+		spec      network.Spec
+		beta      int64
+		rounds    int64
+		workers   int
+	}{
+		{"NET.line4", "orchestra line ×4 @ ρ=1/2 β=4, n=6, net-workers=auto",
+			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 0},
+		{"NET.line4.ser", "orchestra line ×4 @ ρ=1/2 β=4, n=6, serial",
+			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 1},
+		{"NET.star64", "orchestra star ×64 @ ρ=1/2 β=64, n=6, net-workers=auto",
+			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 0},
+		{"NET.star64.ser", "orchestra star ×64 @ ρ=1/2 β=64, n=6, serial",
+			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 1},
+		{"NET.grid64", "orchestra grid 8×8 @ ρ=1/2 β=64, n=6, net-workers=auto",
+			network.Spec{Kind: network.Grid, Channels: 64, N: 6}, 64, 20000, 0},
+		{"NET.rand64", "orchestra random ×64 seed 9 @ ρ=1/2 β=64, n=6, net-workers=auto",
+			network.Spec{Kind: network.Random, Channels: 64, N: 6, Seed: 9}, 64, 20000, 0},
+		{"NET.clique1024", "orchestra clique ×1024 @ ρ=1/2 β=1024, n=6, net-workers=auto",
+			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 0},
+		{"NET.clique1024.ser", "orchestra clique ×1024 @ ρ=1/2 β=1024, n=6, serial",
+			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 1},
+	}
+	// Compile each distinct topology once: the Topology is immutable and
+	// shared across repetitions and worker-count twins (the clique-1024
+	// all-pairs BFS is the expensive part, not the stepping).
+	topos := map[string]*network.Topology{}
+	var rows []benchcmp.Row
+	for _, c := range cases {
+		key := fmt.Sprintf("%+v", c.spec)
+		topo := topos[key]
+		if topo == nil {
+			var err error
+			if topo, err = network.Compile(c.spec); err != nil {
+				fail(fmt.Errorf("%s: %w", c.id, err))
+			}
+			topos[key] = topo
 		}
+		rows = append(rows, measureNet(c.id, c.label, topo, c.beta, c.rounds*mult, c.workers, reps))
+	}
+	for i, r := range rows {
+		base := strings.TrimSuffix(r.ID, ".ser")
+		if base == r.ID {
+			continue
+		}
+		for _, p := range rows[:i] {
+			if p.ID == base && (p.QueueMax != r.QueueMax || p.Energy != r.Energy) {
+				fail(fmt.Errorf("%s and %s diverge: queue_max %d vs %d, energy %v vs %v (worker-count independence broken)",
+					p.ID, r.ID, p.QueueMax, r.QueueMax, p.Energy, r.Energy))
+			}
+		}
+	}
+	return rows
+}
+
+// measureNet is measure for a network row: fresh adversary and channel
+// systems per repetition over a shared compiled topology, a warmup
+// window before the allocation accounting, best-of-reps throughput.
+func measureNet(id, label string, topo *network.Topology, beta, rounds int64, workers, reps int) benchcmp.Row {
+	warmup := rounds / 10
+	if warmup > 2000 {
+		warmup = 2000
+	}
+	if warmup < 200 {
+		warmup = 200
+	}
+	row := benchcmp.Row{ID: id, Label: label, Rounds: rounds}
+	for rep := 0; rep < reps; rep++ {
 		pats := make([]adversary.Pattern, topo.Channels())
 		for c := range pats {
 			pats[c] = adversary.Uniform(topo.Stations(), 31+int64(c)*1000003)
 		}
-		adv, err := network.NewAdversary(topo, adversary.T(1, 2, 4), pats)
+		adv, err := network.NewAdversary(topo, adversary.T(1, 2, beta), pats)
 		if err != nil {
-			fail(err)
+			fail(fmt.Errorf("%s: %w", id, err))
 		}
 		net, err := network.New(topo, func(ch int) (*core.System, error) {
-			return orchestra.New(6)
-		}, adv, network.Options{})
+			return orchestra.New(topo.StationsPerChannel())
+		}, adv, network.Options{SampleEvery: -1, Workers: workers})
 		if err != nil {
-			fail(err)
+			fail(fmt.Errorf("%s: %w", id, err))
+		}
+		if err := net.Run(warmup); err != nil {
+			fail(fmt.Errorf("%s warmup: %w", id, err))
 		}
 
 		var before, after runtime.MemStats
@@ -323,10 +398,11 @@ func networkRow(scale expt.Scale, reps int) benchcmp.Row {
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		if err := net.Run(rounds); err != nil {
-			fail(fmt.Errorf("NET.line4: %w", err))
+			fail(fmt.Errorf("%s: %w", id, err))
 		}
 		elapsed := time.Since(start).Seconds()
 		runtime.ReadMemStats(&after)
+		net.Close()
 
 		speed := float64(rounds) / elapsed / 1e6
 		allocs := float64(after.Mallocs-before.Mallocs) / float64(rounds)

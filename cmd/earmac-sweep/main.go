@@ -72,6 +72,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base pattern seed (each point derives its own)")
 		seeds     = flag.String("seeds", "", "comma-separated seed list crossed into the sweep (default 1..8 for -mode seed)")
 		parallel  = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		netWork   = flag.Int("net-workers", 1, "channel-stepping workers inside each network cell (0 = GOMAXPROCS, 1 = serial; results are identical at any value). The default stays serial because -parallel already runs cells concurrently")
 		jsonOut   = flag.Bool("json", false, "emit the full SuiteReport as JSON instead of CSV")
 		recordDir = flag.String("record-dir", "", "record every cell as a replayable trace cell-NNN.trace.jsonl under this directory")
 		server    = flag.String("server", "", "submit the sweep to this earmac-serve /v1/suite endpoint (worker or coordinator) instead of running in-process")
@@ -101,6 +102,7 @@ func main() {
 			Pattern: *pattern,
 			Rounds:  *rounds, Seed: *seed,
 			Lenient: true, DisableChecks: true,
+			NetWorkers: *netWork,
 		},
 	}
 	if *seeds != "" {

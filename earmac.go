@@ -88,7 +88,8 @@ type Config struct {
 	Beta int64 `json:"beta,omitempty"`
 	// Topology, when non-empty, runs a *network* of shared channels
 	// instead of the classic single channel: one of Topologies() —
-	// "line", "star", "clique", or "custom" (explicit Links). Every
+	// "line", "star", "clique", "grid", "random" (seeded by Seed), or
+	// "custom" (explicit Links). Every
 	// channel is its own contention domain running an N-station replica
 	// of the algorithm; packets whose destination lies in another
 	// channel are relayed hop by hop through per-neighbour gateway
@@ -150,6 +151,14 @@ type Config struct {
 	// are ignored for injection (they still describe the recorded run).
 	// Use ReplayConfig to assemble a faithful Config from a trace.
 	Replay *Trace `json:"-"`
+	// NetWorkers sets how many worker goroutines step a network's
+	// channels each round: 0 means GOMAXPROCS, 1 forces the serial
+	// loop, k > 1 uses min(k, Channels) persistent workers. Ignored
+	// without a Topology. Reports, traces, and progress snapshots are
+	// bit-identical at any value (see DESIGN.md §13), so this is a pure
+	// throughput knob — runtime-only, excluded from the JSON schema and
+	// from Fingerprint.
+	NetWorkers int `json:"-"`
 	// OnProgress, when non-nil, receives an interim snapshot every
 	// ProgressEvery rounds during RunContext, at the final round, and —
 	// when the context is cancelled mid-run — once at the round the run
@@ -249,6 +258,7 @@ type run struct {
 	snapshot func() Report
 	counters func() *metrics.Counters // final-counter source for the trace footer
 	enc      *scenario.Encoder        // non-nil when recording a trace
+	close    func()                   // non-nil when the simulator owns resources (network workers)
 }
 
 // prepare validates the defaulted config and assembles the simulator —
@@ -333,6 +343,7 @@ func conservationCheckEvery(cfg Config) int64 {
 func prepareNetwork(cfg Config) (run, error) {
 	topo, err := network.Compile(network.Spec{
 		Kind: cfg.Topology, Channels: cfg.Channels, N: cfg.N, Links: cfg.Links,
+		Seed: cfg.Seed, // the "random" kind's edge set is a function of (Seed, Channels)
 	})
 	if err != nil {
 		return run{}, fmt.Errorf("earmac: %w", err)
@@ -393,6 +404,7 @@ func prepareNetwork(cfg Config) (run, error) {
 		CheckEvery:    conservationCheckEvery(cfg),
 		ForceChecked:  cfg.ForceChecked,
 		SampleEvery:   cfg.Rounds / 512,
+		Workers:       cfg.NetWorkers,
 		TrackStations: true,
 		Recorder:      rec,
 		Tracer:        tracer,
@@ -416,6 +428,7 @@ func prepareNetwork(cfg Config) (run, error) {
 		snapshot: snapshot,
 		counters: func() *metrics.Counters { return &net.Tracker().Counters },
 		enc:      enc,
+		close:    net.Close,
 	}, nil
 }
 
@@ -460,10 +473,14 @@ func RunContext(ctx context.Context, cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	// finish closes the trace recording (footer with the counters
+	// finish releases simulator-owned resources (a network's worker
+	// team), closes the trace recording (footer with the counters
 	// accumulated so far — a cancelled run still yields a replayable,
-	// footer-pinned trace) and folds any encoder error into the result.
+	// footer-pinned trace), and folds any encoder error into the result.
 	finish := func(rep Report, err error) (Report, error) {
+		if r.close != nil {
+			r.close()
+		}
 		if r.enc != nil {
 			if cerr := r.enc.Close(r.counters()); err == nil && cerr != nil {
 				err = fmt.Errorf("earmac: recording trace: %w", cerr)

@@ -9,10 +9,19 @@ import (
 )
 
 // Source supplies each round's adversarial entry injections for one
-// channel, in global station coordinates, appended to buf. The network
-// queries channels in increasing index order within a round and rounds
-// in increasing order; every injection's source station must belong to
-// the queried channel.
+// channel, in global station coordinates, appended to buf. Rounds are
+// queried in increasing order, each channel exactly once per round;
+// every injection's source station must belong to the queried channel.
+//
+// Concurrency contract: with Options.Workers != 1 the network calls
+// AppendEntries concurrently for *distinct* channels (never for the
+// same channel — a channel always steps on the same worker). A Source
+// must therefore keep its mutable per-round state partitioned per
+// channel, the way Adversary keeps per-channel buckets and pattern
+// RNGs and ReplaySource keeps per-channel cursors. Determinism follows
+// for free: each channel's entry stream depends only on (round, ch)
+// and that channel's own state, so it is identical at any worker
+// count.
 type Source interface {
 	AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection
 }
@@ -79,7 +88,9 @@ func NewAdversary(topo *Topology, typ adversary.Type, pats []adversary.Pattern) 
 	return a, nil
 }
 
-// AppendEntries implements Source.
+// AppendEntries implements Source. All mutable state (bucket levels,
+// pattern RNGs) is per-channel, satisfying Source's concurrency
+// contract for distinct channels.
 func (a *Adversary) AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection {
 	b := a.buckets[ch]
 	budget := b.Tick()

@@ -6,6 +6,7 @@ import (
 	"earmac/internal/core"
 	"earmac/internal/mac"
 	"earmac/internal/metrics"
+	"earmac/internal/pool"
 )
 
 // Options configures a network run. The per-channel fields mirror
@@ -17,25 +18,38 @@ type Options struct {
 	CheckEvery int64
 	// ForceChecked keeps every channel on the fully-validating path.
 	ForceChecked bool
-	// SampleEvery sets the aggregate tracker's queue-curve resolution
-	// (0 keeps the metrics.NewTracker default).
+	// SampleEvery sets the aggregate tracker's queue-curve resolution:
+	// 0 keeps the metrics.NewTracker default, a negative value disables
+	// the aggregate time series entirely (the benchmark setting — curve
+	// appends are the one steady-state allocation).
 	SampleEvery int64
+	// Workers sets the channel-stepping parallelism: 0 means GOMAXPROCS
+	// (the pool.Workers convention), 1 forces the serial loop, and any
+	// k > 1 steps channels on min(k, C) persistent worker goroutines.
+	// Every observable output — counters, per-channel trackers, traces,
+	// violations — is bit-identical at any worker count (see Step), so
+	// Workers is a pure throughput knob. A non-nil Tracer forces 1: the
+	// per-round event log interleaves channel sections through a shared
+	// writer and is only deterministic when channels step in index
+	// order. Networks with Workers != 1 own goroutines; call Close.
+	Workers int
 	// TrackStations enables per-station queue peaks on every channel
 	// tracker (the network-wide QueueImbalance diagnostic).
 	TrackStations bool
 	// Recorder, when non-nil, receives every channel's adversarial
 	// entry injections (global coordinates) each round, in increasing
-	// (round, channel) order — the trace-v2 recording hook. Relay
-	// arrivals are not reported: they are derived state, reproduced by
-	// routing during replay. The slice is reused and must not be
-	// retained.
+	// (round, channel) order — the trace-v2 recording hook. Entries are
+	// buffered per channel while the round executes and emitted after
+	// its sync point in ascending channel order, so the recorded stream
+	// is identical at any worker count. Relay arrivals are not
+	// reported: they are derived state, reproduced by routing during
+	// replay. The slice is reused and must not be retained.
 	Recorder func(round int64, ch int, injs []core.Injection)
 	// Tracer, when non-nil, supplies each channel's event tracer (nil
 	// returns are fine). Like core.Options.Tracer, a non-nil tracer
-	// forces that channel onto the checked path. Channels are stepped
-	// in index order, so tracers sharing one writer interleave
-	// deterministically: all of round t's channel-0 lines before its
-	// channel-1 lines.
+	// forces that channel onto the checked path — and forces Workers to
+	// 1, so tracers sharing one writer interleave deterministically:
+	// all of round t's channel-0 lines before its channel-1 lines.
 	Tracer func(ch int) core.Tracer
 }
 
@@ -46,15 +60,130 @@ type pending struct {
 	meta    netPacket
 }
 
+// handoff is one relay hand-off parked in a channel's outbox: a pending
+// arrival tagged with the channel it enters next round.
+type handoff struct {
+	next int
+	p    pending
+}
+
 // netPacket is the network-level identity of an in-flight packet:
 // everything needed to route it onward and to account its end-to-end
 // latency. Channel sims know nothing of it — they see ordinary local
-// packets — so the network keeps a per-channel map from the local
-// packet ids the sims assign (mirrored via emission order) to metas.
+// packets — so each channel keeps a metaTable from the local packet ids
+// its sim assigns (mirrored via emission order) to metas. A negative
+// destCh never occurs on a live packet; metaTable uses it as the empty
+// marker.
 type netPacket struct {
 	origin  int64 // round the packet entered the network
 	destCh  int   // final channel
 	destLoc int   // final station, local to destCh
+}
+
+// metaMinRing is the initial metaTable window size.
+const metaMinRing = 16
+
+// metaTable mirrors one channel sim's local packet-id assignment. Ids
+// are dense and sequential (the k-th injection the sim consumes gets id
+// k), so instead of a Go map the table keeps a power-of-two ring
+// indexed by id: the live window is [base, next), slot id&(len-1)
+// holds the meta, and destCh < 0 marks a delivered (dead) slot. When
+// the window would outgrow the ring, the dead prefix is reclaimed
+// first and the ring doubles only if truly full — so register and take
+// are allocation-free in steady state and the table never walks more
+// than the live window. This is the same index-arena idea as the pktq
+// rewrite, with the id itself as the arena index.
+type metaTable struct {
+	ring []netPacket
+	base int64 // oldest id that may still be live
+	next int64 // next id the sim will assign
+	live int   // registered, undelivered packets
+}
+
+// register appends the meta for the next sequential local id.
+func (t *metaTable) register(m netPacket) {
+	if len(t.ring) == 0 || t.next-t.base == int64(len(t.ring)) {
+		t.compactOrGrow()
+	}
+	t.ring[t.next&int64(len(t.ring)-1)] = m
+	t.next++
+	t.live++
+}
+
+// take removes and returns the meta for local id, reporting whether the
+// id was live.
+func (t *metaTable) take(id int64) (netPacket, bool) {
+	if id < t.base || id >= t.next {
+		return netPacket{}, false
+	}
+	slot := id & int64(len(t.ring)-1)
+	m := t.ring[slot]
+	if m.destCh < 0 {
+		return netPacket{}, false
+	}
+	t.ring[slot].destCh = -1
+	t.live--
+	return m, true
+}
+
+// compactOrGrow reclaims the dead prefix of the window, doubling the
+// ring (re-placing live entries by id) only when the live window spans
+// the whole ring.
+func (t *metaTable) compactOrGrow() {
+	mask := int64(len(t.ring) - 1)
+	for t.base < t.next && t.ring[t.base&mask].destCh < 0 {
+		t.base++
+	}
+	if len(t.ring) > 0 && t.next-t.base < int64(len(t.ring)) {
+		return
+	}
+	size := 2 * len(t.ring)
+	if size < metaMinRing {
+		size = metaMinRing
+	}
+	old := t.ring
+	t.ring = make([]netPacket, size)
+	for i := range t.ring {
+		t.ring[i].destCh = -1
+	}
+	for id := t.base; id < t.next; id++ {
+		t.ring[id&int64(size-1)] = old[id&mask]
+	}
+}
+
+// chanState bundles everything one channel's step touches: its sim and
+// tracker, its relay buffers, its packet-id mirror, and the per-round
+// accumulators the deterministic fold consumes. During Step each
+// chanState is written only by the worker that owns the channel; the
+// fold reads them after the barrier, so no field needs locking.
+type chanState struct {
+	sim *core.Sim
+	trk *metrics.Tracker
+
+	feed  feed      // the sim's adversary: entry injections
+	relay relayFeed // the sim's ExtraInjections: relay arrivals
+
+	// entries is this round's raw entry stream (global coordinates),
+	// buffered for the post-barrier Recorder flush. Reused every round.
+	entries []core.Injection
+	// arriving holds the relay arrivals injected this round (filled by
+	// the hand-off merge, drained by relayFeed). outbox collects this
+	// round's onward deliveries, merged into the destinations' arriving
+	// buffers at the next round's hand-off.
+	arriving []pending
+	outbox   []handoff
+
+	meta metaTable
+
+	relayed    int64 // deliveries forwarded onward, cumulative
+	prevEnergy int64 // tracker energy already folded into the aggregate
+
+	// Per-round accumulators, reset by stepChannel and folded into the
+	// aggregate tracker in ascending channel order after the barrier.
+	admitted   int64    // in-range entry injections this round
+	deliv      []int64  // end-to-end latencies completed this round
+	violations []string // entry violations this round
+	err        error
 }
 
 // Network composes one core.Sim per channel into a synchronous network:
@@ -70,52 +199,43 @@ type netPacket struct {
 // are sums over channels. Per-channel trackers additionally expose each
 // channel's own counters, where Injected includes relay arrivals and
 // latency is per-hop.
+//
+// All outputs are bit-identical at any Options.Workers value; DESIGN.md
+// §13 states the argument. Networks built with Workers != 1 own worker
+// goroutines — call Close when done.
 type Network struct {
 	topo  *Topology
-	sims  []*core.Sim
-	trks  []*metrics.Tracker
+	chans []*chanState
 	entry Source
 	opt   Options
 
-	agg        *metrics.Tracker
-	round      int64
-	prevEnergy []int64
-	relayed    []int64 // per channel: deliveries forwarded onward
+	agg           *metrics.Tracker
+	round         int64
+	relayInFlight int64 // packets parked in outboxes between rounds
 
-	// meta[c] maps channel c's local packet ids to network identities;
-	// nextID[c] mirrors the sim's sequential id assignment.
-	meta   []map[int64]netPacket
-	nextID []int64
-
-	// Relay double-buffer: deliveries of round t append to incoming;
-	// at the start of round t+1 incoming becomes arriving, so arrivals
-	// never depend on the order channels are stepped in.
-	incoming [][]pending
-	arriving [][]pending
-
-	entryScratch []core.Injection
+	team *pool.Team
 }
 
 // New assembles a network. build constructs channel c's system (every
 // channel runs its own replica set of topo.StationsPerChannel()
-// stations); entry supplies the adversarial entry injections.
+// stations); entry supplies the adversarial entry injections. When the
+// resolved Options.Workers is not 1, entry.AppendEntries is called
+// concurrently for distinct channels (never for the same channel), so
+// a Source must keep its per-channel state independent — Adversary and
+// ReplaySource both do.
 func New(topo *Topology, build func(ch int) (*core.System, error), entry Source, opt Options) (*Network, error) {
 	C := topo.Channels()
 	n := &Network{
-		topo:       topo,
-		sims:       make([]*core.Sim, C),
-		trks:       make([]*metrics.Tracker, C),
-		entry:      entry,
-		opt:        opt,
-		agg:        metrics.NewTracker(),
-		prevEnergy: make([]int64, C),
-		relayed:    make([]int64, C),
-		meta:       make([]map[int64]netPacket, C),
-		nextID:     make([]int64, C),
-		incoming:   make([][]pending, C),
-		arriving:   make([][]pending, C),
+		topo:  topo,
+		chans: make([]*chanState, C),
+		entry: entry,
+		opt:   opt,
+		agg:   metrics.NewTracker(),
 	}
-	if opt.SampleEvery > n.agg.SampleEvery {
+	switch {
+	case opt.SampleEvery < 0:
+		n.agg.SampleEvery = 0
+	case opt.SampleEvery > n.agg.SampleEvery:
 		n.agg.SampleEvery = opt.SampleEvery
 	}
 	for c := 0; c < C; c++ {
@@ -132,31 +252,52 @@ func New(topo *Topology, build func(ch int) (*core.System, error), entry Source,
 		if opt.TrackStations {
 			tr.TrackStations(sys.N())
 		}
-		n.trks[c] = tr
-		n.meta[c] = make(map[int64]netPacket)
+		cs := &chanState{trk: tr}
+		cs.feed = feed{net: n, cs: cs, ch: c}
+		cs.relay = relayFeed{cs: cs}
+		n.chans[c] = cs
 		var tracer core.Tracer
 		if opt.Tracer != nil {
 			tracer = opt.Tracer(c)
 		}
 		ch := c
-		n.sims[c] = core.NewSim(sys, &feed{net: n, ch: c}, core.Options{
+		cs.sim = core.NewSim(sys, &cs.feed, core.Options{
 			Strict:           opt.Strict,
 			CheckEvery:       opt.CheckEvery,
 			ForceChecked:     opt.ForceChecked,
 			Tracer:           tracer,
 			Tracker:          tr,
-			ExtraInjections:  &relayFeed{net: n, ch: c},
-			DeliveryObserver: func(round int64, p mac.Packet) { n.onDelivery(ch, round, p) },
+			ExtraInjections:  &cs.relay,
+			DeliveryObserver: func(round int64, p mac.Packet) { n.onDelivery(cs, ch, round, p) },
 		})
 	}
+	workers := opt.Workers
+	if opt.Tracer != nil {
+		workers = 1 // shared-writer tracers need index-order stepping
+	}
+	n.team = pool.NewTeam(C, workers, n.stepChannel)
 	return n, nil
 }
 
+// Workers returns the resolved channel-stepping worker count.
+func (n *Network) Workers() int { return n.team.Workers() }
+
+// Close releases the worker goroutines behind parallel stepping. It is
+// idempotent and cheap; a serial network (resolved Workers == 1) owns
+// no goroutines, but calling Close is always correct. The Network must
+// not be stepped after Close.
+func (n *Network) Close() {
+	if n != nil {
+		n.team.Close()
+	}
+}
+
 // feed is channel ch's core.Adversary: it pulls the channel's entry
-// injections from the network Source, records them for tracing, and
-// routes them into local coordinates.
+// injections from the network Source, buffers them for the post-barrier
+// Recorder flush, and routes them into local coordinates.
 type feed struct {
 	net *Network
+	cs  *chanState
 	ch  int
 }
 
@@ -164,30 +305,26 @@ func (f *feed) Inject(round int64) []core.Injection { return f.InjectAppend(roun
 
 // InjectAppend implements core.InjectAppender.
 func (f *feed) InjectAppend(round int64, buf []core.Injection) []core.Injection {
-	n := f.net
-	n.entryScratch = n.entry.AppendEntries(round, f.ch, n.entryScratch[:0])
-	if n.opt.Recorder != nil && len(n.entryScratch) > 0 {
-		n.opt.Recorder(round, f.ch, n.entryScratch)
-	}
-	for _, in := range n.entryScratch {
-		buf = n.admit(round, f.ch, in, buf)
+	cs := f.cs
+	cs.entries = f.net.entry.AppendEntries(round, f.ch, cs.entries[:0])
+	for _, in := range cs.entries {
+		buf = f.net.admit(round, f.ch, cs, in, buf)
 	}
 	return buf
 }
 
 // relayFeed is channel ch's core.Options.ExtraInjections: the relay
-// arrivals scheduled for this round.
+// arrivals scheduled for this round, already in local coordinates.
 type relayFeed struct {
-	net *Network
-	ch  int
+	cs *chanState
 }
 
 // InjectAppend implements core.InjectAppender.
 func (r *relayFeed) InjectAppend(round int64, buf []core.Injection) []core.Injection {
-	n := r.net
-	for _, p := range n.arriving[r.ch] {
+	cs := r.cs
+	for _, p := range cs.arriving {
 		buf = append(buf, core.Injection{Station: p.station, Dest: p.dest})
-		n.register(r.ch, p.meta)
+		cs.meta.register(p.meta)
 	}
 	return buf
 }
@@ -195,14 +332,16 @@ func (r *relayFeed) InjectAppend(round int64, buf []core.Injection) []core.Injec
 // admit validates one global entry injection for channel ch, translates
 // it into the channel's local coordinates, registers its network
 // identity, and appends the local injection. Invalid entries (possible
-// only via hand-edited replay traces) are recorded as violations on the
-// aggregate tracker and skipped before the channel sim sees them, so
-// local packet-id mirroring stays in sync.
-func (n *Network) admit(round int64, ch int, in core.Injection, buf []core.Injection) []core.Injection {
+// only via hand-edited replay traces) are buffered as violations on the
+// channel — folded into the aggregate tracker after the barrier — and
+// skipped before the channel sim sees them, so local packet-id
+// mirroring stays in sync.
+func (n *Network) admit(round int64, ch int, cs *chanState, in core.Injection, buf []core.Injection) []core.Injection {
 	total := n.topo.Stations()
 	if in.Station < 0 || in.Station >= total || in.Dest < 0 || in.Dest >= total ||
 		n.topo.ChannelOf(in.Station) != ch {
-		n.agg.Violate("round %d channel %d: entry injection out of range: %+v", round, ch, in)
+		cs.violations = append(cs.violations,
+			fmt.Sprintf("round %d channel %d: entry injection out of range: %+v", round, ch, in))
 		return buf
 	}
 	destCh := n.topo.ChannelOf(in.Dest)
@@ -213,31 +352,22 @@ func (n *Network) admit(round int64, ch int, in core.Injection, buf []core.Injec
 	} else {
 		dest = n.topo.Gateway(ch, n.topo.NextHop(ch, destCh))
 	}
-	n.register(ch, m)
-	n.agg.ObserveInjections(1)
+	cs.meta.register(m)
+	cs.admitted++
 	return append(buf, core.Injection{Station: n.topo.Local(in.Station), Dest: dest})
 }
 
-// register mirrors the channel sim's sequential packet-id assignment:
-// the k-th in-range injection emitted to channel ch this run gets local
-// id k. Both feeds emit only in-range injections, in the exact order
-// the sim processes them, so the mirror never drifts.
-func (n *Network) register(ch int, m netPacket) {
-	n.meta[ch][n.nextID[ch]] = m
-	n.nextID[ch]++
-}
-
 // onDelivery is channel ch's DeliveryObserver: a within-channel
-// delivery either completes a packet's journey or relays it into the
-// next channel on its path (arriving next round).
-func (n *Network) onDelivery(ch int, round int64, p mac.Packet) {
-	m, ok := n.meta[ch][p.ID]
+// delivery either completes a packet's journey (buffered for the
+// post-barrier latency fold) or parks it in the channel's outbox,
+// tagged with the next channel on its path, to arrive there next round.
+func (n *Network) onDelivery(cs *chanState, ch int, round int64, p mac.Packet) {
+	m, ok := cs.meta.take(p.ID)
 	if !ok {
 		panic(fmt.Sprintf("network: channel %d delivered unregistered packet %v", ch, p))
 	}
-	delete(n.meta[ch], p.ID)
 	if m.destCh == ch {
-		n.agg.ObserveDelivery(round - m.origin)
+		cs.deliv = append(cs.deliv, round-m.origin)
 		return
 	}
 	next := n.topo.NextHop(ch, m.destCh)
@@ -247,36 +377,92 @@ func (n *Network) onDelivery(ch int, round int64, p mac.Packet) {
 	} else {
 		dest = n.topo.Gateway(next, n.topo.NextHop(next, m.destCh))
 	}
-	n.incoming[next] = append(n.incoming[next], pending{
+	cs.outbox = append(cs.outbox, handoff{next: next, p: pending{
 		station: n.topo.Gateway(next, ch),
 		dest:    dest,
 		meta:    m,
-	})
-	n.relayed[ch]++
+	}})
+	cs.relayed++
+}
+
+// stepChannel advances one channel by one round: the worker-team body.
+// It touches only chanState c (plus the immutable topology and the
+// Source's channel-c state), so channels step concurrently without
+// locks; everything the fold needs is parked in the chanState.
+func (n *Network) stepChannel(c int) {
+	cs := n.chans[c]
+	cs.admitted = 0
+	cs.deliv = cs.deliv[:0]
+	cs.err = cs.sim.Step()
 }
 
 // Step advances every channel by one lockstep round.
+//
+// The round has three phases. (1) Relay hand-off: the previous round's
+// outboxes are merged into the destination channels' arriving buffers
+// in ascending source-channel order — exactly the order the serial loop
+// produced them in — so arrival order never depends on scheduling.
+// (2) Channel stepping: every channel's sim advances one round on the
+// worker team (Options.Workers); the only cross-channel data are the
+// immutable topology and the per-channel buffers merged in phase 1, so
+// workers never contend. (3) Deterministic fold: after the barrier,
+// per-channel accumulators (entry admissions, end-to-end completions,
+// violations, recorder buffers, queue/energy totals) are folded into
+// the aggregate tracker in ascending channel order. Phases 1 and 3
+// iterate channels identically at any worker count, which is why every
+// output is bit-identical to the serial loop's.
 func (n *Network) Step() error {
-	// Last round's deliveries become this round's relay arrivals.
-	for c := range n.arriving {
-		n.arriving[c], n.incoming[c] = n.incoming[c], n.arriving[c][:0]
+	// (1) Last round's deliveries become this round's relay arrivals.
+	chans := n.chans
+	for _, cs := range chans {
+		cs.arriving = cs.arriving[:0]
 	}
-	for c, sim := range n.sims {
-		if err := sim.Step(); err != nil {
-			return fmt.Errorf("channel %d: %w", c, err)
+	for _, cs := range chans {
+		for _, h := range cs.outbox {
+			dst := chans[h.next]
+			dst.arriving = append(dst.arriving, h.p)
+		}
+		cs.outbox = cs.outbox[:0]
+	}
+
+	// (2) One lockstep round across the worker team.
+	n.team.Dispatch()
+
+	// (3) Fold, ascending channel order throughout.
+	if n.opt.Recorder != nil {
+		for c, cs := range chans {
+			if len(cs.entries) > 0 {
+				n.opt.Recorder(n.round, c, cs.entries)
+			}
 		}
 	}
-	var totalQueue int64
+	for c, cs := range chans {
+		if cs.err != nil {
+			return fmt.Errorf("channel %d: %w", c, cs.err)
+		}
+	}
+	var totalQueue, inFlight int64
 	totalEnergy := 0
-	for c, tr := range n.trks {
-		totalQueue += tr.FinalQueue
-		totalEnergy += int(tr.EnergySum - n.prevEnergy[c])
-		n.prevEnergy[c] = tr.EnergySum
+	for _, cs := range chans {
+		if cs.admitted > 0 {
+			n.agg.ObserveInjections(int(cs.admitted))
+		}
+		for _, lat := range cs.deliv {
+			n.agg.ObserveDelivery(lat)
+		}
+		if len(cs.violations) > 0 {
+			for _, v := range cs.violations {
+				n.agg.Violate("%s", v)
+			}
+			cs.violations = cs.violations[:0]
+		}
+		totalQueue += cs.trk.FinalQueue
+		totalEnergy += int(cs.trk.EnergySum - cs.prevEnergy)
+		cs.prevEnergy = cs.trk.EnergySum
+		inFlight += int64(len(cs.outbox)) // relayed packets between channels
 	}
-	for _, inc := range n.incoming {
-		totalQueue += int64(len(inc)) // relayed packets in flight between channels
-	}
-	n.agg.ObserveRound(n.round, totalQueue, totalEnergy)
+	n.relayInFlight = inFlight
+	n.agg.ObserveRound(n.round, totalQueue+inFlight, totalEnergy)
 	n.round++
 	return nil
 }
@@ -302,40 +488,36 @@ func (n *Network) Topology() *Topology { return n.topo }
 // trace footer. The end-to-end fields (Injected, Delivered, latency,
 // queue, energy, Rounds) are maintained live; the utilization sums are
 // folded in here because they are pure functions of the per-channel
-// counters.
+// counters. Call between rounds (never concurrently with Step).
 func (n *Network) Tracker() *metrics.Tracker {
 	a := &n.agg.Counters
 	a.HeardRounds, a.SilentRounds, a.CollisionRounds = 0, 0, 0
 	a.LightRounds, a.DeliveryRounds, a.ControlBits = 0, 0, 0
-	for _, tr := range n.trks {
-		a.HeardRounds += tr.HeardRounds
-		a.SilentRounds += tr.SilentRounds
-		a.CollisionRounds += tr.CollisionRounds
-		a.LightRounds += tr.LightRounds
-		a.DeliveryRounds += tr.DeliveryRounds
-		a.ControlBits += tr.ControlBits
+	for _, cs := range n.chans {
+		a.HeardRounds += cs.trk.HeardRounds
+		a.SilentRounds += cs.trk.SilentRounds
+		a.CollisionRounds += cs.trk.CollisionRounds
+		a.LightRounds += cs.trk.LightRounds
+		a.DeliveryRounds += cs.trk.DeliveryRounds
+		a.ControlBits += cs.trk.ControlBits
 	}
 	return n.agg
 }
 
 // ChannelTracker returns channel ch's own tracker (hop-level counters).
-func (n *Network) ChannelTracker(ch int) *metrics.Tracker { return n.trks[ch] }
+// Call between rounds (never concurrently with Step).
+func (n *Network) ChannelTracker(ch int) *metrics.Tracker { return n.chans[ch].trk }
 
 // Relayed returns how many deliveries channel ch forwarded onward.
-func (n *Network) Relayed(ch int) int64 { return n.relayed[ch] }
+func (n *Network) Relayed(ch int) int64 { return n.chans[ch].relayed }
 
 // InFlight returns the number of packets currently inside the network:
-// registered with some channel or queued between two channels.
+// registered with some channel or parked in a relay hand-off between
+// two channels. Maintained counters — no per-packet walk.
 func (n *Network) InFlight() int {
-	total := 0
-	for _, m := range n.meta {
-		total += len(m)
-	}
-	for _, q := range n.incoming {
-		total += len(q)
-	}
-	for _, q := range n.arriving {
-		total += len(q)
+	total := int(n.relayInFlight)
+	for _, cs := range n.chans {
+		total += cs.meta.live
 	}
 	return total
 }
@@ -346,8 +528,8 @@ func (n *Network) InFlight() int {
 func (n *Network) QueueImbalance() float64 {
 	var sum, max int64
 	count := 0
-	for _, tr := range n.trks {
-		for _, m := range tr.StationMaxQueues() {
+	for _, cs := range n.chans {
+		for _, m := range cs.trk.StationMaxQueues() {
 			sum += m
 			if m > max {
 				max = m
@@ -362,12 +544,14 @@ func (n *Network) QueueImbalance() float64 {
 }
 
 // Violations collects every channel's model violations (prefixed with
-// the channel id) after the aggregate tracker's own.
+// the channel id) after the aggregate tracker's own. Entry violations
+// land on the aggregate tracker in (round, channel) order regardless of
+// worker count — the fold appends them in ascending channel order.
 func (n *Network) Violations() []string {
 	var out []string
 	out = append(out, n.agg.Violations...)
-	for c, tr := range n.trks {
-		for _, v := range tr.Violations {
+	for c, cs := range n.chans {
+		for _, v := range cs.trk.Violations {
 			out = append(out, fmt.Sprintf("channel %d: %s", c, v))
 		}
 	}

@@ -1,0 +1,160 @@
+package network
+
+// Tests for the parallel stepping machinery: the metaTable id arena, the
+// worker-count-independence contract of Step, and the allocation-free
+// steady state of the network round loop.
+
+import (
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/algorithms/orchestra"
+	"earmac/internal/core"
+)
+
+func TestMetaTableRoundTrip(t *testing.T) {
+	var m metaTable
+	for id := int64(0); id < 100; id++ {
+		m.register(netPacket{origin: id, destCh: int(id % 7), destLoc: int(id % 3)})
+	}
+	if m.live != 100 {
+		t.Fatalf("live = %d, want 100", m.live)
+	}
+	// Out-of-window and double takes miss.
+	if _, ok := m.take(-1); ok {
+		t.Error("take(-1) hit")
+	}
+	if _, ok := m.take(100); ok {
+		t.Error("take(next) hit")
+	}
+	for id := int64(0); id < 100; id += 2 {
+		got, ok := m.take(id)
+		if !ok || got.origin != id || got.destCh != int(id%7) || got.destLoc != int(id%3) {
+			t.Fatalf("take(%d) = %+v, %v", id, got, ok)
+		}
+		if _, ok := m.take(id); ok {
+			t.Fatalf("double take(%d) hit", id)
+		}
+	}
+	if m.live != 50 {
+		t.Fatalf("live after takes = %d, want 50", m.live)
+	}
+	// The odd ids survive growth and compaction.
+	for id := int64(100); id < 300; id++ {
+		m.register(netPacket{origin: id, destCh: 1})
+	}
+	for id := int64(1); id < 100; id += 2 {
+		if got, ok := m.take(id); !ok || got.origin != id {
+			t.Fatalf("take(%d) after growth = %+v, %v", id, got, ok)
+		}
+	}
+}
+
+// TestMetaTableSteadyStateCompacts: FIFO churn with a bounded live
+// window must reclaim dead slots instead of growing the ring — the
+// allocation-free steady state the relay path depends on.
+func TestMetaTableSteadyStateCompacts(t *testing.T) {
+	var m metaTable
+	next, taken := int64(0), int64(0)
+	for i := 0; i < 100000; i++ {
+		m.register(netPacket{origin: next, destCh: 2})
+		next++
+		if next-taken > 8 {
+			if _, ok := m.take(taken); !ok {
+				t.Fatalf("take(%d) missed", taken)
+			}
+			taken++
+		}
+	}
+	if len(m.ring) != metaMinRing {
+		t.Errorf("ring grew to %d under bounded churn, want %d", len(m.ring), metaMinRing)
+	}
+	if m.live != int(next-taken) {
+		t.Errorf("live = %d, want %d", m.live, next-taken)
+	}
+}
+
+// TestStepWorkerCountInvariance is the internal half of the determinism
+// contract: the same network stepped with any worker count produces
+// identical aggregate counters, per-channel counters, relay counts,
+// violations, and in-flight totals. (The facade-level test additionally
+// byte-compares Report JSON and recorded traces.)
+func TestStepWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) *Network {
+		topo := mustCompile(t, Spec{Kind: Random, Channels: 6, N: 4, Seed: 3})
+		net, err := New(topo, rrBuild(4), mkUniformAdversary(t, topo, adversary.T(1, 2, 6), 17), Options{
+			Strict: true, CheckEvery: 503, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(net.Close)
+		if err := net.Run(3000); err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	want := run(1)
+	for _, workers := range []int{2, 6, 12} {
+		got := run(workers)
+		if got.Tracker().Counters != want.Tracker().Counters {
+			t.Errorf("workers=%d: aggregate counters diverge:\ngot  %+v\nwant %+v",
+				workers, got.Tracker().Counters, want.Tracker().Counters)
+		}
+		for c := 0; c < 6; c++ {
+			if got.ChannelTracker(c).Counters != want.ChannelTracker(c).Counters {
+				t.Errorf("workers=%d: channel %d counters diverge", workers, c)
+			}
+			if got.Relayed(c) != want.Relayed(c) {
+				t.Errorf("workers=%d: channel %d relayed %d, want %d",
+					workers, c, got.Relayed(c), want.Relayed(c))
+			}
+		}
+		if got.InFlight() != want.InFlight() {
+			t.Errorf("workers=%d: in-flight %d, want %d", workers, got.InFlight(), want.InFlight())
+		}
+		if len(got.Violations()) != len(want.Violations()) {
+			t.Errorf("workers=%d: violations %v, want %v", workers, got.Violations(), want.Violations())
+		}
+	}
+}
+
+// TestNetworkZeroAllocs: after warmup the network round loop — relay
+// hand-off, worker dispatch, sims, metaTable traffic, and the
+// deterministic fold — runs without touching the allocator. SampleEvery
+// < 0 disables the aggregate queue curve, the one steady-state append.
+func TestNetworkZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocs-per-round is meaningless under the race detector")
+	}
+	for _, workers := range []int{1, 2} {
+		topo := mustCompile(t, Spec{Kind: Line, Channels: 4, N: 6})
+		net, err := New(topo, func(ch int) (*core.System, error) {
+			return orchestra.New(6)
+		}, mkUniformAdversary(t, topo, adversary.T(1, 2, 4), 31), Options{
+			SampleEvery: -1, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(20000); err != nil {
+			t.Fatal(err)
+		}
+		best := -1.0
+		for window := 0; window < 5 && best != 0; window++ {
+			allocs := testing.AllocsPerRun(1, func() {
+				if err := net.Run(2000); err != nil {
+					t.Error(err)
+				}
+			})
+			if best < 0 || allocs < best {
+				best = allocs
+			}
+		}
+		net.Close()
+		if best != 0 {
+			t.Errorf("workers=%d: steady-state round loop allocates (%v allocs in the best window)",
+				workers, best)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package network
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count regressions are only meaningful without it (race
+// instrumentation allocates on its own), so the zero-allocs tests skip
+// themselves under `go test -race`.
+const raceEnabled = false

@@ -12,33 +12,64 @@ import (
 // store any relay traffic. It implements Source; like the
 // single-channel scenario.Replayer it applies no bucket and no RNG —
 // the recording already proved admissibility.
+//
+// Events are bucketed per channel at construction and consumed through
+// one cursor per channel, so AppendEntries for distinct channels never
+// touch shared state — the Source contract parallel stepping
+// (Options.Workers != 1) relies on.
 type ReplaySource struct {
-	events []scenario.Event
-	cur    int
+	byCh [][]scenario.Event // per channel, in increasing round order
+	cur  []int              // per-channel replay cursor
 }
 
-// NewReplaySource returns a source positioned at round 0.
+// NewReplaySource returns a source positioned at round 0. Buckets are
+// sized by the larger of the header's channel count and the highest
+// event channel, so ad-hoc traces without a header replay too; events
+// with a negative channel (possible only in a hand-edited trace) are
+// dropped, matching the driver's behavior of never querying such a
+// channel.
 func NewReplaySource(t *scenario.Trace) *ReplaySource {
-	return &ReplaySource{events: t.Events}
-}
-
-// AppendEntries implements Source. The network queries in increasing
-// (round, channel) order, matching the trace's event order; events for
-// rounds or channels the driver skipped are passed over.
-func (r *ReplaySource) AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection {
-	for r.cur < len(r.events) {
-		ev := r.events[r.cur]
-		if ev.Round < round || (ev.Round == round && ev.Channel < ch) {
-			r.cur++ // skipped by the driver
+	C := t.Header.Channels
+	for _, ev := range t.Events {
+		if ev.Channel >= C {
+			C = ev.Channel + 1
+		}
+	}
+	if C < 1 {
+		C = 1
+	}
+	r := &ReplaySource{
+		byCh: make([][]scenario.Event, C),
+		cur:  make([]int, C),
+	}
+	for _, ev := range t.Events {
+		if ev.Channel < 0 {
 			continue
 		}
-		if ev.Round == round && ev.Channel == ch {
-			for _, p := range ev.Injs {
-				buf = append(buf, core.Injection{Station: p[0], Dest: p[1]})
-			}
-			r.cur++
-		}
-		break
+		r.byCh[ev.Channel] = append(r.byCh[ev.Channel], ev)
 	}
+	return r
+}
+
+// AppendEntries implements Source. Within one channel the driver
+// queries rounds in increasing order, matching the trace's event order;
+// events for rounds the driver skipped are passed over. Calls for
+// distinct channels are independent and may run concurrently.
+func (r *ReplaySource) AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection {
+	if ch < 0 || ch >= len(r.byCh) {
+		return buf
+	}
+	evs := r.byCh[ch]
+	i := r.cur[ch]
+	for i < len(evs) && evs[i].Round < round {
+		i++ // skipped by the driver
+	}
+	if i < len(evs) && evs[i].Round == round {
+		for _, p := range evs[i].Injs {
+			buf = append(buf, core.Injection{Station: p[0], Dest: p[1]})
+		}
+		i++
+	}
+	r.cur[ch] = i
 	return buf
 }

@@ -13,7 +13,10 @@
 // channel's injection queue, where it arrives at the start of the *next*
 // round (one-round relay latency). Relay arrivals therefore never depend
 // on the order channels are stepped in, which makes every aggregate
-// deterministic and independent of channel iteration order.
+// deterministic and independent of channel iteration order — and of the
+// worker count: Network.Step fans the channels out across a persistent
+// worker team (Options.Workers) and every observable output stays
+// bit-identical to the serial loop (see Step and DESIGN.md §13).
 //
 // Stations are addressed globally: channel c owns the contiguous id
 // block [c·n, (c+1)·n). The adversary injects (src, dest) pairs in
@@ -44,16 +47,18 @@ const (
 	Line   = "line"   // channels 0—1—2—…—C-1
 	Star   = "star"   // channel 0 is the hub, edges 0—i for i ≥ 1
 	Clique = "clique" // every pair of channels adjacent
+	Grid   = "grid"   // rows×cols mesh, rows = largest divisor of C ≤ √C
+	Random = "random" // seeded random spanning tree + extra chords
 	Custom = "custom" // explicit edge list over channel indices
 )
 
 // Kinds lists the topology kinds, sorted, for capability enumeration.
-func Kinds() []string { return []string{Clique, Custom, Line, Star} }
+func Kinds() []string { return []string{Clique, Custom, Grid, Line, Random, Star} }
 
 // Spec describes a network of channels. It is pure data — the façade
 // Config carries its fields — and compiles into a Topology.
 type Spec struct {
-	// Kind is one of Line, Star, Clique, or Custom.
+	// Kind is one of Line, Star, Clique, Grid, Random, or Custom.
 	Kind string
 	// Channels is the number of channels, ≥ 2.
 	Channels int
@@ -64,6 +69,10 @@ type Spec struct {
 	// The resulting graph must be connected, self-loop- and
 	// duplicate-free.
 	Links [][2]int
+	// Seed parameterizes the Random generator (ignored otherwise). The
+	// edge set is a pure function of (Seed, Channels), so a recorded
+	// run re-compiles to the identical graph.
+	Seed int64
 }
 
 // Validate checks the spec. Every failure wraps registry.ErrBadTopology.
@@ -72,7 +81,7 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("%w: %s", registry.ErrBadTopology, fmt.Sprintf(format, args...))
 	}
 	switch s.Kind {
-	case Line, Star, Clique:
+	case Line, Star, Clique, Grid, Random:
 		if len(s.Links) > 0 {
 			return bad("%s topology takes no explicit links", s.Kind)
 		}
@@ -135,9 +144,77 @@ func (s Spec) edges() [][2]int {
 			}
 		}
 		return out
+	case Grid:
+		rows, cols := gridDims(s.Channels)
+		var out [][2]int
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				at := r*cols + c
+				if c+1 < cols {
+					out = append(out, [2]int{at, at + 1})
+				}
+				if r+1 < rows {
+					out = append(out, [2]int{at, at + cols})
+				}
+			}
+		}
+		return out
+	case Random:
+		return randomEdges(s.Channels, s.Seed)
 	default: // Custom
 		return s.Links
 	}
+}
+
+// gridDims factors C into rows×cols with rows the largest divisor of C
+// not exceeding √C (so the mesh is as square as C allows; a prime C
+// degenerates to a 1×C line, which is still a valid connected grid).
+func gridDims(channels int) (rows, cols int) {
+	rows = 1
+	for d := 2; d*d <= channels; d++ {
+		if channels%d == 0 {
+			rows = d
+		}
+	}
+	return rows, channels / rows
+}
+
+// randomEdges generates a connected random channel graph as a pure
+// function of (seed, C): a uniform random spanning tree prefix (channel
+// v ≥ 1 attaches to a uniformly drawn channel below it) plus ⌊C/2⌋
+// extra chord attempts, deduplicated and self-loop-free. The splitmix64
+// stream makes the graph identical across platforms and runs.
+func randomEdges(channels int, seed int64) [][2]int {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + uint64(channels)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	seen := make(map[[2]int]bool, channels+channels/2)
+	out := make([][2]int, 0, channels+channels/2)
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			return
+		}
+		seen[[2]int{a, b}] = true
+		out = append(out, [2]int{a, b})
+	}
+	for v := 1; v < channels; v++ {
+		add(int(next()%uint64(v)), v)
+	}
+	for i := 0; i < channels/2; i++ {
+		add(int(next()%uint64(channels)), int(next()%uint64(channels)))
+	}
+	return out
 }
 
 // Topology is a compiled Spec: adjacency, shortest-path next hops, and
@@ -149,10 +226,12 @@ type Topology struct {
 	// next[a][b] is the first channel after a on the shortest a→b path
 	// (BFS, lowest-numbered neighbour first); next[a][a] = a.
 	next [][]int
-	// gwIdx[c] maps a neighbour channel to its index in adj[c]; the
-	// gateway station of c toward neighbour d is local station
-	// gwIdx[c][d] mod N.
-	gwIdx []map[int]int
+	// gw[c][d] is the local gateway station of channel c toward
+	// neighbour d (the i-th sorted neighbour uses station i mod N), or
+	// -1 when c and d are not adjacent. A flat table rather than a map:
+	// Gateway sits on the relay hot path, stepped every round by every
+	// channel, and is read concurrently by the worker team.
+	gw [][]int32
 }
 
 // Compile validates a spec and precomputes routing.
@@ -162,22 +241,26 @@ func Compile(s Spec) (*Topology, error) {
 	}
 	C := s.Channels
 	t := &Topology{
-		spec:  s,
-		adj:   make([][]int, C),
-		next:  make([][]int, C),
-		gwIdx: make([]map[int]int, C),
+		spec: s,
+		adj:  make([][]int, C),
+		next: make([][]int, C),
+		gw:   make([][]int32, C),
 	}
 	for _, e := range s.edges() {
 		t.adj[e[0]] = append(t.adj[e[0]], e[1])
 		t.adj[e[1]] = append(t.adj[e[1]], e[0])
 	}
+	gwFlat := make([]int32, C*C)
+	for i := range gwFlat {
+		gwFlat[i] = -1
+	}
 	for c := range t.adj {
 		// Edge lists are generated (or validated) duplicate-free; sort
 		// ascending so routing ties break toward lower channel ids.
 		sortInts(t.adj[c])
-		t.gwIdx[c] = make(map[int]int, len(t.adj[c]))
+		t.gw[c] = gwFlat[c*C : (c+1)*C : (c+1)*C]
 		for i, d := range t.adj[c] {
-			t.gwIdx[c][d] = i
+			t.gw[c][d] = int32(i % s.N)
 		}
 	}
 	// BFS from every source; parent-first expansion over sorted
@@ -254,13 +337,14 @@ func (t *Topology) NextHop(from, to int) int { return t.next[from][to] }
 // toward the adjacent channel `toward`. Assignment is deterministic:
 // the i-th sorted neighbour uses local station i mod N, so every
 // gateway exists for any N ≥ 2 (a channel with more neighbours than
-// stations shares gateways).
+// stations shares gateways). Safe for concurrent readers — the table
+// is immutable after Compile.
 func (t *Topology) Gateway(ch, toward int) int {
-	i, ok := t.gwIdx[ch][toward]
-	if !ok {
+	g := t.gw[ch][toward]
+	if g < 0 {
 		panic(fmt.Sprintf("network: channels %d and %d are not adjacent", ch, toward))
 	}
-	return i % t.spec.N
+	return int(g)
 }
 
 // Hops returns the shortest-path hop count between two channels.

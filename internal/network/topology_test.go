@@ -2,6 +2,7 @@ package network
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"earmac/internal/registry"
@@ -68,6 +69,90 @@ func TestCompileRouting(t *testing.T) {
 				t.Errorf("clique next hop %d->%d = %d, want direct", a, b, clique.NextHop(a, b))
 			}
 		}
+	}
+}
+
+func TestGridDims(t *testing.T) {
+	cases := map[int][2]int{
+		4:  {2, 2},
+		6:  {2, 3},
+		7:  {1, 7}, // prime: degenerates to a line
+		9:  {3, 3},
+		12: {3, 4},
+		64: {8, 8},
+	}
+	for c, want := range cases {
+		if rows, cols := gridDims(c); rows != want[0] || cols != want[1] {
+			t.Errorf("gridDims(%d) = (%d, %d), want (%d, %d)", c, rows, cols, want[0], want[1])
+		}
+	}
+}
+
+func TestGridCompileRouting(t *testing.T) {
+	// 6 channels → a 2×3 mesh: 0-1-2 over 3-4-5. Opposite corners are 3
+	// hops apart and ties break toward the lower-numbered neighbour.
+	grid, err := Compile(Spec{Kind: Grid, Channels: 6, N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grid.Hops(0, 5); got != 3 {
+		t.Errorf("grid hops 0->5 = %d, want 3", got)
+	}
+	if got := grid.NextHop(0, 5); got != 1 {
+		t.Errorf("grid next hop 0->5 = %d, want 1 (lowest-neighbour tie-break)", got)
+	}
+	if got := grid.Hops(1, 4); got != 1 {
+		t.Errorf("grid hops 1->4 = %d, want 1 (vertical edge)", got)
+	}
+}
+
+func TestRandomTopologyDeterministicAndConnected(t *testing.T) {
+	// Same (seed, C) → the same graph, on every platform and run.
+	a, err := Compile(Spec{Kind: Random, Channels: 16, N: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(Spec{Kind: Random, Channels: 16, N: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.adj, b.adj) {
+		t.Error("random topology is not deterministic for a fixed seed")
+	}
+	c, err := Compile(Spec{Kind: Random, Channels: 16, N: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.adj, c.adj) {
+		t.Error("seeds 7 and 8 generated identical graphs")
+	}
+	// The spanning-tree prefix makes every draw connected: Compile (which
+	// rejects unreachable pairs) must succeed for any (C, seed).
+	for _, channels := range []int{2, 3, 16, 64} {
+		for _, seed := range []int64{0, 1, 9, -5} {
+			if _, err := Compile(Spec{Kind: Random, Channels: channels, N: 2, Seed: seed}); err != nil {
+				t.Errorf("random C=%d seed=%d: %v", channels, seed, err)
+			}
+		}
+	}
+	// The edge list itself is self-loop-free and duplicate-free.
+	edges := randomEdges(64, 9)
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			t.Errorf("self loop %v", e)
+		}
+		if seen[e] {
+			t.Errorf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestKindsComplete(t *testing.T) {
+	want := []string{Clique, Custom, Grid, Line, Random, Star}
+	if !reflect.DeepEqual(Kinds(), want) {
+		t.Errorf("Kinds() = %v, want %v", Kinds(), want)
 	}
 }
 

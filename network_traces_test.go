@@ -39,6 +39,19 @@ func networkCorpusCases() []corpusCase {
 			}})
 		}
 	}
+	// Grid and random want a composite channel count: 4 channels form a
+	// 2×2 mesh, and β = 4 keeps the split exact again. The random graph
+	// draws its edges from the same Config.Seed that seeds the pattern.
+	for _, topo := range []string{"grid", "random"} {
+		for _, alg := range []string{"orchestra", "count-hop"} {
+			out = append(out, corpusCase{"net-" + topo + "-" + alg, Config{
+				Algorithm: alg, N: 5,
+				Topology: topo, Channels: 4,
+				RhoNum: 1, RhoDen: 2, Beta: 4,
+				Pattern: "bernoulli", Seed: 11, Rounds: 3000,
+			}})
+		}
+	}
 	return out
 }
 

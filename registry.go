@@ -135,7 +135,7 @@ func (c Config) validate() error {
 				ErrBadTopology, network.Custom)
 		}
 	} else {
-		spec := network.Spec{Kind: c.Topology, Channels: c.Channels, N: c.N, Links: c.Links}
+		spec := network.Spec{Kind: c.Topology, Channels: c.Channels, N: c.N, Links: c.Links, Seed: c.Seed}
 		if err := spec.Validate(); err != nil {
 			return fmt.Errorf("earmac: %w", err)
 		}
