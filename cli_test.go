@@ -15,6 +15,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -221,6 +222,55 @@ func TestCLISweepRhoGoldenJSON(t *testing.T) {
 	out := runCLI(t, "run", "./cmd/earmac-sweep",
 		"-mode", "rho", "-alg", "count-hop", "-n", "5", "-rounds", "1000", "-json")
 	checkGolden(t, "sweep-rho.json", out)
+}
+
+// TestCLISweepFrontierGoldenCSV pins the ISSUE 8 energy-frontier sweep:
+// duty-cycle knobs × jamming intensity, one deterministic CSV. Beyond
+// byte-stability, the fixture must witness the frontier itself — within
+// every jam intensity, mean energy falls (never rises) as the
+// sleep-after-idle threshold tightens, at the price of deliveries.
+func TestCLISweepFrontierGoldenCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-sweep",
+		"-mode", "frontier", "-n", "5", "-rho", "1/4", "-beta", "2",
+		"-pattern", "bernoulli", "-seed", "7", "-rounds", "2000")
+	checkGolden(t, "sweep-frontier.csv", out)
+
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) < 2 || lines[0] != "jam_rho,sleep_idle,wake_every,mean_energy,mean_latency,delivered,dropped,sleep_rounds,jammed_rounds,stable" {
+		t.Fatalf("unexpected frontier CSV shape:\n%s", out)
+	}
+	prevJam, prevEnergy := "", 0.0
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		energy, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			t.Fatalf("bad mean_energy in %q: %v", line, err)
+		}
+		// The -sleep-idles default is ordered loosest → tightest, so
+		// within one jam_rho group energy must be nonincreasing.
+		if f[0] == prevJam && energy > prevEnergy {
+			t.Errorf("energy rose from %.3f to %.3f as duty-cycling tightened: %q", prevEnergy, energy, line)
+		}
+		prevJam, prevEnergy = f[0], energy
+	}
+}
+
+// TestCLITraceAuditGolden pins the earmac-trace audit subcommand against
+// committed corpus traces spanning all three format versions: a v1
+// single-channel trace, a v2 network trace (per-channel and effective
+// global budgets), and a v3 disruption trace with a jam stream.
+func TestCLITraceAuditGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-trace", "audit",
+		"testdata/traces/aloha-stochastic.trace.jsonl",
+		"testdata/traces/net-line-orchestra.trace.jsonl",
+		"testdata/traces/dis-net-line-aloha.trace.jsonl")
+	checkGolden(t, "trace-audit.txt", out)
 }
 
 // And the sweep CSV error path: -mode channels without -topology fails

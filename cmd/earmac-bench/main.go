@@ -42,6 +42,7 @@ import (
 	"earmac/internal/core"
 	"earmac/internal/expt"
 	"earmac/internal/mac"
+	"earmac/internal/mac/duty"
 	"earmac/internal/metrics"
 	"earmac/internal/network"
 	"earmac/internal/pktq"
@@ -312,23 +313,32 @@ func networkRows(scale expt.Scale, reps int) []benchcmp.Row {
 		beta      int64
 		rounds    int64
 		workers   int
+		jam       bool
 	}{
 		{"NET.line4", "orchestra line ×4 @ ρ=1/2 β=4, n=6, net-workers=auto",
-			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 0},
+			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 0, false},
 		{"NET.line4.ser", "orchestra line ×4 @ ρ=1/2 β=4, n=6, serial",
-			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 1},
+			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 1, false},
 		{"NET.star64", "orchestra star ×64 @ ρ=1/2 β=64, n=6, net-workers=auto",
-			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 0},
+			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 0, false},
 		{"NET.star64.ser", "orchestra star ×64 @ ρ=1/2 β=64, n=6, serial",
-			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 1},
+			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 1, false},
 		{"NET.grid64", "orchestra grid 8×8 @ ρ=1/2 β=64, n=6, net-workers=auto",
-			network.Spec{Kind: network.Grid, Channels: 64, N: 6}, 64, 20000, 0},
+			network.Spec{Kind: network.Grid, Channels: 64, N: 6}, 64, 20000, 0, false},
 		{"NET.rand64", "orchestra random ×64 seed 9 @ ρ=1/2 β=64, n=6, net-workers=auto",
-			network.Spec{Kind: network.Random, Channels: 64, N: 6, Seed: 9}, 64, 20000, 0},
+			network.Spec{Kind: network.Random, Channels: 64, N: 6, Seed: 9}, 64, 20000, 0, false},
 		{"NET.clique1024", "orchestra clique ×1024 @ ρ=1/2 β=1024, n=6, net-workers=auto",
-			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 0},
+			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 0, false},
 		{"NET.clique1024.ser", "orchestra clique ×1024 @ ρ=1/2 β=1024, n=6, serial",
-			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 1},
+			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 1, false},
+		// The ISSUE 8 disruption loop: duty-cycled aloha (the Tolerant
+		// algorithm) under the budgeted jammer — jam flag selection,
+		// disrupt plumbing, drop reclamation, and the duty wrapper all on
+		// the measured path.
+		{"NET.jam16", "aloha line ×16 jammed @ ρ=1/4 β=16 ρ_j=1/4 duty 32/16, n=6, net-workers=auto",
+			network.Spec{Kind: network.Line, Channels: 16, N: 6}, 16, 50000, 0, true},
+		{"NET.jam16.ser", "aloha line ×16 jammed @ ρ=1/4 β=16 ρ_j=1/4 duty 32/16, n=6, serial",
+			network.Spec{Kind: network.Line, Channels: 16, N: 6}, 16, 50000, 1, true},
 	}
 	// Compile each distinct topology once: the Topology is immutable and
 	// shared across repetitions and worker-count twins (the clique-1024
@@ -345,7 +355,7 @@ func networkRows(scale expt.Scale, reps int) []benchcmp.Row {
 			}
 			topos[key] = topo
 		}
-		rows = append(rows, measureNet(c.id, c.label, topo, c.beta, c.rounds*mult, c.workers, reps))
+		rows = append(rows, measureNet(c.id, c.label, topo, c.beta, c.rounds*mult, c.workers, reps, c.jam))
 	}
 	for i, r := range rows {
 		base := strings.TrimSuffix(r.ID, ".ser")
@@ -365,7 +375,10 @@ func networkRows(scale expt.Scale, reps int) []benchcmp.Row {
 // measureNet is measure for a network row: fresh adversary and channel
 // systems per repetition over a shared compiled topology, a warmup
 // window before the allocation accounting, best-of-reps throughput.
-func measureNet(id, label string, topo *network.Topology, beta, rounds int64, workers, reps int) benchcmp.Row {
+// With jam set the row runs the disruption loop instead: duty-cycled
+// aloha replica sets at ρ = 1/4 under a fresh (ρ_j = 1/4, β_j = 2)
+// jammer per repetition, deterministic in the fixed seeds like the rest.
+func measureNet(id, label string, topo *network.Topology, beta, rounds int64, workers, reps int, jam bool) benchcmp.Row {
 	warmup := rounds / 10
 	if warmup > 2000 {
 		warmup = 2000
@@ -379,13 +392,27 @@ func measureNet(id, label string, topo *network.Topology, beta, rounds int64, wo
 		for c := range pats {
 			pats[c] = adversary.Uniform(topo.Stations(), 31+int64(c)*1000003)
 		}
-		adv, err := network.NewAdversary(topo, adversary.T(1, 2, beta), pats)
+		entry, build := adversary.T(1, 2, beta), func(ch int) (*core.System, error) {
+			return orchestra.New(topo.StationsPerChannel())
+		}
+		opts := network.Options{SampleEvery: -1, Workers: workers}
+		if jam {
+			entry = adversary.T(1, 4, beta)
+			build = func(ch int) (*core.System, error) {
+				sys, err := randmac.NewSeeded(topo.StationsPerChannel(), 3, 17)
+				if err != nil {
+					return nil, err
+				}
+				sys, _ = duty.Wrap(sys, duty.Params{SleepAfterIdle: 32, WakeEvery: 16})
+				return sys, nil
+			}
+			opts.Disruptor = network.NewJammer(adversary.T(1, 4, 2), topo.Channels(), 31)
+		}
+		adv, err := network.NewAdversary(topo, entry, pats)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", id, err))
 		}
-		net, err := network.New(topo, func(ch int) (*core.System, error) {
-			return orchestra.New(topo.StationsPerChannel())
-		}, adv, network.Options{SampleEvery: -1, Workers: workers})
+		net, err := network.New(topo, build, adv, opts)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", id, err))
 		}

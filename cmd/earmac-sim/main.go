@@ -61,6 +61,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for randomized patterns")
 		rounds   = flag.Int64("rounds", 100000, "rounds to simulate")
 		stop     = flag.Int64("stop-injections", 0, "stop injecting after this round (0 = never), to observe draining")
+		jamRho   = flag.String("jam-rho", "", "jamming adversary rate ρ_j as a fraction p/q (empty = no jamming; needs a tolerant algorithm, e.g. aloha)")
+		jamBeta  = flag.Int64("jam-beta", 0, "jamming burstiness β_j (default 1 with -jam-rho)")
+		outages  = flag.String("outages", "", "channel outage windows ch@from+rounds[,...], e.g. 0@1000+200")
+		sleepIdl = flag.Int64("sleep-idle", 0, "duty-cycling: sleep instead of listening after this many idle rounds (0 = off)")
+		wakeEv   = flag.Int64("wake-every", 0, "duty-cycling: wake a sleeping station every this many rounds")
+		enBudget = flag.Int64("energy-budget", 0, "duty-cycling: stop listening for good after this many switched-on rounds (0 = unlimited)")
 		lenient  = flag.Bool("lenient", false, "record model violations instead of aborting")
 		checked  = flag.Bool("checked", false, "force the fully-validating round loop (schedule-conformance scan included)")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON (shared Report schema)")
@@ -111,6 +117,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
 			os.Exit(2)
 		}
+		ow, err := parseOutages(*outages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+			os.Exit(2)
+		}
 		cfg = earmac.Config{
 			Algorithm:           *alg,
 			N:                   *n,
@@ -128,6 +139,19 @@ func main() {
 			Rounds:              *rounds,
 			StopInjectionsAfter: *stop,
 			Lenient:             *lenient,
+			JamBeta:             *jamBeta,
+			Outages:             ow,
+			SleepAfterIdle:      *sleepIdl,
+			WakeEvery:           *wakeEv,
+			EnergyBudget:        *enBudget,
+		}
+		if *jamRho != "" {
+			jn, jd, err := parseRho(*jamRho)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+				os.Exit(2)
+			}
+			cfg.JamRhoNum, cfg.JamRhoDen = jn, jd
 		}
 		if *phases != "" {
 			ph, err := parsePhases(*phases)
@@ -217,6 +241,8 @@ func replayConflicts() error {
 		"src": true, "dest": true, "seed": true,
 		"rounds": true, "stop-injections": true,
 		"record": true,
+		"jam-rho": true, "jam-beta": true, "outages": true,
+		"sleep-idle": true, "wake-every": true, "energy-budget": true,
 	}
 	var set []string
 	flag.Visit(func(f *flag.Flag) {
@@ -229,6 +255,38 @@ func replayConflicts() error {
 	}
 	return fmt.Errorf("earmac: %w: -replay is exclusive with %s (the replayed trace supplies the scenario)",
 		earmac.ErrConflict, strings.Join(set, ", "))
+}
+
+// parseOutages parses "ch@from+rounds,..." into outage windows.
+func parseOutages(spec string) ([]earmac.Outage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []earmac.Outage
+	for _, part := range strings.Split(spec, ",") {
+		chs, win, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad outage %q: want ch@from+rounds", part)
+		}
+		froms, lens, ok := strings.Cut(win, "+")
+		if !ok {
+			return nil, fmt.Errorf("bad outage %q: want ch@from+rounds", part)
+		}
+		ch, err := strconv.Atoi(chs)
+		if err != nil {
+			return nil, fmt.Errorf("bad outage %q: %v", part, err)
+		}
+		from, err := strconv.ParseInt(froms, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad outage %q: %v", part, err)
+		}
+		n, err := strconv.ParseInt(lens, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad outage %q: %v", part, err)
+		}
+		out = append(out, earmac.Outage{Channel: ch, From: from, Rounds: n})
+	}
+	return out, nil
 }
 
 // parseLinks parses "a-b,c-d,..." into channel-link pairs.

@@ -29,6 +29,15 @@
 //	earmac-sweep -mode channels -topology line -alg orchestra -n 5 -beta 4 > channels.csv
 //	earmac-sweep -mode rho -topology star -channels 3 -alg count-hop -n 4 > net-rho.csv
 //
+// -mode frontier charts the energy–latency frontier of duty-cycled
+// stations under jamming: it crosses -jam-rhos (jamming intensity) with
+// -sleep-idles (duty-cycle tightness) on a tolerant algorithm (default
+// aloha), one CSV row per cell with energy falling as duty-cycling
+// tightens within each jam group:
+//
+//	earmac-sweep -mode frontier -n 6 -k 3 -rho 1/4 > frontier.csv
+//	earmac-sweep -mode frontier -jam-rhos 0,1/4,1/2 -sleep-idles 0,64,16 -rounds 50000
+//
 // With -server the sweep is submitted as one Grid to an earmac-serve
 // /v1/suite endpoint — a single worker or a cluster coordinator —
 // instead of simulating in-process. The SuiteReport is byte-identical
@@ -58,7 +67,7 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "rho", "sweep variable: rho, cap, size, seed, or channels")
+		mode      = flag.String("mode", "rho", "sweep variable: rho, cap, size, seed, channels, or frontier")
 		alg       = flag.String("alg", "count-hop", "algorithm")
 		n         = flag.Int("n", 6, "number of stations (per channel, with -topology; fixed for rho/cap sweeps)")
 		topology  = flag.String("topology", "", "network of channels: "+strings.Join(earmac.Topologies(), ", ")+" (required for -mode channels)")
@@ -76,8 +85,18 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the full SuiteReport as JSON instead of CSV")
 		recordDir = flag.String("record-dir", "", "record every cell as a replayable trace cell-NNN.trace.jsonl under this directory")
 		server    = flag.String("server", "", "submit the sweep to this earmac-serve /v1/suite endpoint (worker or coordinator) instead of running in-process")
+		jamRhos   = flag.String("jam-rhos", "0,1/8,1/4", "-mode frontier: comma-separated jamming rates ρ_j (0 = no jamming)")
+		sleepIdls = flag.String("sleep-idles", "0,128,32,8", "-mode frontier: comma-separated sleep-after-idle thresholds (0 = no duty-cycling), loosest first")
+		jamBeta   = flag.Int64("jam-beta", 1, "-mode frontier: jamming burstiness β_j")
+		wakeEvery = flag.Int64("wake-every", 64, "-mode frontier: wake period of duty-cycled stations (applies to cells that sleep)")
 	)
 	flag.Parse()
+
+	// The frontier mode needs a jam/duty-tolerant algorithm; switch its
+	// default to aloha unless the user picked one explicitly.
+	if *mode == "frontier" && !flagSet("alg") {
+		*alg = "aloha"
+	}
 
 	// Resolve the documented channel default here rather than inside Run,
 	// so every cell's Config (and the CSV channels column) carries the
@@ -140,6 +159,10 @@ func main() {
 		for c := 2; c <= *maxChan; c++ {
 			grid.Channels = append(grid.Channels, c)
 		}
+	case "frontier":
+		// Energy–latency frontier: duty-cycle tightness × jamming
+		// intensity, axes Grid doesn't model. The suite is assembled
+		// below from explicit cells.
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -152,9 +175,19 @@ func main() {
 		if *recordDir != "" {
 			fail(errors.New("-server cannot record traces on the remote side; drop -record-dir or run locally"))
 		}
+		if *mode == "frontier" {
+			fail(errors.New("-mode frontier sweeps axes the Grid schema doesn't carry; run it locally"))
+		}
 		rep, err = remoteSuite(ctx, *server, grid)
 	} else {
 		suite := earmac.NewSuite(grid)
+		if *mode == "frontier" {
+			cells, ferr := frontierCells(grid.Base, *jamRhos, *sleepIdls, *jamBeta, *wakeEvery)
+			if ferr != nil {
+				fail(ferr)
+			}
+			suite = earmac.Suite{Configs: cells}
+		}
 		var traceFiles []*os.File
 		if *recordDir != "" {
 			if err := os.MkdirAll(*recordDir, 0o755); err != nil {
@@ -191,6 +224,26 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fail(err)
+		}
+		if interrupted {
+			os.Exit(130)
+		}
+		return
+	}
+
+	if *mode == "frontier" {
+		fmt.Println("jam_rho,sleep_idle,wake_every,mean_energy,mean_latency,delivered,dropped,sleep_rounds,jammed_rounds,stable")
+		for _, res := range rep.Results {
+			if res.Verdict == earmac.VerdictSkipped {
+				continue
+			}
+			if res.Error != "" {
+				fail(fmt.Errorf("cell %d (%s): %s", res.Index, res.Config.Algorithm, res.Error))
+			}
+			cfg, r := res.Config, res.Report
+			fmt.Printf("%s,%d,%d,%.3f,%.2f,%d,%d,%d,%d,%v\n",
+				fracString(cfg.JamRhoNum, cfg.JamRhoDen), cfg.SleepAfterIdle, cfg.WakeEvery,
+				r.MeanEnergy, r.MeanLatency, r.Delivered, r.Dropped, r.SleepRounds, r.JammedRounds, r.Stable)
 		}
 		if interrupted {
 			os.Exit(130)
@@ -276,6 +329,88 @@ func remoteSuite(ctx context.Context, server string, g earmac.Grid) (earmac.Suit
 		return earmac.SuiteReport{}, fmt.Errorf("decoding suite report: %w", err)
 	}
 	return rep, nil
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// frontierCells crosses jamming intensity (outer axis) with duty-cycle
+// tightness (inner axis) over the base config, so each CSV group holds
+// one jam rate with energy falling as duty-cycling tightens. Cells that
+// never sleep (idle threshold 0) leave the wake period unset — the
+// façade rejects a wake schedule nothing sleeps on.
+func frontierCells(base earmac.Config, jamRhos, sleepIdles string, jamBeta, wakeEvery int64) ([]earmac.Config, error) {
+	var jams [][2]int64
+	for _, part := range strings.Split(jamRhos, ",") {
+		num, den, err := parseFrac(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -jam-rhos: %v", err)
+		}
+		jams = append(jams, [2]int64{num, den})
+	}
+	var idles []int64
+	for _, part := range strings.Split(sleepIdles, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -sleep-idles: %v", err)
+		}
+		idles = append(idles, v)
+	}
+	var cells []earmac.Config
+	for _, jam := range jams {
+		for _, idle := range idles {
+			cfg := base
+			if jam[0] > 0 {
+				cfg.JamRhoNum, cfg.JamRhoDen = jam[0], jam[1]
+				cfg.JamBeta = jamBeta
+			}
+			if idle > 0 {
+				cfg.SleepAfterIdle = idle
+				cfg.WakeEvery = wakeEvery
+			}
+			cells = append(cells, cfg)
+		}
+	}
+	return cells, nil
+}
+
+// parseFrac parses "p/q" or an integer into an exact fraction.
+func parseFrac(s string) (num, den int64, err error) {
+	if p, q, ok := strings.Cut(s, "/"); ok {
+		num, err = strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad fraction %q: %v", s, err)
+		}
+		den, err = strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad fraction %q: %v", s, err)
+		}
+		return num, den, nil
+	}
+	num, err = strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad fraction %q: %v", s, err)
+	}
+	return num, 1, nil
+}
+
+// fracString renders an exact fraction compactly ("0", "1", "1/8").
+func fracString(num, den int64) string {
+	if num == 0 {
+		return "0"
+	}
+	if den == 1 {
+		return strconv.FormatInt(num, 10)
+	}
+	return fmt.Sprintf("%d/%d", num, den)
 }
 
 func parseSeeds(s string) ([]int64, error) {

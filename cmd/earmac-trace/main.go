@@ -1,0 +1,108 @@
+// Command earmac-trace inspects recorded trace files. Its audit
+// subcommand re-derives the adversarial budgets from the trace's own
+// header config and verifies every stream the trace records against
+// them:
+//
+//   - the entry injection stream against the (ρ, β) leaky-bucket
+//     contract — per channel *and* network-wide against the effective
+//     global type (ρ, max(β, C)) on network traces, since the split
+//     burst is floored at 1 per channel (see network.SplitType);
+//   - the jam stream (trace v3) against the jamming budget (ρ_j, β_j).
+//
+// Usage:
+//
+//	earmac-trace audit run.trace.jsonl
+//	earmac-trace audit traces/*.trace.jsonl
+//
+// The exit status is 0 when every file passes, 1 when any stream
+// violates its budget, 2 on usage or read errors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"earmac"
+	"earmac/internal/adversary"
+	"earmac/internal/network"
+	"earmac/internal/ratio"
+	"earmac/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 3 || os.Args[1] != "audit" {
+		fmt.Fprintln(os.Stderr, "usage: earmac-trace audit <trace.jsonl>...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[2:] {
+		if err := audit(path); err != nil {
+			fmt.Printf("%s: VIOLATION: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// audit verifies one trace file; read/config errors exit immediately
+// (status 2), budget violations are returned for the caller to report.
+func audit(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := earmac.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	cfg, err := earmac.TraceConfig(tr)
+	if err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	fmt.Printf("%s: version %d, n %d, channels %d, %d events\n",
+		path, tr.Header.Version, tr.Header.N, tr.Header.Channels, len(tr.Events))
+
+	typ := adversary.Type{Rho: ratio.New(cfg.RhoNum, cfg.RhoDen), Beta: ratio.FromInt(cfg.Beta)}
+	if cfg.Topology == "" {
+		if err := scenario.CheckAdmissible(tr, typ); err != nil {
+			return err
+		}
+		fmt.Printf("  entry stream: OK under (ρ %s, β %s)\n", typ.Rho, typ.Beta)
+	} else {
+		split := network.SplitType(typ, cfg.Channels)
+		if err := scenario.CheckAdmissibleSplit(tr, split, cfg.Channels); err != nil {
+			return err
+		}
+		eff := scenario.EffectiveGlobalType(split, cfg.Channels)
+		fmt.Printf("  entry stream: OK under per-channel (ρ %s, β %s) and effective global (ρ %s, β %s)\n",
+			split.Rho, split.Beta, eff.Rho, eff.Beta)
+	}
+
+	jams := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == scenario.KindJam {
+			jams++
+		}
+	}
+	switch {
+	case jams == 0:
+		fmt.Println("  jam stream: none")
+	case cfg.JamRhoNum <= 0:
+		return fmt.Errorf("%d jam events but the header config carries no jamming budget", jams)
+	default:
+		jt := adversary.Type{Rho: ratio.New(cfg.JamRhoNum, cfg.JamRhoDen), Beta: ratio.FromInt(cfg.JamBeta)}
+		if err := scenario.CheckJamAdmissible(tr, jt); err != nil {
+			return err
+		}
+		fmt.Printf("  jam stream: %d jams OK under (ρ_j %s, β_j %s)\n", jams, jt.Rho, jt.Beta)
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "earmac-trace:", err)
+	os.Exit(2)
+}

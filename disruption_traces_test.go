@@ -1,0 +1,236 @@
+package earmac
+
+// The disruption golden-trace corpus (ISSUE 8): jamming, outages, and
+// duty-cycled stations, each pinned by a committed trace-v3 recording.
+// The conformance test asserts the same three-way equivalence as the
+// other corpora — recorded run, checked-path replay, and fast-path
+// replay bit-identical on counters AND on the full re-recorded event
+// stream, kinded jam/outage/sleep events included — plus the jamming
+// budget audit and byte-stable re-encoding. Regenerate with
+//
+//	go test -run TestDisruptionGoldenTraceCorpus -update .
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/scenario"
+)
+
+func disruptionCorpusCases() []corpusCase {
+	base := Config{
+		Algorithm: "aloha", N: 6, K: 3,
+		RhoNum: 1, RhoDen: 3, Beta: 2,
+		Pattern: "bernoulli", Seed: 7, Rounds: 2000,
+	}
+	jam := base
+	jam.JamRhoNum, jam.JamRhoDen, jam.JamBeta = 1, 8, 1
+	outage := base
+	outage.Outages = []Outage{{Channel: 0, From: 400, Rounds: 100}, {Channel: 0, From: 1200, Rounds: 200}}
+	sleep := base
+	sleep.SleepAfterIdle, sleep.WakeEvery = 16, 8
+	mixed := base
+	mixed.JamRhoNum, mixed.JamRhoDen, mixed.JamBeta = 1, 8, 1
+	mixed.Outages = []Outage{{Channel: 0, From: 900, Rounds: 150}}
+	mixed.SleepAfterIdle, mixed.WakeEvery = 16, 8
+	net := Config{
+		Algorithm: "aloha", N: 5, K: 3,
+		Topology: "line", Channels: 3,
+		RhoNum: 1, RhoDen: 2, Beta: 3,
+		Pattern: "bernoulli", Seed: 11, Rounds: 2000,
+		JamRhoNum: 1, JamRhoDen: 4, JamBeta: 2,
+		Outages:        []Outage{{Channel: 1, From: 600, Rounds: 200}},
+		SleepAfterIdle: 32, WakeEvery: 16,
+	}
+	return []corpusCase{
+		{"dis-jam-aloha", jam},
+		{"dis-outage-aloha", outage},
+		{"dis-sleep-aloha", sleep},
+		{"dis-mixed-aloha", mixed},
+		{"dis-net-line-aloha", net},
+	}
+}
+
+func TestDisruptionGoldenTraceCorpus(t *testing.T) {
+	cases := disruptionCorpusCases()
+	if *update {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			f, err := os.Create(tracePath(c.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := c.cfg
+			cfg.RecordTo = f
+			if _, err := Run(cfg); err != nil {
+				t.Fatalf("%s: recording: %v", c.name, err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			raw, err := os.ReadFile(tracePath(c.name))
+			if err != nil {
+				t.Fatalf("missing golden trace (regenerate with -update): %v", err)
+			}
+			tr, err := ReadTrace(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Header.Version != TraceVersion {
+				t.Fatalf("header version %d, want %d (disrupted recordings declare v3)",
+					tr.Header.Version, TraceVersion)
+			}
+			if tr.Footer == nil || tr.Footer.Counters == nil {
+				t.Fatal("golden trace has no pinned counters")
+			}
+			want := *tr.Footer.Counters
+
+			// Re-encoding is byte-stable under the v3 writer.
+			var reenc bytes.Buffer
+			if err := WriteTrace(&reenc, tr); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(reenc.Bytes(), raw) {
+				t.Error("re-encoding the golden trace changed its bytes")
+			}
+
+			// Each configured disruption actually left events, and the
+			// footer shows its effect.
+			kinds := map[string]int{}
+			for _, ev := range tr.Events {
+				kinds[ev.Kind]++
+			}
+			cfg := c.cfg
+			if cfg.JamRhoNum > 0 {
+				if kinds[scenario.KindJam] == 0 {
+					t.Error("jamming configured but no jam events recorded")
+				}
+				if want.JammedRounds == 0 {
+					t.Error("jamming configured but JammedRounds = 0")
+				}
+				jt := adversary.T(cfg.JamRhoNum, cfg.JamRhoDen, cfg.JamBeta)
+				if err := scenario.CheckJamAdmissible(tr, jt); err != nil {
+					t.Errorf("recorded jam stream violates its budget: %v", err)
+				}
+			}
+			if len(cfg.Outages) > 0 {
+				if kinds[scenario.KindOutage] != len(cfg.Outages) {
+					t.Errorf("%d outage windows configured, %d outage events recorded",
+						len(cfg.Outages), kinds[scenario.KindOutage])
+				}
+				if want.OutageRounds == 0 {
+					t.Error("outages configured but OutageRounds = 0")
+				}
+			}
+			if cfg.SleepAfterIdle > 0 && kinds[scenario.KindSleep] == 0 {
+				t.Error("duty-cycling configured but no sleep transitions recorded")
+			}
+
+			// Three-way equivalence: checked and fast replays reproduce
+			// the counters and the full (kinded) event stream.
+			modes := []struct {
+				name   string
+				mutate func(*Config)
+			}{
+				{"checked", func(c *Config) { c.ForceChecked = true }},
+				{"fast", func(c *Config) { c.Lenient, c.DisableChecks = true, true }},
+			}
+			for _, mode := range modes {
+				rcfg, err := ReplayConfig(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mode.mutate(&rcfg)
+				var buf bytes.Buffer
+				rcfg.RecordTo = &buf
+				rep, err := Run(rcfg)
+				if err != nil {
+					t.Fatalf("%s replay: %v", mode.name, err)
+				}
+				if len(rep.Violations) != 0 {
+					t.Fatalf("%s replay hit violations: %v", mode.name, rep.Violations)
+				}
+				got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("%s replay re-recording: %v", mode.name, err)
+				}
+				if got.Footer == nil || got.Footer.Counters == nil {
+					t.Fatalf("%s replay recorded no counters", mode.name)
+				}
+				if *got.Footer.Counters != want {
+					t.Errorf("%s replay counters differ from the golden footer:\ngot  %+v\nwant %+v",
+						mode.name, *got.Footer.Counters, want)
+				}
+				if !reflect.DeepEqual(got.Events, tr.Events) {
+					t.Errorf("%s replay re-recorded a different event stream (%d events vs %d)",
+						mode.name, len(got.Events), len(tr.Events))
+				}
+			}
+		})
+	}
+}
+
+// TestDisruptionGoldenTraceCorpusComplete pins the disruption corpus
+// inventory.
+func TestDisruptionGoldenTraceCorpusComplete(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(traceDir, "dis-*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(disruptionCorpusCases()); len(files) != want {
+		t.Fatalf("disruption corpus has %d traces, want %d; regenerate with -update", len(files), want)
+	}
+}
+
+// TestTraceCorpusByteStable pins backward compatibility of the v3
+// reader/writer over the whole committed corpus: every committed trace
+// — v1 single-channel, v2 network, v3 disruption — must survive a
+// ReadTrace → WriteTrace round trip byte-identically, so upgrading the
+// format never rewrites history.
+func TestTraceCorpusByteStable(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(traceDir, "*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed traces found")
+	}
+	versions := map[int]int{}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := ReadTrace(bytes.NewReader(raw))
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+			continue
+		}
+		versions[tr.Header.Version]++
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), raw) {
+			t.Errorf("%s: re-encoding changed the bytes (version %d)",
+				filepath.Base(path), tr.Header.Version)
+		}
+	}
+	// The corpus must keep witnessing every format version the reader
+	// accepts, or the compatibility claim goes untested.
+	for v := scenario.TraceVersionLegacy; v <= scenario.TraceVersion; v++ {
+		if versions[v] == 0 {
+			t.Errorf("no committed trace exercises format version %d", v)
+		}
+	}
+}

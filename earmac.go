@@ -61,6 +61,7 @@ import (
 
 	"earmac/internal/adversary"
 	"earmac/internal/core"
+	"earmac/internal/mac/duty"
 	"earmac/internal/metrics"
 	"earmac/internal/network"
 	"earmac/internal/ratio"
@@ -135,6 +136,37 @@ type Config struct {
 	// Set it to audit a custom algorithm's schedule without aborting on
 	// violations.
 	ForceChecked bool `json:"force_checked,omitempty"`
+	// JamRhoNum/JamRhoDen/JamBeta, when JamRhoNum > 0, add a jamming
+	// adversary with its own (ρ_j, β_j) leaky-bucket budget, spent one
+	// unit per jammed channel-round: each round it greedily jams as many
+	// channels as the budget affords (at most all of them), chosen by a
+	// seeded shuffle. A jammed round delivers nothing and every
+	// listening station hears a collision. JamRhoDen defaults to 1 and
+	// JamBeta to 1 when a jam rate is set. Only algorithms whose
+	// metadata declares Tolerant accept a jamming config (see
+	// AlgorithmMeta.Tolerant); recorded traces store the jam stream as
+	// v3 events, so replays reproduce it exactly.
+	JamRhoNum int64 `json:"jam_rho_num,omitempty"`
+	JamRhoDen int64 `json:"jam_rho_den,omitempty"`
+	JamBeta   int64 `json:"jam_beta,omitempty"`
+	// Outages schedules channel-dead windows: during [From, From+Rounds)
+	// the named channel delivers nothing (stations hear collisions), and
+	// on a network, relay hand-offs destined for it queue at the network
+	// layer until the window ends. Windows on one channel must not
+	// overlap; channel indices must fit the topology (0 only, for a
+	// single-channel run). Requires a Tolerant algorithm.
+	Outages []Outage `json:"outages,omitempty"`
+	// SleepAfterIdle/WakeEvery/EnergyBudget duty-cycle the stations (see
+	// internal/mac/duty): a station whose queue stayed empty for
+	// SleepAfterIdle consecutive rounds switches off instead of
+	// listening (waking every WakeEvery rounds if set), and one that has
+	// spent EnergyBudget switched-on rounds stops listening for good.
+	// Zero values disable each rule. Duty-cycling trades deliveries for
+	// energy — a packet sent to a sleeping destination is dropped — so
+	// it also requires a Tolerant algorithm.
+	SleepAfterIdle int64 `json:"sleep_after_idle,omitempty"`
+	WakeEvery      int64 `json:"wake_every,omitempty"`
+	EnergyBudget   int64 `json:"energy_budget,omitempty"`
 	// Trace, when non-nil, receives a per-round event log (who was on,
 	// what was transmitted, deliveries) for rounds [TraceFrom, TraceUpTo).
 	Trace     io.Writer `json:"-"`
@@ -201,7 +233,36 @@ func (c Config) withDefaults() Config {
 	if c.Rounds == 0 {
 		c.Rounds = 100000
 	}
+	if c.JamRhoNum > 0 {
+		if c.JamRhoDen == 0 {
+			c.JamRhoDen = 1
+		}
+		if c.JamBeta == 0 {
+			c.JamBeta = 1
+		}
+	}
 	return c
+}
+
+// Outage is one scheduled channel-dead window (Config.Outages).
+type Outage = network.Outage
+
+// jamming reports whether the config enables the jamming adversary.
+func (c Config) jamming() bool { return c.JamRhoNum > 0 }
+
+// dutyParams collects the duty-cycling knobs.
+func (c Config) dutyParams() duty.Params {
+	return duty.Params{
+		SleepAfterIdle: c.SleepAfterIdle,
+		WakeEvery:      c.WakeEvery,
+		EnergyBudget:   c.EnergyBudget,
+	}
+}
+
+// disrupted reports whether the run can produce trace-v3 events
+// (jam/outage/sleep) — recordings then declare format version 3.
+func (c Config) disrupted() bool {
+	return c.jamming() || len(c.Outages) > 0 || c.dutyParams().Enabled()
 }
 
 // Report holds the measurements of one simulation. It is the shared
@@ -274,6 +335,7 @@ func prepare(cfg Config) (run, error) {
 	if err != nil {
 		return run{}, err
 	}
+	sys, grp := duty.Wrap(sys, cfg.dutyParams())
 	var adv core.Adversary
 	if cfg.Replay != nil {
 		adv = scenario.NewReplayer(cfg.Replay)
@@ -305,22 +367,82 @@ func prepare(cfg Config) (run, error) {
 		if err != nil {
 			return run{}, fmt.Errorf("earmac: encoding config into trace header: %w", err)
 		}
-		enc = scenario.NewEncoder(cfg.RecordTo, scenario.Header{
-			N: cfg.N, Rounds: cfg.Rounds, Config: raw,
-		})
+		hdr := scenario.Header{N: cfg.N, Rounds: cfg.Rounds, Config: raw}
+		if cfg.disrupted() {
+			hdr.Version = scenario.TraceVersion // kinded events need v3
+		}
+		enc = scenario.NewEncoder(cfg.RecordTo, hdr)
 		injObs = enc.Round
 	}
-	sim := core.NewSim(sys, adv, core.Options{
+	opts := core.Options{
 		Strict:            !cfg.Lenient,
 		CheckEvery:        conservationCheckEvery(cfg),
 		Tracker:           tr,
 		Tracer:            tracer,
 		ForceChecked:      cfg.ForceChecked,
 		InjectionObserver: injObs,
-	})
+	}
+	// Disruption on the classic single channel: the jammer (or a trace
+	// replay of one) and the outage schedule address channel 0. The
+	// closure runs once per round, serially, after the round's injection
+	// event was recorded — so jam/outage events land behind it in the
+	// trace, as the v3 per-round ordering requires.
+	var disruptor network.Disruptor
+	if cfg.Replay != nil {
+		if jr := network.NewJamReplay(cfg.Replay); jr != nil {
+			disruptor = jr
+		}
+	} else if cfg.jamming() {
+		jt := adversary.Type{Rho: ratio.New(cfg.JamRhoNum, cfg.JamRhoDen), Beta: ratio.FromInt(cfg.JamBeta)}
+		disruptor = network.NewJammer(jt, 1, cfg.Seed)
+	}
+	outs, err := network.NewOutageSchedule(cfg.Outages, 1)
+	if err != nil {
+		return run{}, fmt.Errorf("earmac: %w", err)
+	}
+	if disruptor != nil || outs != nil {
+		jamBuf := make([]int, 0, 1)
+		opts.Disrupted = func(round int64) core.Disrupt {
+			var d core.Disrupt
+			if disruptor != nil {
+				jamBuf = disruptor.AppendJams(round, jamBuf[:0])
+				if len(jamBuf) > 0 {
+					d |= core.DisruptJam
+					if enc != nil {
+						enc.Jam(round, 0)
+					}
+				}
+			}
+			if outs != nil {
+				if active, starts, dur := outs.Active(0, round); active {
+					d |= core.DisruptOutage
+					if starts && enc != nil {
+						enc.Outage(round, 0, dur)
+					}
+				}
+			}
+			return d
+		}
+	}
+	if grp != nil && enc != nil {
+		lastAsleep := 0
+		opts.RoundEnd = func(round int64) {
+			if a := grp.Asleep(); a != lastAsleep {
+				lastAsleep = a
+				enc.Sleep(round, 0, a)
+			}
+		}
+	}
+	sim := core.NewSim(sys, adv, opts)
 	return run{
-		step:     sim.Run,
-		snapshot: func() Report { return report.FromTracker(sys.Info, cfg.N, tr) },
+		step: sim.Run,
+		snapshot: func() Report {
+			rep := report.FromTracker(sys.Info, cfg.N, tr)
+			if grp != nil {
+				rep.SleepRounds = grp.SleepRounds()
+			}
+			return rep
+		},
 		counters: func() *metrics.Counters { return &tr.Counters },
 		enc:      enc,
 	}, nil
@@ -349,12 +471,19 @@ func prepareNetwork(cfg Config) (run, error) {
 		return run{}, fmt.Errorf("earmac: %w", err)
 	}
 	var info core.AlgorithmInfo
+	// One duty group per channel (nil entries when duty-cycling is off):
+	// the network's Sleepers hook and the report's SleepRounds read them.
+	groups := make([]*duty.Group, cfg.Channels)
 	build := func(ch int) (*core.System, error) {
 		sys, err := registry.Build(cfg.Algorithm, cfg.N, cfg.K)
-		if err == nil && ch == 0 {
+		if err != nil {
+			return nil, err
+		}
+		sys, groups[ch] = duty.Wrap(sys, cfg.dutyParams())
+		if ch == 0 {
 			info = sys.Info
 		}
-		return sys, err
+		return sys, nil
 	}
 	var entry network.Source
 	if cfg.Replay != nil {
@@ -384,9 +513,11 @@ func prepareNetwork(cfg Config) (run, error) {
 		if err != nil {
 			return run{}, fmt.Errorf("earmac: encoding config into trace header: %w", err)
 		}
-		enc = scenario.NewEncoder(cfg.RecordTo, scenario.Header{
-			N: cfg.N, Rounds: cfg.Rounds, Channels: cfg.Channels, Config: raw,
-		})
+		hdr := scenario.Header{N: cfg.N, Rounds: cfg.Rounds, Channels: cfg.Channels, Config: raw}
+		if cfg.disrupted() {
+			hdr.Version = scenario.TraceVersion // kinded events need v3
+		}
+		enc = scenario.NewEncoder(cfg.RecordTo, hdr)
 		rec = enc.ChannelRound
 	}
 	var tracer func(ch int) core.Tracer
@@ -399,7 +530,7 @@ func prepareNetwork(cfg Config) (run, error) {
 			return &trace.Logger{W: cfg.Trace, From: cfg.TraceFrom, To: cfg.TraceUpTo, Names: names}
 		}
 	}
-	net, err := network.New(topo, build, entry, network.Options{
+	netOpts := network.Options{
 		Strict:        !cfg.Lenient,
 		CheckEvery:    conservationCheckEvery(cfg),
 		ForceChecked:  cfg.ForceChecked,
@@ -408,10 +539,34 @@ func prepareNetwork(cfg Config) (run, error) {
 		TrackStations: true,
 		Recorder:      rec,
 		Tracer:        tracer,
-	})
+	}
+	if cfg.Replay != nil {
+		if jr := network.NewJamReplay(cfg.Replay); jr != nil {
+			netOpts.Disruptor = jr
+		}
+	} else if cfg.jamming() {
+		jt := adversary.Type{Rho: ratio.New(cfg.JamRhoNum, cfg.JamRhoDen), Beta: ratio.FromInt(cfg.JamBeta)}
+		netOpts.Disruptor = network.NewJammer(jt, cfg.Channels, cfg.Seed)
+	}
+	if netOpts.Outages, err = network.NewOutageSchedule(cfg.Outages, cfg.Channels); err != nil {
+		return run{}, fmt.Errorf("earmac: %w", err)
+	}
+	if cfg.dutyParams().Enabled() {
+		netOpts.Sleepers = func(ch int) int { return groups[ch].Asleep() }
+	}
+	if enc != nil && cfg.disrupted() {
+		netOpts.Events = enc
+	}
+	net, err := network.New(topo, build, entry, netOpts)
 	if err != nil {
 		return run{}, err
 	}
+	// The effective per-channel entry budget (the burst floored at 1 —
+	// see network.SplitType) goes into the report so rows aren't
+	// mislabeled with the nominal (ρ, β) when β < Channels.
+	split := network.SplitType(adversary.Type{
+		Rho: ratio.New(cfg.RhoNum, cfg.RhoDen), Beta: ratio.FromInt(cfg.Beta),
+	}, cfg.Channels)
 	snapshot := func() Report {
 		rep := report.FromTracker(info, topo.Stations(), net.Tracker())
 		rep.N = cfg.N
@@ -421,6 +576,13 @@ func prepareNetwork(cfg Config) (run, error) {
 		rep.QueueImbalance = net.QueueImbalance()
 		rep.Violations = net.Violations()
 		rep.PerChannel = perChannelReports(net)
+		rep.SplitRho = split.Rho.String()
+		rep.SplitBeta = split.Beta.String()
+		for _, g := range groups {
+			if g != nil {
+				rep.SleepRounds += g.SleepRounds()
+			}
+		}
 		return rep
 	}
 	return run{
@@ -449,6 +611,9 @@ func perChannelReports(net *network.Network) []report.Channel {
 			HeardRounds:     tr.HeardRounds,
 			SilentRounds:    tr.SilentRounds,
 			CollisionRounds: tr.CollisionRounds,
+			JammedRounds:    tr.JammedRounds,
+			OutageRounds:    tr.OutageRounds,
+			Dropped:         tr.Dropped,
 		}
 	}
 	return out

@@ -13,6 +13,7 @@ import (
 	"earmac/internal/algorithms/orchestra"
 	"earmac/internal/algorithms/randmac"
 	"earmac/internal/core"
+	"earmac/internal/mac/duty"
 	"earmac/internal/metrics"
 	"earmac/internal/ratio"
 	"earmac/internal/scenario"
@@ -83,6 +84,29 @@ func TestFastPathZeroAllocsRandMAC(t *testing.T) {
 	perRound := steadyAllocsPerRound(t, sys, adv, 60000, 30000)
 	if perRound != 0 {
 		t.Errorf("aloha steady state allocates %.4f allocs/round, want 0", perRound)
+	}
+}
+
+// TestFastPathZeroAllocsDutyCycled extends the perf floor to the ISSUE 8
+// energy layer: a duty-cycled wrap (sleep-after-idle plus a wake
+// schedule) must not cost the fast path its allocation-free steady
+// state — the wrapper is pure bookkeeping over the inner protocol.
+func TestFastPathZeroAllocsDutyCycled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is long")
+	}
+	sys, err := randmac.New(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, grp := duty.Wrap(sys, duty.Params{SleepAfterIdle: 16, WakeEvery: 8})
+	adv := adversary.New(adversary.T(1, 40, 2), adversary.Uniform(8, 7))
+	perRound := steadyAllocsPerRound(t, sys, adv, 60000, 30000)
+	if perRound != 0 {
+		t.Errorf("duty-cycled aloha steady state allocates %.4f allocs/round, want 0", perRound)
+	}
+	if grp.SleepRounds() == 0 {
+		t.Error("duty-cycling never suppressed a listen at ρ = 1/40")
 	}
 }
 

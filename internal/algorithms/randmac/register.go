@@ -12,5 +12,8 @@ func init() {
 		MinN:        2,
 		MinK:        2,
 		KStrict:     true,
+		// Collisions (jammed or real) just mean "retry later", and a
+		// missed listen costs at most a delivery — never an invariant.
+		Tolerant: true,
 	}, New)
 }

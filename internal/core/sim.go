@@ -45,7 +45,39 @@ type Options struct {
 	// fast path would apply (see Sim.FastPath). Used by the equivalence
 	// tests; never needed in normal operation.
 	ForceChecked bool
+	// Disrupted, when non-nil, is consulted exactly once per round on
+	// both paths — after injections and actions, before channel
+	// resolution — and returns the round's disruption flags. A disrupted
+	// round delivers nothing: every switched-on station observes
+	// FbCollision regardless of how many stations transmitted (jamming
+	// noise and a dead channel are indistinguishable from a collision at
+	// the receivers), stations still spend their energy, and the tracker
+	// counts the round as a collision plus the matching Jammed/Outaged
+	// counter. The hook runs on the fast path too, so it must not
+	// allocate in steady state.
+	Disrupted func(round int64) Disrupt
+	// DropObserver, when non-nil, receives every packet that dies
+	// mid-route: a heard round whose destination station is switched off
+	// under a direct algorithm (see Counters.Dropped for the exact
+	// semantics). Topology layers use it to reclaim per-packet relay
+	// state; like DeliveryObserver it runs on both paths.
+	DropObserver func(round int64, p mac.Packet)
+	// RoundEnd, when non-nil, runs at the very end of every round on
+	// both paths, after all statistics for the round are folded. It is
+	// the hook duty-cycle recorders use to observe per-round sleep
+	// state at a point where every station has acted.
+	RoundEnd func(round int64)
 }
+
+// Disrupt is a bit set of reasons a round was externally disrupted.
+type Disrupt uint8
+
+const (
+	// DisruptJam marks a round jammed by a budgeted jamming adversary.
+	DisruptJam Disrupt = 1 << iota
+	// DisruptOutage marks a round inside a channel outage window.
+	DisruptOutage
+)
 
 // Sim drives one system against one adversary.
 //
@@ -80,6 +112,9 @@ type Sim struct {
 	injObs    func(round int64, injs []Injection)
 	extInj    InjectAppender
 	delObs    func(round int64, p mac.Packet)
+	disrupt   func(round int64) Disrupt
+	dropObs   func(round int64, p mac.Packet)
+	roundEnd  func(round int64)
 
 	round    int64
 	nextID   int64
@@ -118,6 +153,9 @@ func NewSim(sys *System, adv Adversary, opt Options) *Sim {
 	s.injObs = opt.InjectionObserver
 	s.extInj = opt.ExtraInjections
 	s.delObs = opt.DeliveryObserver
+	s.disrupt = opt.Disrupted
+	s.dropObs = opt.DropObserver
+	s.roundEnd = opt.RoundEnd
 	if opt.CheckEvery > 0 {
 		s.live = make(map[int64]mac.Packet)
 		s.delivered = make(map[int64]bool)
@@ -275,9 +313,24 @@ func (s *Sim) stepFast() {
 		}
 	}
 
-	// 4. Channel resolution and ground-truth delivery.
+	// 4. Channel resolution and ground-truth delivery. An externally
+	// disrupted round (jam or outage) overrides the contention outcome:
+	// nothing is delivered and every listener observes a collision.
+	var disrupted Disrupt
+	if s.disrupt != nil {
+		disrupted = s.disrupt(t)
+	}
 	var fb mac.Feedback
 	switch {
+	case disrupted != 0:
+		fb.Kind = mac.FbCollision
+		tr.CollisionRounds++
+		if disrupted&DisruptJam != 0 {
+			tr.JammedRounds++
+		}
+		if disrupted&DisruptOutage != 0 {
+			tr.OutageRounds++
+		}
 	case transmitters == 0:
 		fb.Kind = mac.FbSilence
 		tr.SilentRounds++
@@ -293,6 +346,15 @@ func (s *Sim) stepFast() {
 			tr.ObserveDelivery(t - msg.Packet.Injected)
 			if s.delObs != nil {
 				s.delObs(t, msg.Packet)
+			}
+		} else if s.sys.Info.Direct {
+			// A direct algorithm's transmitter treats an uncontended
+			// heard round as an acknowledgement and retires the packet,
+			// but the destination was switched off (duty-cycled): the
+			// packet dies mid-route.
+			tr.Dropped++
+			if s.dropObs != nil {
+				s.dropObs(t, msg.Packet)
 			}
 		}
 	default:
@@ -325,6 +387,9 @@ func (s *Sim) stepFast() {
 	}
 	tr.ObserveStationQueues(s.queueLen)
 	tr.ObserveRound(t, totalQueue, energy)
+	if s.roundEnd != nil {
+		s.roundEnd(t)
+	}
 	s.round++
 }
 
@@ -401,10 +466,24 @@ func (s *Sim) stepChecked() error {
 		}
 	}
 
-	// 4. Channel resolution and ground-truth delivery.
+	// 4. Channel resolution and ground-truth delivery. Disruption
+	// overrides the contention outcome exactly as on the fast path.
+	var disrupted Disrupt
+	if s.disrupt != nil {
+		disrupted = s.disrupt(t)
+	}
 	var fb mac.Feedback
 	deliveredPkts := s.delBuf[:0]
 	switch {
+	case disrupted != 0:
+		fb = mac.Feedback{Kind: mac.FbCollision}
+		s.tracker.CollisionRounds++
+		if disrupted&DisruptJam != 0 {
+			s.tracker.JammedRounds++
+		}
+		if disrupted&DisruptOutage != 0 {
+			s.tracker.OutageRounds++
+		}
 	case transmitters == 0:
 		fb = mac.Feedback{Kind: mac.FbSilence}
 		s.tracker.SilentRounds++
@@ -429,6 +508,21 @@ func (s *Sim) stepChecked() error {
 						return err
 					}
 				}
+				s.delivered[p.ID] = true
+				delete(s.live, p.ID)
+			}
+		} else if s.sys.Info.Direct {
+			// Mid-route death (see the fast path): the direct
+			// transmitter retires the packet on an uncontended heard
+			// round, but the duty-cycled destination was off. The
+			// packet leaves conservation tracking as consumed — no
+			// station may hold it afterwards.
+			p := msg.Packet
+			s.tracker.Dropped++
+			if s.dropObs != nil {
+				s.dropObs(t, p)
+			}
+			if s.live != nil {
 				s.delivered[p.ID] = true
 				delete(s.live, p.ID)
 			}
@@ -467,6 +561,9 @@ func (s *Sim) stepChecked() error {
 	}
 	s.tracker.ObserveStationQueues(s.queueLen)
 	s.tracker.ObserveRound(t, totalQueue, energy)
+	if s.roundEnd != nil {
+		s.roundEnd(t)
+	}
 	s.round++
 
 	if s.opt.CheckEvery > 0 && s.round%s.opt.CheckEvery == 0 {

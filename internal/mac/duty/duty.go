@@ -1,0 +1,144 @@
+// Package duty implements threshold-rule duty-cycling as a wrapper over
+// any registered algorithm's station set (ISSUE 8; after Giroire et al.,
+// "Energy Efficient Routing by Switching-Off Network Interfaces").
+//
+// A wrapped station runs its inner protocol unchanged but may suppress
+// the rounds the inner protocol would merely *listen* in: once its queue
+// has been empty for SleepAfterIdle consecutive rounds it switches off
+// instead of listening (waking every WakeEvery rounds to peek at the
+// channel, if configured), and once it has spent EnergyBudget switched-on
+// rounds it stops listening for good. Transmissions are always honored —
+// sleeping must never destroy a packet the inner protocol decided to
+// send — and a fresh injection resets the idle clock, so loaded stations
+// behave exactly like the unwrapped algorithm.
+//
+// The price of sleeping is paid in deliveries, not protocol corruption: a
+// direct algorithm's transmitter retires a packet on an uncontended heard
+// round even when the sleeping destination missed it, which the simulator
+// counts as a drop (metrics.Counters.Dropped). Only algorithms whose
+// registry metadata declares Tolerant compose safely with duty-cycling;
+// the facade enforces that.
+//
+// Wrapping clears the system's oblivious schedule claim: the sleep rules
+// are adaptive (they depend on queue history), so the wrapped system is
+// no longer schedule-conformant and must not advertise one.
+package duty
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/mac"
+)
+
+// Params are the threshold knobs. The zero value disables duty-cycling
+// entirely (Wrap then returns the system unchanged).
+type Params struct {
+	// SleepAfterIdle switches a station off instead of listening once
+	// its queue has been empty for this many consecutive rounds
+	// (0 = never sleep on idleness).
+	SleepAfterIdle int64
+	// WakeEvery, when > 0, wakes an idle-sleeping station every
+	// WakeEvery rounds for one round, so it can still be reached.
+	WakeEvery int64
+	// EnergyBudget, when > 0, is the residual-energy threshold: after a
+	// station has spent this many switched-on rounds it suppresses all
+	// further listening (transmissions still go out).
+	EnergyBudget int64
+}
+
+// Enabled reports whether any knob is active.
+func (p Params) Enabled() bool { return p.SleepAfterIdle > 0 || p.EnergyBudget > 0 }
+
+// Group is the shared sleep bookkeeping for one wrapped station set.
+type Group struct {
+	p Params
+
+	curRound    int64
+	curAsleep   int
+	sleepRounds int64
+}
+
+// Asleep returns the number of stations that suppressed their action in
+// the round currently being (or just finished being) stepped. It is
+// meaningful at round end — core.Options.RoundEnd, or the network's
+// post-dispatch fold — after every station has acted.
+func (g *Group) Asleep() int { return g.curAsleep }
+
+// SleepRounds returns the cumulative count of suppressed station-rounds.
+func (g *Group) SleepRounds() int64 { return g.sleepRounds }
+
+type station struct {
+	g     *Group
+	inner core.Protocol
+	idle  int64 // consecutive rounds ended with an empty queue
+	spent int64 // switched-on rounds consumed against EnergyBudget
+}
+
+func (s *station) Inject(p mac.Packet) {
+	s.idle = 0 // traffic wakes the station this very round
+	s.inner.Inject(p)
+}
+
+func (s *station) Act(round int64) core.Action {
+	g := s.g
+	if round != g.curRound {
+		g.curRound, g.curAsleep = round, 0
+	}
+	a := s.inner.Act(round)
+	if a.On && !a.Transmit && s.sleeping(round) {
+		a = core.Action{} // off: the listen is suppressed, nothing else
+		g.curAsleep++
+		g.sleepRounds++
+	}
+	if a.On {
+		s.spent++
+	}
+	if s.inner.QueueLen() == 0 {
+		s.idle++
+	} else {
+		s.idle = 0
+	}
+	return a
+}
+
+// sleeping decides whether a would-be listen round is suppressed.
+func (s *station) sleeping(round int64) bool {
+	if s.g.p.EnergyBudget > 0 && s.spent >= s.g.p.EnergyBudget {
+		return true // exhausted: no wake schedule brings it back
+	}
+	if s.g.p.SleepAfterIdle > 0 && s.idle >= s.g.p.SleepAfterIdle {
+		return !(s.g.p.WakeEvery > 0 && round%s.g.p.WakeEvery == 0)
+	}
+	return false
+}
+
+func (s *station) Observe(round int64, fb mac.Feedback) { s.inner.Observe(round, fb) }
+
+func (s *station) QueueLen() int { return s.inner.QueueLen() }
+
+// HeldPackets forwards conservation snapshots: sleeping never moves or
+// destroys queued packets, so the inner holder's view is the truth.
+func (s *station) HeldPackets() []mac.Packet {
+	if h, ok := s.inner.(core.PacketHolder); ok {
+		return h.HeldPackets()
+	}
+	return nil
+}
+
+// Wrap returns sys with every station duty-cycled under p, plus the
+// Group exposing the sleep counters. With p zero it returns (sys, nil)
+// unchanged. The wrapped system drops the oblivious schedule claim (see
+// the package comment); everything else in Info is preserved — in
+// particular EnergyCap, which sleeping can only help satisfy.
+func Wrap(sys *core.System, p Params) (*core.System, *Group) {
+	if !p.Enabled() {
+		return sys, nil
+	}
+	g := &Group{p: p, curRound: -1}
+	stations := make([]core.Protocol, len(sys.Stations))
+	for i, st := range sys.Stations {
+		stations[i] = &station{g: g, inner: st}
+	}
+	info := sys.Info
+	info.Oblivious = false
+	return &core.System{Info: info, Stations: stations}, g
+}

@@ -1,0 +1,158 @@
+package duty
+
+import (
+	"testing"
+
+	"earmac/internal/core"
+	"earmac/internal/mac"
+)
+
+// listener is a minimal inner protocol: it listens every round, holds a
+// countable queue, and records the feedback it observes.
+type listener struct {
+	queue    []mac.Packet
+	observed int
+}
+
+func (l *listener) Inject(p mac.Packet)                  { l.queue = append(l.queue, p) }
+func (l *listener) Act(round int64) core.Action          { return core.Listen() }
+func (l *listener) Observe(round int64, fb mac.Feedback) { l.observed++ }
+func (l *listener) QueueLen() int                        { return len(l.queue) }
+
+func wrapOne(t *testing.T, p Params) (*station, *Group) {
+	t.Helper()
+	sys := &core.System{
+		Info:     core.AlgorithmInfo{Name: "listener", EnergyCap: 1},
+		Stations: []core.Protocol{&listener{}},
+	}
+	wrapped, g := Wrap(sys, p)
+	if g == nil {
+		t.Fatalf("Wrap(%+v) disabled duty-cycling", p)
+	}
+	if sys.Info.Oblivious {
+		t.Fatal("test premise broken: inner Info claims a schedule")
+	}
+	if wrapped.Info.Oblivious {
+		t.Error("wrapped system still claims an oblivious schedule")
+	}
+	return wrapped.Stations[0].(*station), g
+}
+
+func TestWrapDisabledIsIdentity(t *testing.T) {
+	sys := &core.System{Stations: []core.Protocol{&listener{}}}
+	got, g := Wrap(sys, Params{})
+	if got != sys || g != nil {
+		t.Fatalf("Wrap with zero Params = (%p, %v), want the input system and nil group", got, g)
+	}
+	if (Params{WakeEvery: 8}).Enabled() {
+		t.Error("WakeEvery alone must not enable duty-cycling")
+	}
+}
+
+// TestSleepAfterIdle: a station listens through the idle threshold, then
+// suppresses every listen — except the WakeEvery peek rounds — and the
+// group counters see each suppression.
+func TestSleepAfterIdle(t *testing.T) {
+	s, g := wrapOne(t, Params{SleepAfterIdle: 3, WakeEvery: 5})
+	for round := int64(1); round <= 20; round++ {
+		a := s.Act(round)
+		// idle hits 3 at the end of round 3, so round 4 is the first
+		// suppressed listen; multiples of 5 stay awake.
+		wantOn := round <= 3 || round%5 == 0
+		if a.On != wantOn {
+			t.Errorf("round %d: On = %v, want %v", round, a.On, wantOn)
+		}
+	}
+	if g.SleepRounds() != 13 {
+		t.Errorf("SleepRounds = %d, want 13 (rounds 4..20 minus the four wake peeks)", g.SleepRounds())
+	}
+}
+
+// TestInjectResetsIdle: traffic wakes a sleeping station that very
+// round, and the idle clock restarts from its queue going empty again.
+func TestInjectResetsIdle(t *testing.T) {
+	s, _ := wrapOne(t, Params{SleepAfterIdle: 2})
+	for round := int64(1); round <= 4; round++ {
+		if a := s.Act(round); a.On != (round <= 2) {
+			t.Fatalf("round %d: On = %v during warm-up", round, a.On)
+		}
+	}
+	s.Inject(mac.Packet{ID: 1})
+	if a := s.Act(5); !a.On {
+		t.Error("round 5: injection did not wake the station")
+	}
+	// The queue never drains (the listener keeps its packets), so the
+	// station stays awake indefinitely.
+	for round := int64(6); round <= 12; round++ {
+		if a := s.Act(round); !a.On {
+			t.Errorf("round %d: loaded station went to sleep", round)
+		}
+	}
+}
+
+// TestEnergyBudgetExhaustionIsPermanent: after EnergyBudget switched-on
+// rounds the station stops listening for good — no wake schedule and no
+// idle reset brings it back.
+func TestEnergyBudgetExhaustionIsPermanent(t *testing.T) {
+	s, g := wrapOne(t, Params{EnergyBudget: 4, SleepAfterIdle: 100, WakeEvery: 2})
+	for round := int64(1); round <= 4; round++ {
+		if a := s.Act(round); !a.On {
+			t.Fatalf("round %d: suppressed before the budget ran out", round)
+		}
+	}
+	s.Inject(mac.Packet{ID: 1}) // traffic cannot revive a dead battery
+	for round := int64(5); round <= 12; round++ {
+		if a := s.Act(round); a.On {
+			t.Errorf("round %d: exhausted station switched on", round)
+		}
+	}
+	if g.SleepRounds() != 8 {
+		t.Errorf("SleepRounds = %d, want 8", g.SleepRounds())
+	}
+}
+
+// transmitter always sends; duty-cycling must never suppress a
+// transmission, whatever the thresholds say.
+type transmitter struct{ listener }
+
+func (tr *transmitter) Act(round int64) core.Action {
+	return core.Transmit(mac.Message{})
+}
+
+func TestTransmissionsAlwaysHonored(t *testing.T) {
+	sys := &core.System{Stations: []core.Protocol{&transmitter{}}}
+	wrapped, g := Wrap(sys, Params{SleepAfterIdle: 1, EnergyBudget: 2})
+	s := wrapped.Stations[0]
+	for round := int64(1); round <= 10; round++ {
+		if a := s.Act(round); !a.On || !a.Transmit {
+			t.Fatalf("round %d: transmission suppressed: %+v", round, a)
+		}
+	}
+	if g.SleepRounds() != 0 {
+		t.Errorf("SleepRounds = %d for a station that never listened", g.SleepRounds())
+	}
+}
+
+// TestGroupAsleepPerRound: Asleep reports the current round's count
+// across the whole wrapped set and resets when the next round begins.
+func TestGroupAsleepPerRound(t *testing.T) {
+	sys := &core.System{Stations: []core.Protocol{&listener{}, &listener{}, &transmitter{}}}
+	wrapped, g := Wrap(sys, Params{SleepAfterIdle: 2})
+	act := func(round int64) {
+		for _, s := range wrapped.Stations {
+			s.Act(round)
+		}
+	}
+	act(1)
+	act(2)
+	if g.Asleep() != 0 {
+		t.Fatalf("Asleep = %d before the idle threshold", g.Asleep())
+	}
+	act(3)
+	if g.Asleep() != 2 {
+		t.Errorf("Asleep = %d, want the two idle listeners", g.Asleep())
+	}
+	if g.SleepRounds() != 2 {
+		t.Errorf("SleepRounds = %d, want 2", g.SleepRounds())
+	}
+}

@@ -48,6 +48,17 @@ type Counters struct {
 	LightRounds     int64 // heard, but control bits only
 	DeliveryRounds  int64 // heard and the packet reached its destination
 	ControlBits     int64 // total control bits on heard messages
+
+	// Disruption counters (ISSUE 8). A jammed or outaged round is also a
+	// CollisionRounds round — the disruption counters say why. Dropped
+	// counts packets that died mid-route: an uncontended heard round
+	// under a direct algorithm whose (duty-cycled) destination was off,
+	// so the transmitter retired a packet nobody received. The omitempty
+	// tags keep every committed trace footer and report byte-stable for
+	// runs without jamming, outages, or duty-cycling.
+	JammedRounds int64 `json:"JammedRounds,omitempty"`
+	OutageRounds int64 `json:"OutageRounds,omitempty"`
+	Dropped      int64 `json:"Dropped,omitempty"`
 }
 
 // Tracker accumulates simulation statistics. The zero value is not
@@ -161,8 +172,10 @@ func (t *Tracker) Violate(format string, args ...any) {
 	}
 }
 
-// Pending returns injected minus delivered packets.
-func (t *Tracker) Pending() int64 { return t.Injected - t.Delivered }
+// Pending returns the packets still in flight: injected minus delivered
+// minus dropped (a dropped packet left the system without arriving, so
+// it no longer occupies any queue).
+func (t *Tracker) Pending() int64 { return t.Injected - t.Delivered - t.Dropped }
 
 // MeanLatency returns the average delivery delay.
 func (t *Tracker) MeanLatency() float64 {

@@ -34,13 +34,17 @@ type Source interface {
 // ρ_c·1 + β_c ≥ 1 — so the budget-split invariant is:
 //
 //   - rates split exactly: Σ_c ρ_c = ρ, and
-//   - bursts split exactly whenever β ≥ channels (Σ_c β_c = β);
-//     for β < channels each channel keeps the minimum live burst of 1,
-//     making the network-wide entry stream (ρ, channels)-admissible.
+//   - bursts split exactly whenever β ≥ channels (Σ_c β_c = β); for
+//     β < channels the floor *overshoots* — the channels jointly hold
+//     burst credit `channels`, more than the nominal β — so the network
+//     total respects the (ρ, max(β, channels)) contract, NOT the
+//     nominal (ρ, β) one.
 //
 // Per channel, the entry stream always respects (ρ/channels,
-// max(β/channels, 1)) — the type CheckAdmissibleSplit audits recorded
-// traces against.
+// max(β/channels, 1)); the network-wide entry stream respects the
+// effective global type scenario.EffectiveGlobalType(split, channels) =
+// (ρ, max(β, channels)). CheckAdmissibleSplit audits recorded traces
+// against both.
 func SplitType(typ adversary.Type, channels int) adversary.Type {
 	if channels < 1 {
 		panic("network: SplitType with no channels")

@@ -1,0 +1,217 @@
+package network
+
+// Disruption sources (ISSUE 8): a budgeted jamming adversary choosing
+// (round, channel) pairs to jam, and validated per-channel outage
+// schedules. Both feed Network.Step's phase 1, which translates them
+// into per-channel core.Disrupt flags for the round — a disrupted round
+// delivers nothing and reads as a collision (see core.Options.Disrupted)
+// — and, for outages, parks incoming relay hand-offs until the channel
+// comes back.
+
+import (
+	"fmt"
+	"sort"
+
+	"earmac/internal/adversary"
+	"earmac/internal/scenario"
+)
+
+// Disruptor supplies the channels jammed in each round. AppendJams is
+// called exactly once per round, serially (from Step's phase 1, before
+// any channel is dispatched), with rounds strictly increasing; it must
+// append the jammed channel indices in ascending order and reuse buf —
+// the steady-state round loop is allocation-free.
+type Disruptor interface {
+	AppendJams(round int64, buf []int) []int
+}
+
+// jamSeedMix decorrelates the jammer's channel choices from the
+// injection patterns, which are seeded from the same user seed.
+const jamSeedMix = 0x6a61_6d5f_6561_72 // "jam_ear"
+
+// Jammer is the budgeted jamming adversary: a separate (ρ_j, β_j)
+// leaky bucket, spent one unit per jammed (round, channel). Each round
+// it greedily spends as much budget as it can — min(budget, channels)
+// distinct channels, drawn by a seeded partial shuffle — so intensity
+// is governed purely by the type: ρ_j = 1/8 on one channel jams every
+// 8th round. Fully deterministic in (type, channels, seed).
+type Jammer struct {
+	bucket   *adversary.Bucket
+	state    uint64
+	channels int
+	perm     []int
+}
+
+// NewJammer builds a jamming adversary over the given channel count.
+func NewJammer(typ adversary.Type, channels int, seed int64) *Jammer {
+	if channels < 1 {
+		panic("network: jammer needs at least one channel")
+	}
+	return &Jammer{
+		bucket:   adversary.NewBucket(typ),
+		state:    uint64(seed) ^ jamSeedMix,
+		channels: channels,
+		perm:     make([]int, channels),
+	}
+}
+
+// splitmix is the standard 64-bit mix (private copy; randmac keeps its
+// own for the same reason: the constant is part of the algorithm).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AppendJams implements Disruptor.
+func (j *Jammer) AppendJams(round int64, buf []int) []int {
+	k := j.bucket.Tick()
+	if k > j.channels {
+		k = j.channels
+	}
+	j.bucket.Spend(k)
+	if k == 0 {
+		return buf
+	}
+	if k == j.channels {
+		for c := 0; c < j.channels; c++ {
+			buf = append(buf, c)
+		}
+		return buf
+	}
+	// Partial Fisher-Yates over the persistent scratch, then an
+	// insertion sort of the k chosen channels (k is tiny).
+	for i := range j.perm {
+		j.perm[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j.state = splitmix(j.state)
+		o := i + int(j.state%uint64(j.channels-i))
+		j.perm[i], j.perm[o] = j.perm[o], j.perm[i]
+	}
+	start := len(buf)
+	buf = append(buf, j.perm[:k]...)
+	chosen := buf[start:]
+	for i := 1; i < len(chosen); i++ {
+		for o := i; o > 0 && chosen[o] < chosen[o-1]; o-- {
+			chosen[o], chosen[o-1] = chosen[o-1], chosen[o]
+		}
+	}
+	return buf
+}
+
+// JamReplay re-executes the jam stream of a recorded trace-v3 run: the
+// recorded jam events, consumed in (round, channel) order. Like the
+// entry-stream replayers it applies no bucket — the recording already
+// proved the jam stream affordable (CheckJamAdmissible).
+type JamReplay struct {
+	events []scenario.Event
+	cur    int
+}
+
+// NewJamReplay extracts a trace's jam events. It returns nil when the
+// trace has none, so callers can gate on the result.
+func NewJamReplay(t *scenario.Trace) *JamReplay {
+	var r *JamReplay
+	for _, ev := range t.Events {
+		if ev.Kind == scenario.KindJam {
+			if r == nil {
+				r = &JamReplay{}
+			}
+			r.events = append(r.events, ev)
+		}
+	}
+	return r
+}
+
+// AppendJams implements Disruptor.
+func (r *JamReplay) AppendJams(round int64, buf []int) []int {
+	for r.cur < len(r.events) && r.events[r.cur].Round < round {
+		r.cur++ // skipped by the driver
+	}
+	for r.cur < len(r.events) && r.events[r.cur].Round == round {
+		buf = append(buf, r.events[r.cur].Channel)
+		r.cur++
+	}
+	return buf
+}
+
+// Outage is one channel-dead window: channel Channel delivers nothing
+// during rounds [From, From+Rounds), and relay hand-offs destined for
+// it queue at the network layer until the window ends.
+type Outage struct {
+	Channel int   `json:"channel"`
+	From    int64 `json:"from"`
+	Rounds  int64 `json:"rounds"`
+}
+
+// OutageSchedule is a validated set of outage windows, queried once per
+// (channel, round) with rounds nondecreasing (one cursor per channel —
+// a schedule is good for a single forward pass; build a fresh one per
+// run).
+type OutageSchedule struct {
+	byCh [][]Outage
+	cur  []int
+}
+
+// NewOutageSchedule validates and indexes outage windows for a network
+// of the given channel count: every window must name a valid channel,
+// start at round ≥ 0, last ≥ 1 round, and windows on the same channel
+// must not overlap. An empty window set returns (nil, nil).
+func NewOutageSchedule(outs []Outage, channels int) (*OutageSchedule, error) {
+	if len(outs) == 0 {
+		return nil, nil
+	}
+	s := &OutageSchedule{
+		byCh: make([][]Outage, channels),
+		cur:  make([]int, channels),
+	}
+	for _, o := range outs {
+		if o.Channel < 0 || o.Channel >= channels {
+			return nil, fmt.Errorf("network: outage on channel %d, have %d channels", o.Channel, channels)
+		}
+		if o.From < 0 {
+			return nil, fmt.Errorf("network: outage on channel %d starts at negative round %d", o.Channel, o.From)
+		}
+		if o.Rounds < 1 {
+			return nil, fmt.Errorf("network: outage on channel %d lasts %d rounds, need >= 1", o.Channel, o.Rounds)
+		}
+		s.byCh[o.Channel] = append(s.byCh[o.Channel], o)
+	}
+	for c, wins := range s.byCh {
+		sort.Slice(wins, func(i, o int) bool { return wins[i].From < wins[o].From })
+		for i := 1; i < len(wins); i++ {
+			if wins[i].From < wins[i-1].From+wins[i-1].Rounds {
+				return nil, fmt.Errorf("network: overlapping outage windows on channel %d: [%d,%d) and [%d,%d)",
+					c, wins[i-1].From, wins[i-1].From+wins[i-1].Rounds, wins[i].From, wins[i].From+wins[i].Rounds)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Active reports whether channel ch is dead in the given round, whether
+// this round opens a window (for event emission), and the window's
+// length when it does.
+func (s *OutageSchedule) Active(ch int, round int64) (active, starts bool, dur int64) {
+	wins := s.byCh[ch]
+	i := s.cur[ch]
+	for i < len(wins) && round >= wins[i].From+wins[i].Rounds {
+		i++
+	}
+	s.cur[ch] = i
+	if i >= len(wins) || round < wins[i].From {
+		return false, false, 0
+	}
+	return true, round == wins[i].From, wins[i].Rounds
+}
+
+// EventSink receives the disruption and sleep events Step emits after
+// its barrier, in ascending channel order within each round — the
+// trace-v3 recording hook (scenario.Encoder implements it).
+type EventSink interface {
+	Jam(round int64, ch int)
+	Outage(round int64, ch int, rounds int64)
+	Sleep(round int64, ch int, asleep int)
+}

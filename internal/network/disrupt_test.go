@@ -1,0 +1,287 @@
+package network
+
+// Tests for the disruption layer (ISSUE 8): the budgeted jammer, outage
+// schedule validation and querying, jam-stream replay, the mid-route
+// packet-death mirror-state reclamation regression, and the disrupted
+// variant of the allocation-free steady state.
+
+import (
+	"reflect"
+	"testing"
+
+	"earmac/internal/adversary"
+	"earmac/internal/algorithms/randmac"
+	"earmac/internal/core"
+	"earmac/internal/mac/duty"
+	"earmac/internal/scenario"
+)
+
+// TestJammerDeterministicAndBudgeted: the jam stream is a pure function
+// of (type, channels, seed); every round's jams are distinct ascending
+// channels; and every prefix of the stream respects the (ρ_j, β_j)
+// leaky-bucket budget while the greedy spend keeps long-run intensity at
+// the rate the type promises.
+func TestJammerDeterministicAndBudgeted(t *testing.T) {
+	const channels, rounds = 4, 4000
+	typ := adversary.T(1, 8, 3)
+	j1 := NewJammer(typ, channels, 99)
+	j2 := NewJammer(typ, channels, 99)
+	other := NewJammer(typ, channels, 100)
+
+	var total int64
+	var buf1, buf2, buf3 []int
+	differs := false
+	for r := int64(0); r < rounds; r++ {
+		buf1 = j1.AppendJams(r, buf1[:0])
+		buf2 = j2.AppendJams(r, buf2[:0])
+		buf3 = other.AppendJams(r, buf3[:0])
+		if !reflect.DeepEqual(buf1, buf2) {
+			t.Fatalf("round %d: same seed diverged: %v vs %v", r, buf1, buf2)
+		}
+		if !reflect.DeepEqual(buf1, buf3) {
+			differs = true
+		}
+		for i := 1; i < len(buf1); i++ {
+			if buf1[i] <= buf1[i-1] {
+				t.Fatalf("round %d: jams not ascending distinct: %v", r, buf1)
+			}
+		}
+		for _, c := range buf1 {
+			if c < 0 || c >= channels {
+				t.Fatalf("round %d: jammed channel %d out of range", r, c)
+			}
+		}
+		total += int64(len(buf1))
+		// Leaky-bucket prefix bound: jams in [0, r] cost one unit each
+		// out of ρ_j·(r+1) + β_j.
+		if limit := (r+1)/8 + 3; total > limit {
+			t.Fatalf("round %d: %d jams exceed the budget %d", r, total, limit)
+		}
+	}
+	if !differs {
+		t.Error("different seeds produced identical jam streams")
+	}
+	// Greedy spending tracks the rate: ρ_j = 1/8 over 4000 rounds is 500
+	// units, all affordable with 4 channels to spread them over.
+	if total < rounds/8 {
+		t.Errorf("jammer left budget unspent: %d jams over %d rounds at ρ_j = 1/8", total, rounds)
+	}
+}
+
+// TestJammerSaturatesAtChannelCount: a budget richer than the channel
+// count jams every channel rather than overdrawing the topology.
+func TestJammerSaturatesAtChannelCount(t *testing.T) {
+	j := NewJammer(adversary.T(3, 1, 10), 2, 1)
+	var buf []int
+	for r := int64(0); r < 50; r++ {
+		buf = j.AppendJams(r, buf[:0])
+		if !reflect.DeepEqual(buf, []int{0, 1}) {
+			t.Fatalf("round %d: want both channels jammed, got %v", r, buf)
+		}
+	}
+}
+
+// TestJamReplayReproducesStream: replaying recorded jam events yields
+// the original per-round channel sets, and a trace without jam events
+// yields a nil replayer so callers can gate on it.
+func TestJamReplayReproducesStream(t *testing.T) {
+	tr := &scenario.Trace{Events: []scenario.Event{
+		{Round: 1, Kind: scenario.KindJam, Channel: 0},
+		{Round: 1, Kind: scenario.KindJam, Channel: 2},
+		{Round: 2, Kind: scenario.KindSleep, Channel: 0, Asleep: 3},
+		{Round: 5, Kind: scenario.KindJam, Channel: 1},
+	}}
+	r := NewJamReplay(tr)
+	if r == nil {
+		t.Fatal("NewJamReplay returned nil for a trace with jam events")
+	}
+	want := map[int64][]int{1: {0, 2}, 5: {1}}
+	var buf []int
+	for round := int64(0); round < 8; round++ {
+		buf = r.AppendJams(round, buf[:0])
+		if w := want[round]; !reflect.DeepEqual(append([]int(nil), buf...), w) && !(len(buf) == 0 && len(w) == 0) {
+			t.Errorf("round %d: replayed jams %v, want %v", round, buf, w)
+		}
+	}
+	if r := NewJamReplay(&scenario.Trace{Events: []scenario.Event{{Round: 3}}}); r != nil {
+		t.Error("NewJamReplay should return nil when the trace has no jam events")
+	}
+}
+
+func TestOutageScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		outs []Outage
+	}{
+		{"channel out of range", []Outage{{Channel: 3, From: 0, Rounds: 5}}},
+		{"negative channel", []Outage{{Channel: -1, From: 0, Rounds: 5}}},
+		{"negative start", []Outage{{Channel: 0, From: -2, Rounds: 5}}},
+		{"empty window", []Outage{{Channel: 0, From: 10, Rounds: 0}}},
+		{"overlap", []Outage{{Channel: 1, From: 10, Rounds: 10}, {Channel: 1, From: 15, Rounds: 3}}},
+	}
+	for _, c := range cases {
+		if _, err := NewOutageSchedule(c.outs, 3); err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.outs)
+		}
+	}
+	if s, err := NewOutageSchedule(nil, 3); s != nil || err != nil {
+		t.Errorf("empty schedule: got (%v, %v), want (nil, nil)", s, err)
+	}
+	// Adjacent windows on one channel and same rounds on different
+	// channels are both fine.
+	if _, err := NewOutageSchedule([]Outage{
+		{Channel: 0, From: 10, Rounds: 5},
+		{Channel: 0, From: 15, Rounds: 5},
+		{Channel: 2, From: 12, Rounds: 4},
+	}, 3); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+// TestOutageScheduleActive pins the window semantics of the forward
+// query: dead exactly during [From, From+Rounds), with the opening round
+// flagged once alongside the window length.
+func TestOutageScheduleActive(t *testing.T) {
+	s, err := NewOutageSchedule([]Outage{
+		{Channel: 0, From: 3, Rounds: 2},
+		{Channel: 0, From: 8, Rounds: 1},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type q struct {
+		active, starts bool
+		dur            int64
+	}
+	want := map[int64]q{
+		3: {true, true, 2},
+		4: {true, false, 2},
+		8: {true, true, 1},
+	}
+	for round := int64(0); round < 12; round++ {
+		for ch := 0; ch < 2; ch++ {
+			active, starts, dur := s.Active(ch, round)
+			w := q{}
+			if ch == 0 {
+				w = want[round]
+			}
+			if (q{active, starts, dur}) != w {
+				t.Errorf("Active(%d, %d) = (%v, %v, %d), want %+v", ch, round, active, starts, dur, w)
+			}
+		}
+	}
+}
+
+// TestDroppedPacketsReclaimMirrorState is the ISSUE 8 satellite-2
+// regression: a packet that dies mid-route — its transmitter retired it
+// while the duty-cycled destination slept — must give back its
+// mirror-map slot and relay-arena state. A long disrupted run with
+// steady drops must (a) keep every channel's metaTable ring at its
+// steady-state size instead of growing with the drop count, and (b)
+// conserve packets exactly: in-flight = injected − delivered − dropped.
+func TestDroppedPacketsReclaimMirrorState(t *testing.T) {
+	const rounds = 30000
+	topo := mustCompile(t, Spec{Kind: Line, Channels: 3, N: 5})
+	build := func(ch int) (*core.System, error) {
+		sys, err := randmac.NewSeeded(5, 3, 77)
+		if err != nil {
+			return nil, err
+		}
+		sys, _ = duty.Wrap(sys, duty.Params{SleepAfterIdle: 16, WakeEvery: 8})
+		return sys, nil
+	}
+	net, err := New(topo, build, mkUniformAdversary(t, topo, adversary.T(1, 4, 3), 11), Options{
+		SampleEvery: -1,
+		Disruptor:   NewJammer(adversary.T(1, 8, 1), 3, 11),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	if err := net.Run(rounds); err != nil {
+		t.Fatal(err)
+	}
+	agg := net.Tracker().Counters
+	if agg.Dropped == 0 {
+		t.Fatal("run produced no drops; the regression needs mid-route packet death")
+	}
+	if agg.JammedRounds == 0 {
+		t.Fatal("run produced no jammed rounds")
+	}
+	if got, want := int64(net.InFlight()), agg.Injected-agg.Delivered-agg.Dropped; got != want {
+		t.Errorf("conservation broken: in-flight %d, want injected %d - delivered %d - dropped %d = %d",
+			got, agg.Injected, agg.Delivered, agg.Dropped, want)
+	}
+	// With drops reclaiming their slots the live window stays small, so
+	// the rings stay near their steady-state size; a leak would scale
+	// them with the thousands of injected packets instead. The bound is
+	// generous (stragglers in sleeping queues stretch the id window) but
+	// far below the injected count, which the guard below keeps honest.
+	if agg.Injected < 4096 {
+		t.Fatalf("only %d injections; the run is too short to witness a leak", agg.Injected)
+	}
+	for c := 0; c < 3; c++ {
+		if n := len(net.chans[c].meta.ring); n > 1024 {
+			t.Errorf("channel %d: metaTable ring grew to %d entries (live %d) — dropped packets leak mirror state",
+				c, n, net.chans[c].meta.live)
+		}
+	}
+}
+
+// TestDisruptedNetworkZeroAllocs extends the steady-state allocation
+// contract to disrupted, duty-cycled runs: jamming, a (past) outage
+// window, and sleep suppression in the round loop must all stay off the
+// allocator once warm.
+func TestDisruptedNetworkZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocs-per-round is meaningless under the race detector")
+	}
+	for _, workers := range []int{1, 2} {
+		topo := mustCompile(t, Spec{Kind: Line, Channels: 4, N: 6})
+		outs, err := NewOutageSchedule([]Outage{{Channel: 1, From: 500, Rounds: 300}}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := New(topo, func(ch int) (*core.System, error) {
+			// randmac (the registered "aloha") is the one Tolerant
+			// algorithm: jam-induced collisions are business as usual.
+			sys, err := randmac.NewSeeded(6, 3, 31)
+			if err != nil {
+				return nil, err
+			}
+			sys, _ = duty.Wrap(sys, duty.Params{SleepAfterIdle: 32, WakeEvery: 16})
+			return sys, nil
+		}, mkUniformAdversary(t, topo, adversary.T(1, 4, 4), 31), Options{
+			SampleEvery: -1, Workers: workers,
+			Disruptor: NewJammer(adversary.T(1, 4, 2), 4, 31),
+			Outages:   outs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Run(20000); err != nil {
+			t.Fatal(err)
+		}
+		best := -1.0
+		for window := 0; window < 5 && best != 0; window++ {
+			allocs := testing.AllocsPerRun(1, func() {
+				if err := net.Run(2000); err != nil {
+					t.Error(err)
+				}
+			})
+			if best < 0 || allocs < best {
+				best = allocs
+			}
+		}
+		agg := net.Tracker().Counters
+		net.Close()
+		if agg.JammedRounds == 0 || agg.OutageRounds == 0 {
+			t.Fatalf("workers=%d: disruption never fired (jammed %d, outage %d)",
+				workers, agg.JammedRounds, agg.OutageRounds)
+		}
+		if best != 0 {
+			t.Errorf("workers=%d: disrupted steady-state round loop allocates (%v allocs in the best window)",
+				workers, best)
+		}
+	}
+}

@@ -51,6 +51,27 @@ type Options struct {
 	// 1, so tracers sharing one writer interleave deterministically:
 	// all of round t's channel-0 lines before its channel-1 lines.
 	Tracer func(ch int) core.Tracer
+	// Disruptor, when non-nil, supplies the jammed channels each round
+	// (a live Jammer, or a JamReplay during trace replay). It is
+	// consulted serially in Step's phase 1, so the per-channel disrupt
+	// flags are computed before any worker runs.
+	Disruptor Disruptor
+	// Outages, when non-nil, is the validated channel-dead schedule. A
+	// channel in outage resolves every round as disrupted (nothing
+	// delivered) and relay hand-offs destined for it park in a held
+	// queue at the network layer until the window ends.
+	Outages *OutageSchedule
+	// Events, when non-nil, receives jam/outage/sleep events after each
+	// round's barrier, in ascending channel order — the trace-v3
+	// counterpart of Recorder. Outage events fire once per window, on
+	// its first round, carrying the window length; sleep events fire on
+	// transitions of a channel's asleep-station count.
+	Events EventSink
+	// Sleepers, when non-nil, reports channel ch's current count of
+	// duty-cycled stations that suppressed their action this round
+	// (duty.Group.Asleep). Consulted in the fold, after every station
+	// has acted, to drive Events.Sleep transitions.
+	Sleepers func(ch int) int
 }
 
 // pending is one relayed packet waiting to enter its next channel.
@@ -175,6 +196,19 @@ type chanState struct {
 
 	meta metaTable
 
+	// held parks relay arrivals destined for this channel while it is
+	// in outage; they drain into arriving (FIFO, ahead of new
+	// hand-offs) on the first round the channel is back.
+	held []pending
+
+	// Per-round disruption state, written serially in Step's phase 1
+	// before dispatch and read by this channel's sim (via its Disrupted
+	// hook) and by the fold's event emission.
+	disrupt    core.Disrupt
+	outStart   bool  // this round opens an outage window
+	outDur     int64 // window length when outStart
+	lastAsleep int   // last sleep count emitted (transition dedup)
+
 	relayed    int64 // deliveries forwarded onward, cumulative
 	prevEnergy int64 // tracker energy already folded into the aggregate
 
@@ -211,7 +245,8 @@ type Network struct {
 
 	agg           *metrics.Tracker
 	round         int64
-	relayInFlight int64 // packets parked in outboxes between rounds
+	relayInFlight int64 // packets parked in outboxes or held behind outages
+	jamBuf        []int // Disruptor scratch, reused every round
 
 	team *pool.Team
 }
@@ -261,7 +296,7 @@ func New(topo *Topology, build func(ch int) (*core.System, error), entry Source,
 			tracer = opt.Tracer(c)
 		}
 		ch := c
-		cs.sim = core.NewSim(sys, &cs.feed, core.Options{
+		copts := core.Options{
 			Strict:           opt.Strict,
 			CheckEvery:       opt.CheckEvery,
 			ForceChecked:     opt.ForceChecked,
@@ -269,7 +304,18 @@ func New(topo *Topology, build func(ch int) (*core.System, error), entry Source,
 			Tracker:          tr,
 			ExtraInjections:  &cs.relay,
 			DeliveryObserver: func(round int64, p mac.Packet) { n.onDelivery(cs, ch, round, p) },
-		})
+			// Mid-route death (a duty-cycled destination missed an
+			// uncontended transmission) must reclaim the packet's
+			// mirror-table slot, or the arena would leak one live entry
+			// per drop forever.
+			DropObserver: func(round int64, p mac.Packet) { n.onDrop(cs, ch, p) },
+		}
+		if opt.Disruptor != nil || opt.Outages != nil {
+			// Flags are computed serially in Step's phase 1; the sim
+			// only reads its own channel's copy during dispatch.
+			copts.Disrupted = func(int64) core.Disrupt { return cs.disrupt }
+		}
+		cs.sim = core.NewSim(sys, &cs.feed, copts)
 	}
 	workers := opt.Workers
 	if opt.Tracer != nil {
@@ -385,6 +431,18 @@ func (n *Network) onDelivery(cs *chanState, ch int, round int64, p mac.Packet) {
 	cs.relayed++
 }
 
+// onDrop is channel ch's DropObserver: a packet died mid-route (its
+// duty-cycled destination — final station or relay gateway — was off on
+// an uncontended heard round). The network's only job is to reclaim the
+// packet's mirror-table slot; the channel tracker already counted the
+// drop, and the aggregate Tracker fold sums those counts end-to-end
+// (a packet dies at most once, so the sum is exact).
+func (n *Network) onDrop(cs *chanState, ch int, p mac.Packet) {
+	if _, ok := cs.meta.take(p.ID); !ok {
+		panic(fmt.Sprintf("network: channel %d dropped unregistered packet %v", ch, p))
+	}
+}
+
 // stepChannel advances one channel by one round: the worker-team body.
 // It touches only chanState c (plus the immutable topology and the
 // Source's channel-c state), so channels step concurrently without
@@ -412,15 +470,51 @@ func (n *Network) stepChannel(c int) {
 // iterate channels identically at any worker count, which is why every
 // output is bit-identical to the serial loop's.
 func (n *Network) Step() error {
-	// (1) Last round's deliveries become this round's relay arrivals.
+	// (1) Disruption flags for the round, computed serially so every
+	// channel's sim sees its flags before dispatch, then the relay
+	// hand-off: last round's deliveries become this round's arrivals.
 	chans := n.chans
+	if n.opt.Disruptor != nil || n.opt.Outages != nil {
+		for _, cs := range chans {
+			cs.disrupt, cs.outStart, cs.outDur = 0, false, 0
+		}
+		if n.opt.Disruptor != nil {
+			n.jamBuf = n.opt.Disruptor.AppendJams(n.round, n.jamBuf[:0])
+			for _, c := range n.jamBuf {
+				if c < 0 || c >= len(chans) {
+					n.agg.Violate("round %d: jam on invalid channel %d", n.round, c)
+					continue
+				}
+				chans[c].disrupt |= core.DisruptJam
+			}
+		}
+		if n.opt.Outages != nil {
+			for c, cs := range chans {
+				active, starts, dur := n.opt.Outages.Active(c, n.round)
+				if active {
+					cs.disrupt |= core.DisruptOutage
+				}
+				cs.outStart, cs.outDur = starts, dur
+			}
+		}
+	}
 	for _, cs := range chans {
 		cs.arriving = cs.arriving[:0]
+		// A channel back from outage drains its held relay arrivals
+		// first (FIFO across the window), ahead of new hand-offs.
+		if cs.disrupt&core.DisruptOutage == 0 && len(cs.held) > 0 {
+			cs.arriving = append(cs.arriving, cs.held...)
+			cs.held = cs.held[:0]
+		}
 	}
 	for _, cs := range chans {
 		for _, h := range cs.outbox {
 			dst := chans[h.next]
-			dst.arriving = append(dst.arriving, h.p)
+			if dst.disrupt&core.DisruptOutage != 0 {
+				dst.held = append(dst.held, h.p)
+			} else {
+				dst.arriving = append(dst.arriving, h.p)
+			}
 		}
 		cs.outbox = cs.outbox[:0]
 	}
@@ -428,11 +522,28 @@ func (n *Network) Step() error {
 	// (2) One lockstep round across the worker team.
 	n.team.Dispatch()
 
-	// (3) Fold, ascending channel order throughout.
-	if n.opt.Recorder != nil {
+	// (3) Fold, ascending channel order throughout. Recorder entries
+	// and disruption/sleep events interleave per channel so a shared
+	// trace encoder sees strictly increasing (round, channel, kind).
+	if n.opt.Recorder != nil || n.opt.Events != nil {
 		for c, cs := range chans {
-			if len(cs.entries) > 0 {
+			if n.opt.Recorder != nil && len(cs.entries) > 0 {
 				n.opt.Recorder(n.round, c, cs.entries)
+			}
+			if n.opt.Events == nil {
+				continue
+			}
+			if cs.disrupt&core.DisruptJam != 0 {
+				n.opt.Events.Jam(n.round, c)
+			}
+			if cs.outStart {
+				n.opt.Events.Outage(n.round, c, cs.outDur)
+			}
+			if n.opt.Sleepers != nil {
+				if v := n.opt.Sleepers(c); v != cs.lastAsleep {
+					n.opt.Events.Sleep(n.round, c, v)
+					cs.lastAsleep = v
+				}
 			}
 		}
 	}
@@ -459,7 +570,9 @@ func (n *Network) Step() error {
 		totalQueue += cs.trk.FinalQueue
 		totalEnergy += int(cs.trk.EnergySum - cs.prevEnergy)
 		cs.prevEnergy = cs.trk.EnergySum
-		inFlight += int64(len(cs.outbox)) // relayed packets between channels
+		// Relayed packets between channels, plus any parked behind an
+		// outage window.
+		inFlight += int64(len(cs.outbox) + len(cs.held))
 	}
 	n.relayInFlight = inFlight
 	n.agg.ObserveRound(n.round, totalQueue+inFlight, totalEnergy)
@@ -493,6 +606,7 @@ func (n *Network) Tracker() *metrics.Tracker {
 	a := &n.agg.Counters
 	a.HeardRounds, a.SilentRounds, a.CollisionRounds = 0, 0, 0
 	a.LightRounds, a.DeliveryRounds, a.ControlBits = 0, 0, 0
+	a.JammedRounds, a.OutageRounds, a.Dropped = 0, 0, 0
 	for _, cs := range n.chans {
 		a.HeardRounds += cs.trk.HeardRounds
 		a.SilentRounds += cs.trk.SilentRounds
@@ -500,6 +614,11 @@ func (n *Network) Tracker() *metrics.Tracker {
 		a.LightRounds += cs.trk.LightRounds
 		a.DeliveryRounds += cs.trk.DeliveryRounds
 		a.ControlBits += cs.trk.ControlBits
+		a.JammedRounds += cs.trk.JammedRounds
+		a.OutageRounds += cs.trk.OutageRounds
+		// A packet dies at most once, so summing per-channel drops is
+		// the exact end-to-end count.
+		a.Dropped += cs.trk.Dropped
 	}
 	return n.agg
 }

@@ -43,7 +43,10 @@ func NewReplaySource(t *scenario.Trace) *ReplaySource {
 		cur:  make([]int, C),
 	}
 	for _, ev := range t.Events {
-		if ev.Channel < 0 {
+		if ev.Channel < 0 || ev.Kind != "" {
+			// Kinded events (jam/outage/sleep, trace v3) are not entry
+			// injections; jams replay through JamReplay, the rest are
+			// derived state recomputed during the replay.
 			continue
 		}
 		r.byCh[ev.Channel] = append(r.byCh[ev.Channel], ev)

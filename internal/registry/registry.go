@@ -64,6 +64,13 @@ type AlgorithmMeta struct {
 	// KStrict rejects k > n; when false the builder clamps over-range k to
 	// a feasible value instead (k-cycle, k-clique).
 	KStrict bool `json:"k_strict,omitempty"`
+	// Tolerant marks algorithms that stay correct under adverse channel
+	// feedback they did not cause: collision rounds not of their own
+	// making (jamming, outages) and listens suppressed by duty-cycling.
+	// The façade only allows jam/outage/duty-cycle configurations on
+	// tolerant algorithms — the paper's token-schedule algorithms build
+	// hard invariants on undisturbed feedback and would corrupt.
+	Tolerant bool `json:"tolerant,omitempty"`
 }
 
 // CapFor returns the energy cap a (n, k) instance would declare.

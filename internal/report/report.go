@@ -47,6 +47,11 @@ type Channel struct {
 	HeardRounds     int64   `json:"heard_rounds"`
 	SilentRounds    int64   `json:"silent_rounds"`
 	CollisionRounds int64   `json:"collision_rounds"`
+	// Disruption figures (ISSUE 8); omitted when zero so undisrupted
+	// reports keep their committed byte representation.
+	JammedRounds int64 `json:"jammed_rounds,omitempty"`
+	OutageRounds int64 `json:"outage_rounds,omitempty"`
+	Dropped      int64 `json:"dropped,omitempty"`
 }
 
 // Report holds the measurements of one simulation. For a network of
@@ -91,6 +96,22 @@ type Report struct {
 	CollisionRounds int64 `json:"collision_rounds"`
 	LightRounds     int64 `json:"light_rounds"`
 	ControlBits     int64 `json:"control_bits"`
+
+	// Disruption and duty-cycling figures (ISSUE 8): channel-rounds
+	// jammed / in outage, packets dead mid-route, and cumulative
+	// duty-suppressed station-rounds. Omitted when zero, so reports of
+	// undisrupted runs keep their committed byte representation.
+	JammedRounds int64 `json:"jammed_rounds,omitempty"`
+	OutageRounds int64 `json:"outage_rounds,omitempty"`
+	Dropped      int64 `json:"dropped,omitempty"`
+	SleepRounds  int64 `json:"sleep_rounds,omitempty"`
+
+	// SplitRho/SplitBeta surface the *effective* per-channel entry
+	// budget on network runs (network.SplitType: ρ/C with the burst
+	// floored at 1) as exact fractions, so sweep rows aren't mislabeled
+	// with the nominal budget when β < C.
+	SplitRho  string `json:"split_rho,omitempty"`
+	SplitBeta string `json:"split_beta,omitempty"`
 
 	PerChannel []Channel `json:"per_channel,omitempty"`
 
@@ -139,6 +160,10 @@ func FromTracker(info core.AlgorithmInfo, n int, tr *metrics.Tracker) Report {
 		LightRounds:     tr.LightRounds,
 		ControlBits:     tr.ControlBits,
 
+		JammedRounds: tr.JammedRounds,
+		OutageRounds: tr.OutageRounds,
+		Dropped:      tr.Dropped,
+
 		Violations: tr.Violations,
 	}
 }
@@ -174,6 +199,13 @@ func (r Report) Summary() string {
 		r.MeanEnergy, r.EnergyCap, r.MaxEnergy)
 	s += fmt.Sprintf("  channel: %d heard (%d light), %d silent, %d collisions, %d control bits\n",
 		r.HeardRounds, r.LightRounds, r.SilentRounds, r.CollisionRounds, r.ControlBits)
+	if r.JammedRounds+r.OutageRounds+r.Dropped+r.SleepRounds > 0 {
+		s += fmt.Sprintf("  disruption: %d jammed, %d outage channel-rounds, %d packets dropped, %d sleep station-rounds\n",
+			r.JammedRounds, r.OutageRounds, r.Dropped, r.SleepRounds)
+	}
+	if r.SplitRho != "" {
+		s += fmt.Sprintf("  effective per-channel entry budget: (ρ=%s, β=%s)\n", r.SplitRho, r.SplitBeta)
+	}
 	if len(r.Violations) > 0 {
 		s += fmt.Sprintf("  VIOLATIONS: %d (first: %s)\n", len(r.Violations), r.Violations[0])
 	}

@@ -23,17 +23,34 @@ package scenario
 //	{"r":17,"c":2,"i":[[12,3],[14,1]]}                      channel 2
 //	{"final":{"injected":123,"counters":{...}}}
 //
+// Version 3 extends the format to disrupted and duty-cycled runs: an
+// event line may carry a kind ("k") instead of injections — "jam" (the
+// jamming adversary spent a unit on this round and channel), "out" (an
+// outage window opens here; "d" is its length in rounds), or "sleep"
+// (the channel's count of duty-suppressed stations changed to "z").
+// Within one (round, channel) the injection event precedes any kinded
+// events, and kinds order jam < out < sleep:
+//
+//	{"earmac_trace":3,"n":6,"rounds":4000,"config":{...}}
+//	{"r":17,"i":[[0,3]]}
+//	{"r":17,"k":"jam"}
+//	{"r":40,"k":"out","d":100}
+//	{"r":52,"k":"sleep","z":2}
+//	{"final":{"injected":123,"counters":{...}}}
+//
 // Versioning rules: the "earmac_trace" field doubles as the format
 // version; decoders reject any version they do not know, and reject
-// version-2 constructs (a channel id) inside a version-1 trace. Within
-// a version, unknown fields are ignored on read and never emitted on
-// write, so fields may be *added* by bumping the version while old
-// decoders fail loudly instead of misreading. Events are strictly
-// increasing by (round, channel); the footer, when present, is the last
-// line and pins the run's final flat counters so replays can be checked
-// bit-identical. Encoders emit version 1 for single-channel recordings
-// — byte-compatible with every previously committed trace — and
-// version 2 exactly when the header declares channels.
+// newer constructs inside an older version (a channel id in version 1,
+// an event kind in versions 1 and 2). Within a version, unknown fields
+// are ignored on read and never emitted on write, so fields may be
+// *added* by bumping the version while old decoders fail loudly instead
+// of misreading. Events are strictly increasing by (round, channel,
+// kind); the footer, when present, is the last line and pins the run's
+// final flat counters so replays can be checked bit-identical. Encoders
+// emit the lowest sufficient version — 1 for single-channel recordings,
+// 2 exactly when the header declares channels, 3 only when the caller
+// requests it for a disrupted or duty-cycled run — so every previously
+// committed trace stays byte-stable.
 
 import (
 	"bufio"
@@ -46,17 +63,46 @@ import (
 	"earmac/internal/adversary"
 	"earmac/internal/core"
 	"earmac/internal/metrics"
+	"earmac/internal/ratio"
 	"earmac/internal/registry"
 )
 
 // TraceVersion is the newest format version this package writes;
-// ReadTrace additionally accepts TraceVersionLegacy. Encoders pick the
-// version from the header: single-channel recordings (Channels == 0)
-// stay on version 1, network recordings use version 2.
+// ReadTrace additionally accepts the older versions. Encoders pick the
+// lowest sufficient version: single-channel recordings (Channels == 0)
+// stay on version 1, network recordings use version 2, and version 3 is
+// used only when the recording run asked for it (jam/outage/sleep
+// events, Header.Version set to TraceVersion by the caller).
 const (
-	TraceVersion       = 2
+	TraceVersion       = 3
+	TraceVersionMulti  = 2
 	TraceVersionLegacy = 1
 )
+
+// Event kinds (trace v3). The empty kind marks an ordinary injection
+// event; within one (round, channel) the order is "" < jam < out <
+// sleep, matching emission order.
+const (
+	KindJam    = "jam"
+	KindOutage = "out"
+	KindSleep  = "sleep"
+)
+
+// kindRank orders event kinds within one (round, channel); -1 marks an
+// unknown kind.
+func kindRank(kind string) int {
+	switch kind {
+	case "":
+		return 0
+	case KindJam:
+		return 1
+	case KindOutage:
+		return 2
+	case KindSleep:
+		return 3
+	}
+	return -1
+}
 
 // Header is the first line of a trace.
 type Header struct {
@@ -78,11 +124,16 @@ type Header struct {
 
 // Event is one channel's injections for one round, as [station, dest]
 // pairs — global station ids in a network trace, plain ids otherwise.
-// Channel is always 0 in version-1 traces.
+// Channel is always 0 in version-1 traces. A non-empty Kind (trace v3)
+// marks a jam/outage/sleep event instead: Injs is nil, Dur carries an
+// outage window's length, and Asleep a sleep transition's new count.
 type Event struct {
 	Round   int64    `json:"r"`
 	Channel int      `json:"c,omitempty"`
 	Injs    [][2]int `json:"i"`
+	Kind    string   `json:"k,omitempty"`
+	Dur     int64    `json:"d,omitempty"`
+	Asleep  int      `json:"z,omitempty"`
 }
 
 // Footer pins the totals of the recorded run.
@@ -113,19 +164,25 @@ type footerLine struct {
 type Encoder struct {
 	bw       *bufio.Writer
 	scratch  []byte
+	version  int
 	injected int64
 	err      error
 }
 
 // NewEncoder writes the header line and returns a streaming encoder.
-// The header's Version is forced to the version its Channels field
-// selects: 1 for single-channel recordings, 2 for networks.
+// The header's Version is forced to the lowest sufficient version: 1
+// for single-channel recordings, 2 for networks — unless the caller set
+// it to TraceVersion, which keeps version 3 and unlocks the
+// jam/outage/sleep event methods (a disrupted or duty-cycled run).
 func NewEncoder(w io.Writer, h Header) *Encoder {
 	e := &Encoder{bw: bufio.NewWriter(w)}
-	h.Version = TraceVersionLegacy
-	if h.Channels > 0 {
-		h.Version = TraceVersion
+	if h.Version != TraceVersion {
+		h.Version = TraceVersionLegacy
+		if h.Channels > 0 {
+			h.Version = TraceVersionMulti
+		}
 	}
+	e.version = h.Version
 	line, err := json.Marshal(h)
 	if err != nil {
 		e.err = fmt.Errorf("scenario: encoding trace header: %w", err)
@@ -175,6 +232,32 @@ func appendEventLine(b []byte, round int64, ch, n int, pair func(int) (int, int)
 	return append(b, "]}"...)
 }
 
+// appendKindLine serializes one kinded event line (trace v3):
+// {"r":..,"c":..,"k":"..."} plus "d" for outage windows and "z" for
+// sleep transitions ("z" is emitted even at 0 — everyone back awake is
+// a transition worth recording). Like appendEventLine it is the single
+// serializer for both live recordings and re-encodings.
+func appendKindLine(b []byte, round int64, ch int, kind string, dur int64, asleep int) []byte {
+	b = append(b, `{"r":`...)
+	b = strconv.AppendInt(b, round, 10)
+	if ch != 0 {
+		b = append(b, `,"c":`...)
+		b = strconv.AppendInt(b, int64(ch), 10)
+	}
+	b = append(b, `,"k":"`...)
+	b = append(b, kind...)
+	b = append(b, '"')
+	if kind == KindOutage {
+		b = append(b, `,"d":`...)
+		b = strconv.AppendInt(b, dur, 10)
+	}
+	if kind == KindSleep {
+		b = append(b, `,"z":`...)
+		b = strconv.AppendInt(b, int64(asleep), 10)
+	}
+	return append(b, '}')
+}
+
 // Round records one round's injections. Rounds with no injections cost
 // nothing and leave no line. The injections slice may be reused by the
 // caller; Round has the signature of core.Options.InjectionObserver.
@@ -195,6 +278,40 @@ func (e *Encoder) ChannelRound(round int64, ch int, injs []core.Injection) {
 	})
 	e.writeLine(e.scratch)
 	e.injected += int64(len(injs))
+}
+
+// kindLine writes one kinded event line, guarding the version: only a
+// version-3 encoder (NewEncoder with Header.Version = TraceVersion) may
+// record disruption events.
+func (e *Encoder) kindLine(round int64, ch int, kind string, dur int64, asleep int) {
+	if e.err != nil {
+		return
+	}
+	if e.version != TraceVersion {
+		e.err = fmt.Errorf("scenario: %q event in a version-%d trace (kinded events need version %d)",
+			kind, e.version, TraceVersion)
+		return
+	}
+	e.scratch = appendKindLine(e.scratch[:0], round, ch, kind, dur, asleep)
+	e.writeLine(e.scratch)
+}
+
+// Jam records a jammed (round, channel). With Outage and Sleep it
+// implements the network's EventSink recording hook; callers must emit
+// within one (round, channel) in the order injections < jam < outage <
+// sleep, as Network.Step's fold and the façade's single-channel hooks
+// do by construction.
+func (e *Encoder) Jam(round int64, ch int) { e.kindLine(round, ch, KindJam, 0, 0) }
+
+// Outage records an outage window opening at round on ch, lasting the
+// given number of rounds.
+func (e *Encoder) Outage(round int64, ch int, rounds int64) {
+	e.kindLine(round, ch, KindOutage, rounds, 0)
+}
+
+// Sleep records a transition of ch's duty-suppressed station count.
+func (e *Encoder) Sleep(round int64, ch int, asleep int) {
+	e.kindLine(round, ch, KindSleep, 0, asleep)
 }
 
 // Injected returns the number of injections recorded so far.
@@ -218,19 +335,28 @@ func (e *Encoder) Close(c *metrics.Counters) error {
 }
 
 // writeVersion picks the version Write re-encodes a trace at: any
-// channel dimension forces version 2, a decoded version is otherwise
-// preserved, and hand-assembled traces (Version 0) default to legacy.
+// kinded event forces version 3, any channel dimension forces at least
+// version 2, a decoded version is otherwise preserved, and
+// hand-assembled traces (Version 0) default to legacy.
 func writeVersion(t *Trace) int {
-	if t.Header.Channels > 0 {
-		return TraceVersion
-	}
 	for _, ev := range t.Events {
-		if ev.Channel != 0 {
+		if ev.Kind != "" {
 			return TraceVersion
 		}
 	}
 	if t.Header.Version == TraceVersion {
 		return TraceVersion
+	}
+	if t.Header.Channels > 0 {
+		return TraceVersionMulti
+	}
+	for _, ev := range t.Events {
+		if ev.Channel != 0 {
+			return TraceVersionMulti
+		}
+	}
+	if t.Header.Version == TraceVersionMulti {
+		return TraceVersionMulti
 	}
 	return TraceVersionLegacy
 }
@@ -248,6 +374,11 @@ func Write(w io.Writer, t *Trace) error {
 	}
 	e.writeLine(line)
 	for _, ev := range t.Events {
+		if ev.Kind != "" {
+			e.scratch = appendKindLine(e.scratch[:0], ev.Round, ev.Channel, ev.Kind, ev.Dur, ev.Asleep)
+			e.writeLine(e.scratch)
+			continue
+		}
 		injs := ev.Injs
 		e.scratch = appendEventLine(e.scratch[:0], ev.Round, ev.Channel, len(injs), func(i int) (int, int) {
 			return injs[i][0], injs[i][1]
@@ -272,6 +403,9 @@ type probeLine struct {
 	Round   *int64   `json:"r"`
 	Channel *int     `json:"c"`
 	Injs    [][2]int `json:"i"`
+	Kind    *string  `json:"k"`
+	Dur     *int64   `json:"d"`
+	Asleep  *int     `json:"z"`
 	Final   *Footer  `json:"final"`
 }
 
@@ -305,8 +439,8 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if uerr := json.Unmarshal(line, &t.Header); uerr != nil {
 				return nil, fmt.Errorf("scenario: %w: header: %v", registry.ErrBadTrace, uerr)
 			}
-			if t.Header.Version != TraceVersion && t.Header.Version != TraceVersionLegacy {
-				return nil, fmt.Errorf("scenario: %w: unsupported trace version %d (this build reads %d and %d)",
+			if t.Header.Version < TraceVersionLegacy || t.Header.Version > TraceVersion {
+				return nil, fmt.Errorf("scenario: %w: unsupported trace version %d (this build reads %d through %d)",
 					registry.ErrBadTrace, t.Header.Version, TraceVersionLegacy, TraceVersion)
 			}
 			// Normalize the raw config to json.Marshal's form (compact,
@@ -350,18 +484,57 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 							registry.ErrBadTrace, lineNo, ch, t.Header.Channels)
 					}
 				}
-				if n := len(t.Events); n > 0 {
-					prev := t.Events[n-1]
-					if *p.Round < prev.Round || (*p.Round == prev.Round && ch <= prev.Channel) {
-						return nil, fmt.Errorf("scenario: %w: line %d: event (round %d, channel %d) not after (round %d, channel %d)",
-							registry.ErrBadTrace, lineNo, *p.Round, ch, prev.Round, prev.Channel)
+				ev := Event{Round: *p.Round, Channel: ch}
+				if p.Kind != nil {
+					if t.Header.Version < TraceVersion {
+						return nil, fmt.Errorf("scenario: %w: line %d: event kind in a version %d trace (needs version %d)",
+							registry.ErrBadTrace, lineNo, t.Header.Version, TraceVersion)
+					}
+					ev.Kind = *p.Kind
+					if kindRank(ev.Kind) <= 0 {
+						return nil, fmt.Errorf("scenario: %w: line %d: unknown event kind %q",
+							registry.ErrBadTrace, lineNo, ev.Kind)
+					}
+					if len(p.Injs) > 0 {
+						return nil, fmt.Errorf("scenario: %w: line %d: %q event carries injections",
+							registry.ErrBadTrace, lineNo, ev.Kind)
 					}
 				}
-				injs := p.Injs
-				if len(injs) == 0 {
-					injs = nil
+				if p.Dur != nil {
+					if ev.Kind != KindOutage {
+						return nil, fmt.Errorf("scenario: %w: line %d: duration on a %q event", registry.ErrBadTrace, lineNo, ev.Kind)
+					}
+					if *p.Dur < 1 {
+						return nil, fmt.Errorf("scenario: %w: line %d: outage lasting %d rounds", registry.ErrBadTrace, lineNo, *p.Dur)
+					}
+					ev.Dur = *p.Dur
+				} else if ev.Kind == KindOutage {
+					return nil, fmt.Errorf("scenario: %w: line %d: outage event without a duration", registry.ErrBadTrace, lineNo)
 				}
-				t.Events = append(t.Events, Event{Round: *p.Round, Channel: ch, Injs: injs})
+				if p.Asleep != nil {
+					if ev.Kind != KindSleep {
+						return nil, fmt.Errorf("scenario: %w: line %d: sleep count on a %q event", registry.ErrBadTrace, lineNo, ev.Kind)
+					}
+					if *p.Asleep < 0 {
+						return nil, fmt.Errorf("scenario: %w: line %d: negative sleep count %d", registry.ErrBadTrace, lineNo, *p.Asleep)
+					}
+					ev.Asleep = *p.Asleep
+				}
+				if n := len(t.Events); n > 0 {
+					prev := t.Events[n-1]
+					if *p.Round < prev.Round || (*p.Round == prev.Round &&
+						(ch < prev.Channel || (ch == prev.Channel && kindRank(ev.Kind) <= kindRank(prev.Kind)))) {
+						return nil, fmt.Errorf("scenario: %w: line %d: event (round %d, channel %d, kind %q) not after (round %d, channel %d, kind %q)",
+							registry.ErrBadTrace, lineNo, *p.Round, ch, ev.Kind, prev.Round, prev.Channel, prev.Kind)
+					}
+				}
+				if ev.Kind == "" {
+					ev.Injs = p.Injs
+					if len(ev.Injs) == 0 {
+						ev.Injs = nil
+					}
+				}
+				t.Events = append(t.Events, ev)
 			default:
 				return nil, fmt.Errorf("scenario: %w: line %d is neither an event nor a footer", registry.ErrBadTrace, lineNo)
 			}
@@ -396,16 +569,24 @@ func (r *Replayer) Inject(round int64) []core.Injection {
 	return r.InjectAppend(round, nil)
 }
 
-// InjectAppend implements core.InjectAppender.
+// InjectAppend implements core.InjectAppender. Kinded events (trace v3)
+// are not injections and are skipped; jams replay through the façade's
+// jam-replay disruptor, outages and sleep are derived state recomputed
+// during the replay.
 func (r *Replayer) InjectAppend(round int64, buf []core.Injection) []core.Injection {
-	for r.cur < len(r.events) && r.events[r.cur].Round < round {
-		r.cur++ // rounds the driver skipped
-	}
-	if r.cur < len(r.events) && r.events[r.cur].Round == round {
-		for _, p := range r.events[r.cur].Injs {
-			buf = append(buf, core.Injection{Station: p[0], Dest: p[1]})
+	for r.cur < len(r.events) {
+		ev := &r.events[r.cur]
+		if ev.Round > round {
+			break
 		}
-		r.cur++
+		if ev.Round == round && ev.Kind == "" {
+			for _, p := range ev.Injs {
+				buf = append(buf, core.Injection{Station: p[0], Dest: p[1]})
+			}
+			r.cur++
+			break
+		}
+		r.cur++ // rounds the driver skipped, or a kinded event
 	}
 	return buf
 }
@@ -421,10 +602,90 @@ func CheckAdmissible(t *Trace, typ adversary.Type) error {
 
 // CheckAdmissibleSplit verifies a network trace against the budget-split
 // invariant (network.SplitType): every channel's entry stream must
-// independently respect the given per-channel (ρ/C, β/C) type, which
-// makes the network total respect the global (ρ, β) contract.
+// independently respect the given per-channel (ρ_c, β_c) type, and the
+// network-wide entry stream must respect the *effective* global type
+// (ρ_c·C, β_c·C). Note the effective burst: SplitType floors each
+// channel's burst at 1, so when the nominal β < C the per-channel audit
+// alone does NOT bound the network total by the nominal (ρ, β) — C
+// channels bursting 1 each total C > β. The effective type is exactly
+// what the per-channel contract implies (for the nominal budget it is
+// (ρ, max(β, C))), and it is what reports should surface so sweep rows
+// aren't mislabeled with the nominal budget.
 func CheckAdmissibleSplit(t *Trace, perChannel adversary.Type, channels int) error {
-	return checkAdmissible(t, perChannel, channels)
+	if err := checkAdmissible(t, perChannel, channels); err != nil {
+		return err
+	}
+	return checkGlobalAdmissible(t, EffectiveGlobalType(perChannel, channels))
+}
+
+// EffectiveGlobalType is the tightest global (ρ, β) the per-channel
+// split contract guarantees for the network-wide entry stream:
+// (ρ_c·C, β_c·C). For a SplitType'd nominal budget this is
+// (ρ, max(β, C)).
+func EffectiveGlobalType(perChannel adversary.Type, channels int) adversary.Type {
+	c := int64(channels)
+	return adversary.Type{
+		Rho:  ratio.New(perChannel.Rho.Num()*c, perChannel.Rho.Den()),
+		Beta: ratio.New(perChannel.Beta.Num()*c, perChannel.Beta.Den()),
+	}
+}
+
+// checkGlobalAdmissible drives one bucket over the per-round injection
+// totals summed across all channels.
+func checkGlobalAdmissible(t *Trace, typ adversary.Type) error {
+	if len(t.Events) == 0 {
+		return nil
+	}
+	b := adversary.NewBucket(typ)
+	last := t.Events[len(t.Events)-1].Round
+	i := 0
+	for r := int64(0); r <= last; r++ {
+		budget := b.Tick()
+		spent := 0
+		for i < len(t.Events) && t.Events[i].Round == r {
+			spent += len(t.Events[i].Injs)
+			i++
+			if spent > budget {
+				return fmt.Errorf("scenario: round %d: the network-wide entry stream injects %d packets but the effective global %v bucket allows %d",
+					r, spent, typ, budget)
+			}
+		}
+		b.Spend(spent)
+	}
+	return nil
+}
+
+// CheckJamAdmissible verifies a trace's recorded jam stream against the
+// jamming budget: each jam event costs one unit of a global (ρ_j, β_j)
+// bucket, exactly as the live Jammer spends it.
+func CheckJamAdmissible(t *Trace, typ adversary.Type) error {
+	last := int64(-1)
+	for _, ev := range t.Events {
+		if ev.Kind == KindJam {
+			last = ev.Round
+		}
+	}
+	if last < 0 {
+		return nil
+	}
+	b := adversary.NewBucket(typ)
+	i := 0
+	for r := int64(0); r <= last; r++ {
+		budget := b.Tick()
+		spent := 0
+		for i < len(t.Events) && t.Events[i].Round == r {
+			if t.Events[i].Kind == KindJam {
+				spent++
+				if spent > budget {
+					return fmt.Errorf("scenario: round %d: %d channels jammed but the %v jam bucket allows %d",
+						r, spent, typ, budget)
+				}
+			}
+			i++
+		}
+		b.Spend(spent)
+	}
+	return nil
 }
 
 func checkAdmissible(t *Trace, typ adversary.Type, channels int) error {

@@ -76,7 +76,7 @@ func TestReadTraceRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
 		"empty":               "",
 		"garbage":             "not json at all\n",
-		"wrong version":       `{"earmac_trace":3,"n":4,"rounds":10}` + "\n",
+		"wrong version":       `{"earmac_trace":4,"n":4,"rounds":10}` + "\n",
 		"channel id in v1":    "{\"earmac_trace\":1,\"n\":4,\"rounds\":10}\n{\"r\":1,\"c\":1,\"i\":[[0,1]]}\n",
 		"negative channel":    "{\"earmac_trace\":2,\"n\":4,\"rounds\":10,\"channels\":2}\n{\"r\":1,\"c\":-1,\"i\":[[0,1]]}\n",
 		"channel overflow":    "{\"earmac_trace\":2,\"n\":4,\"rounds\":10,\"channels\":2}\n{\"r\":1,\"c\":2,\"i\":[[0,1]]}\n",

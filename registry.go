@@ -187,6 +187,44 @@ func (c Config) validate() error {
 	if c.Beta < 1 {
 		return fmt.Errorf("earmac: %w: β = %d, need β >= 1", ErrBadBurst, c.Beta)
 	}
+	channels := 1
+	if c.Topology != "" {
+		channels = c.Channels
+	}
+	if c.JamRhoNum == 0 {
+		if c.JamRhoDen != 0 || c.JamBeta != 0 {
+			return fmt.Errorf("earmac: %w: jam_rho_den/jam_beta set without a jam rate (set JamRhoNum)", ErrBadRate)
+		}
+	} else {
+		if c.JamRhoNum < 0 || c.JamRhoDen <= 0 {
+			return fmt.Errorf("earmac: %w: jam ρ = %d/%d is not a positive fraction", ErrBadRate, c.JamRhoNum, c.JamRhoDen)
+		}
+		if c.JamRhoNum > c.JamRhoDen*int64(channels) {
+			return fmt.Errorf("earmac: %w: jam ρ = %d/%d exceeds the %d jammable channel(s) per round",
+				ErrBadRate, c.JamRhoNum, c.JamRhoDen, channels)
+		}
+		if c.JamBeta < 1 {
+			return fmt.Errorf("earmac: %w: jam β = %d, need β >= 1", ErrBadBurst, c.JamBeta)
+		}
+	}
+	if _, err := network.NewOutageSchedule(c.Outages, channels); err != nil {
+		return fmt.Errorf("earmac: %w: %v", ErrBadTopology, err)
+	}
+	if c.SleepAfterIdle < 0 || c.WakeEvery < 0 {
+		return fmt.Errorf("earmac: %w: negative duty-cycle period (sleep_after_idle %d, wake_every %d)",
+			ErrBadRounds, c.SleepAfterIdle, c.WakeEvery)
+	}
+	if c.EnergyBudget < 0 {
+		return fmt.Errorf("earmac: %w: energy_budget = %d", ErrBadCap, c.EnergyBudget)
+	}
+	if c.WakeEvery > 0 && c.SleepAfterIdle <= 0 {
+		return fmt.Errorf("earmac: %w: wake_every = %d without sleep_after_idle (nothing ever sleeps on schedule)",
+			ErrConflict, c.WakeEvery)
+	}
+	if c.disrupted() && !alg.Tolerant {
+		return fmt.Errorf("earmac: %w: algorithm %q is not tolerant of disrupted feedback — jamming, outages and "+
+			"duty-cycling need a Tolerant algorithm (e.g. \"aloha\")", ErrConflict, c.Algorithm)
+	}
 	if c.Rounds < 1 {
 		return fmt.Errorf("earmac: %w: rounds = %d", ErrBadRounds, c.Rounds)
 	}

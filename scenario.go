@@ -32,9 +32,12 @@ type Phase struct {
 type Trace = scenario.Trace
 
 // TraceVersion is the newest trace format version this build writes:
-// version 2 adds a channel id per event for networks of channels.
-// Single-channel recordings still emit version 1 — byte-compatible
-// with every previously recorded trace — and ReadTrace accepts both.
+// version 2 adds a channel id per event for networks of channels,
+// version 3 adds jam/outage/sleep event kinds for disrupted and
+// duty-cycled runs. Recordings declare the lowest sufficient version —
+// an undisrupted single-channel run still emits version 1, a network
+// run version 2, both byte-compatible with every previously recorded
+// trace — and ReadTrace accepts all three.
 const TraceVersion = scenario.TraceVersion
 
 // ReadTrace decodes a recorded trace. Malformed input — unknown

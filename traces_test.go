@@ -161,8 +161,9 @@ func TestGoldenTraceCorpus(t *testing.T) {
 
 // TestGoldenTraceCorpusComplete pins the corpus inventory itself: a
 // newly registered algorithm must gain its two golden traces. The
-// multi-channel corpus ("net-" prefix, see network_traces_test.go) is
-// inventoried separately.
+// multi-channel corpus ("net-" prefix, see network_traces_test.go) and
+// the disruption corpus ("dis-" prefix, see disruption_traces_test.go)
+// are inventoried separately.
 func TestGoldenTraceCorpusComplete(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join(traceDir, "*.trace.jsonl"))
 	if err != nil {
@@ -170,7 +171,8 @@ func TestGoldenTraceCorpusComplete(t *testing.T) {
 	}
 	single := files[:0]
 	for _, f := range files {
-		if !strings.HasPrefix(filepath.Base(f), "net-") {
+		base := filepath.Base(f)
+		if !strings.HasPrefix(base, "net-") && !strings.HasPrefix(base, "dis-") {
 			single = append(single, f)
 		}
 	}
