@@ -1,9 +1,21 @@
 GITREV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: test race fuzz cover bench bench-full baseline table serve smoke-serve cluster-smoke
+.PHONY: test lint lint-smoke race fuzz cover bench bench-full baseline table serve smoke-serve cluster-smoke
 
 test:
 	go build ./... && go test ./...
+
+# Static analysis: go vet plus the project linter (cmd/earmac-lint),
+# which enforces the determinism, zero-alloc, and fingerprint
+# invariants statically (DESIGN.md §15).
+lint:
+	go vet ./...
+	go run ./cmd/earmac-lint ./...
+
+# Prove the linter gates: it must fail on a fixture seeded with
+# violations and pass on the real tree (what the CI lint job runs).
+lint-smoke:
+	sh scripts/lint-smoke.sh
 
 # Full suite under the race detector (what the CI race job runs).
 race:

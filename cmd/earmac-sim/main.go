@@ -240,7 +240,7 @@ func replayConflicts() error {
 		"pattern": true, "phases": true,
 		"src": true, "dest": true, "seed": true,
 		"rounds": true, "stop-injections": true,
-		"record": true,
+		"record":  true,
 		"jam-rho": true, "jam-beta": true, "outages": true,
 		"sleep-idle": true, "wake-every": true, "energy-budget": true,
 	}

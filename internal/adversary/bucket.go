@@ -88,6 +88,8 @@ func (b *Bucket) Type() Type { return b.typ }
 
 // Tick advances one round: the credit gains ρ and the number of packets
 // injectable this round is returned.
+//
+//earmac:hotpath
 func (b *Bucket) Tick() int {
 	b.credit += b.gain
 	return int(b.credit / b.den)
@@ -96,6 +98,8 @@ func (b *Bucket) Tick() int {
 // Spend consumes credit for m injections this round and re-caps the
 // remaining credit at β. It panics if m exceeds the budget returned by
 // Tick — the adversary must never exceed its type.
+//
+//earmac:hotpath
 func (b *Bucket) Spend(m int) {
 	b.credit -= int64(m) * b.den
 	if b.credit < 0 {

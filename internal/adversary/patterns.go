@@ -37,12 +37,16 @@ type AppendFunc func(round int64, budget int, buf []core.Injection) []core.Injec
 func (f AppendFunc) Draw(round int64, budget int) []core.Injection { return f(round, budget, nil) }
 
 // DrawAppend implements BufferedPattern.
+//
+//earmac:hotpath
 func (f AppendFunc) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
 	return f(round, budget, buf)
 }
 
 // DrawAppend invokes the pattern through the buffer-reuse contract when
 // it supports one, falling back to an allocating Draw otherwise.
+//
+//earmac:hotpath
 func DrawAppend(p Pattern, round int64, budget int, buf []core.Injection) []core.Injection {
 	if bp, ok := p.(BufferedPattern); ok {
 		return bp.DrawAppend(round, budget, buf)
@@ -74,6 +78,8 @@ func (a *Adv) Inject(round int64) []core.Injection {
 // InjectAppend implements core.InjectAppender, appending this round's
 // injections to buf without allocating when the pattern supports the
 // buffer-reuse contract.
+//
+//earmac:hotpath
 func (a *Adv) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	budget := a.bucket.Tick()
 	if budget == 0 {

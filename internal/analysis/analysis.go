@@ -1,0 +1,207 @@
+// Package analysis is earmac's static-analysis suite: a minimal
+// go/analysis-compatible framework plus the four project analyzers that
+// turn the repository's prose invariants into tooling (DESIGN.md §15):
+//
+//   - determiter: no nondeterminism sources (map iteration, wall clock,
+//     global math/rand, unsynchronized goroutines) inside the packages
+//     whose outputs must be bit-identical at any worker count.
+//   - hotalloc: no allocation-prone constructs in functions annotated
+//     //earmac:hotpath or statically reachable from them.
+//   - fpsafe: Config fields excluded from serialization (json:"-") are
+//     zeroed in Fingerprint(), and serialized fields carry canonical
+//     tags, so cache keys never fork on runtime-only knobs.
+//   - regmeta: every algorithm package registers complete metadata from
+//     an init function.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// positional diagnostics, analysistest-style golden tests) but is built
+// on the standard library only — the build environment is hermetic, so
+// the suite cannot vendor x/tools. Packages are loaded with
+// `go list -export` and type-checked against gc export data (load.go),
+// which is the same strategy the real driver uses.
+//
+// # Annotation grammar
+//
+// Two comment directives steer the analyzers:
+//
+//	//earmac:hotpath
+//	    On a function declaration's doc comment: the function (and every
+//	    same-package function it statically calls) must not allocate.
+//
+//	//earmac:nondet -- <reason>
+//	//earmac:alloc -- <reason>
+//	    On the flagged line, or alone on the line directly above it:
+//	    waive one determiter (nondet) or hotalloc (alloc) diagnostic.
+//	    The " -- reason" clause is mandatory; a waiver without a reason
+//	    is itself a diagnostic, so every waiver is reviewable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name that prefixes its
+// diagnostics, a doc string, and the Run function applied to every
+// loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	// directives maps "file:line" to the earmac comment directives found
+	// there, built lazily by Waived.
+	directives map[string][]directive
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directive is one parsed //earmac:<name> comment line.
+type directive struct {
+	name   string // "nondet", "alloc", "hotpath", ...
+	reason string // text after " -- ", empty when absent
+	pos    token.Pos
+}
+
+var directiveRe = regexp.MustCompile(`^//earmac:([a-z-]+)(?:\s+--\s*(.*))?\s*$`)
+
+// buildDirectives indexes every //earmac: comment line by file:line.
+func (p *Pass) buildDirectives() {
+	p.directives = make(map[string][]directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				// Golden-test fixtures pin directive diagnostics with a
+				// trailing `// want` clause (see RunTest); it is not part
+				// of the directive.
+				if i := strings.Index(text, " // want "); i >= 0 {
+					text = strings.TrimRight(text[:i], " \t")
+				}
+				m := directiveRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				p.directives[key] = append(p.directives[key], directive{
+					name:   m[1],
+					reason: strings.TrimSpace(m[2]),
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+}
+
+// Waived reports whether node carries an //earmac:<name> waiver: on the
+// node's starting line, or alone on the line directly above it.
+func (p *Pass) Waived(node ast.Node, name string) bool {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	pos := p.Fset.Position(node.Pos())
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		key := fmt.Sprintf("%s:%d", pos.Filename, line)
+		for _, d := range p.directives[key] {
+			if d.name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CheckDirectiveGrammar reports malformed uses of the named waiver
+// directive: a waiver without the mandatory " -- reason" clause. Each
+// analyzer calls it for the directive it honors, so waivers stay
+// reviewable (DESIGN.md §15).
+func (p *Pass) CheckDirectiveGrammar(name string) {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	keys := make([]string, 0, len(p.directives))
+	for k := range p.directives {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) //earmac:nondet -- sorted before reporting; map order never escapes
+	for _, k := range keys {
+		for _, d := range p.directives[k] {
+			if d.name == name && d.reason == "" {
+				p.Reportf(d.pos, "//earmac:%s waiver is missing its \" -- reason\" clause", name)
+			}
+		}
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position then analyzer name — a deterministic
+// stream regardless of package enumeration or analyzer order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

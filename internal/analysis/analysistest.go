@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is the golden-test driver for one analyzer, in the style of
+// golang.org/x/tools/go/analysis/analysistest: it loads the fixture
+// packages at the given patterns (explicit testdata/src directories —
+// wildcards skip testdata), runs the analyzer, and compares its
+// diagnostics against `// want` comments in the fixture source.
+//
+// A want comment sits on the flagged line and carries one quoted
+// regular expression per expected diagnostic:
+//
+//	for k := range m { // want `range over map`
+//
+// Both backquoted and double-quoted forms are accepted. Every
+// diagnostic must be matched by a want on its line and every want must
+// match a diagnostic — unexpected and missing findings both fail the
+// test, so fixtures pin flagged and waived forms alike.
+func RunTest(t *testing.T, a *Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					res, perr := parseWants(c.Text)
+					if perr != nil {
+						pos := pkg.Fset.Position(c.Pos())
+						t.Fatalf("%s: bad want comment: %v", pos, perr)
+					}
+					if len(res) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], res...)
+				}
+			}
+		}
+	}
+
+	unmatched := make(map[key][]*regexp.Regexp)
+	for k, v := range wants {
+		unmatched[k] = append([]*regexp.Regexp(nil), v...)
+	}
+	var surplus []Diagnostic
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		rest := unmatched[k][:0]
+		for _, rx := range unmatched[k] {
+			if !matched && rx.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, rx)
+		}
+		unmatched[k] = rest
+		if !matched {
+			surplus = append(surplus, d)
+		}
+	}
+	for _, d := range surplus {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	keys := make([]key, 0, len(unmatched))
+	for k := range unmatched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, rx := range unmatched[k] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps of a `// want "rx" ...`
+// comment ("" when the comment has no want clause).
+func parseWants(comment string) ([]*regexp.Regexp, error) {
+	idx := strings.Index(comment, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(comment[idx+len("// want "):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", comment)
+			}
+			raw = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			var err error
+			end := matchDoubleQuote(rest)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", comment)
+			}
+			raw, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted want in %q: %v", comment, err)
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			return nil, fmt.Errorf("want expects quoted regexps, got %q", rest)
+		}
+		rx, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", raw, err)
+		}
+		out = append(out, rx)
+	}
+	return out, nil
+}
+
+// matchDoubleQuote returns the index of the closing quote of a
+// double-quoted string starting at s[0], honoring backslash escapes.
+func matchDoubleQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterministicPackages are the packages whose observable outputs must
+// be bit-identical at any worker count (DESIGN.md §13): the round
+// engine, the topology layer, the scenario engine, and the statistics
+// fold. Everything the simulator's fold/step call graph runs lives in
+// (or is called through interfaces defined by) these packages.
+var DeterministicPackages = []string{
+	"earmac/internal/core",
+	"earmac/internal/network",
+	"earmac/internal/scenario",
+	"earmac/internal/metrics",
+}
+
+// NewDeterIter builds the determiter analyzer scoped to the given
+// import paths (DeterministicPackages for the real tree; tests point it
+// at fixture packages).
+//
+// Inside a scoped package it forbids the constructs whose results
+// depend on runtime state rather than on the config:
+//
+//   - range over a map: iteration order is randomized per run.
+//   - package-level math/rand (rand.Intn, rand.Shuffle, ...): the global
+//     source is seeded from runtime entropy and shared across
+//     goroutines. Constructing explicitly seeded generators
+//     (rand.New(rand.NewSource(seed))) is fine and is how every
+//     stochastic pattern draws.
+//   - time.Now / time.Since / time.Until: wall-clock reads.
+//   - go statements and multi-case selects: scheduler-order dependent.
+//     Worker fan-out belongs in internal/pool behind a barrier, never
+//     inline in deterministic code.
+//
+// A finding is waived by an `//earmac:nondet -- reason` comment on the
+// flagged line or alone on the line above; the reason clause is
+// mandatory.
+func NewDeterIter(paths ...string) *Analyzer {
+	scope := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		scope[p] = true
+	}
+	a := &Analyzer{
+		Name: "determiter",
+		Doc:  "forbid nondeterminism sources in the bit-identical packages",
+	}
+	a.Run = func(pass *Pass) error {
+		if !scope[pass.Pkg.Path()] {
+			return nil
+		}
+		pass.CheckDirectiveGrammar("nondet")
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					tv := pass.TypesInfo.TypeOf(n.X)
+					if tv != nil {
+						if _, isMap := tv.Underlying().(*types.Map); isMap && !pass.Waived(n, "nondet") {
+							pass.Reportf(n.Pos(), "range over map: iteration order is nondeterministic")
+						}
+					}
+				case *ast.GoStmt:
+					if !pass.Waived(n, "nondet") {
+						pass.Reportf(n.Pos(), "go statement: goroutine scheduling is nondeterministic (use internal/pool)")
+					}
+				case *ast.SelectStmt:
+					if n.Body != nil && len(n.Body.List) > 1 && !pass.Waived(n, "nondet") {
+						pass.Reportf(n.Pos(), "multi-case select: case choice is nondeterministic")
+					}
+				case *ast.CallExpr:
+					checkDeterCall(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// seededConstructors are the math/rand package-level functions that
+// build explicitly seeded state instead of drawing from the global
+// source.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func checkDeterCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return // a method (e.g. on an explicitly seeded *rand.Rand) is fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			if !pass.Waived(call, "nondet") {
+				pass.Reportf(call.Pos(), "time.%s: wall-clock reads are nondeterministic", fn.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] && !pass.Waived(call, "nondet") {
+			pass.Reportf(call.Pos(), "global math/rand source (%s.%s): seed an explicit generator instead",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}

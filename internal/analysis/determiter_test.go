@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestDeterIter(t *testing.T) {
+	RunTest(t, NewDeterIter("earmac/internal/analysis/testdata/src/determiter"),
+		"./testdata/src/determiter")
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"strings"
+)
+
+// NewFpSafe builds the fpsafe analyzer.
+//
+// The serving layer's result cache is keyed on Config.Fingerprint(), so
+// the Config schema carries two invariants (DESIGN.md §10):
+//
+//   - A runtime-only field (tagged json:"-") must be explicitly zeroed
+//     in Fingerprint() before hashing. The tag already excludes it from
+//     the JSON encoding, but the belt-and-suspenders zeroing is the
+//     contract: a later tag edit must not silently fork cache keys on a
+//     knob that cannot change the result (NetWorkers is the canonical
+//     example — parallelism never changes what a run computes).
+//   - A serialized field must carry an explicit lowercase json name and
+//     omitempty. Fingerprints hash the defaults-resolved config, so
+//     every hashed field is populated and omitempty never drops
+//     information — but without it, a zero-valued optional field would
+//     make equal experiments encode differently depending on which
+//     spelling resolved first.
+//
+// The analyzer fires on any package declaring a struct type Config with
+// at least one json-tagged field; it reports each json:"-" field not
+// assigned in Fingerprint's body, each serialized field with a missing
+// or omitempty-free tag, and a Config that has runtime-only fields but
+// no Fingerprint method at all.
+func NewFpSafe() *Analyzer {
+	a := &Analyzer{
+		Name: "fpsafe",
+		Doc:  "Config fields tagged json:\"-\" must be zeroed in Fingerprint(); serialized fields need canonical tags",
+	}
+	a.Run = runFpSafe
+	return a
+}
+
+func runFpSafe(pass *Pass) error {
+	cfg := findConfigStruct(pass)
+	if cfg == nil {
+		return nil
+	}
+
+	var runtimeOnly []*ast.Field // json:"-"
+	tagged := false
+	for _, field := range cfg.Fields.List {
+		tag := fieldJSONTag(field)
+		if tag == "" {
+			continue
+		}
+		tagged = true
+		if tag == "-" {
+			runtimeOnly = append(runtimeOnly, field)
+			continue
+		}
+		name, opts, _ := strings.Cut(tag, ",")
+		if name == "" {
+			pass.Reportf(field.Pos(), "Config field %s: json tag has no explicit name", fieldNames(field))
+			continue
+		}
+		if name != strings.ToLower(name) {
+			pass.Reportf(field.Pos(), "Config field %s: json name %q is not lowercase", fieldNames(field), name)
+		}
+		if !strings.Contains(","+opts+",", ",omitempty,") {
+			pass.Reportf(field.Pos(),
+				"Config field %s: serialized field must be omitempty (defaults resolution re-populates it before hashing)",
+				fieldNames(field))
+		}
+	}
+	if !tagged {
+		return nil // some other Config type, not a serialized schema
+	}
+	for _, field := range cfg.Fields.List {
+		if fieldJSONTag(field) == "" && len(field.Names) > 0 && ast.IsExported(field.Names[0].Name) {
+			pass.Reportf(field.Pos(), "Config field %s: exported field has no json tag", fieldNames(field))
+		}
+	}
+
+	fp := findMethod(pass, "Config", "Fingerprint")
+	if fp == nil {
+		if len(runtimeOnly) > 0 {
+			pass.Reportf(cfg.Pos(), "Config has json:\"-\" fields but no Fingerprint() method to zero them")
+		}
+		return nil
+	}
+	zeroed := assignedFieldNames(fp)
+	for _, field := range runtimeOnly {
+		for _, name := range field.Names {
+			if !zeroed[name.Name] {
+				pass.Reportf(field.Pos(),
+					"Config.%s is json:\"-\" but never zeroed in Fingerprint(): a tag change could fork cache keys on a runtime-only knob",
+					name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// findConfigStruct locates `type Config struct{...}` in the package.
+func findConfigStruct(pass *Pass) *ast.StructType {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Config" {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findMethod locates a method declaration by receiver type name.
+func findMethod(pass *Pass, recv, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recv {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// assignedFieldNames collects the field names assigned through any
+// selector on the left-hand side of an assignment in fd's body
+// (d.Trace, d.TraceFrom, ... = nil, 0, ...).
+func assignedFieldNames(fd *ast.FuncDecl) map[string]bool {
+	out := make(map[string]bool)
+	if fd.Body == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				out[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// fieldJSONTag extracts the json struct tag of a field ("" when
+// absent).
+func fieldJSONTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw := strings.Trim(field.Tag.Value, "`")
+	return reflect.StructTag(raw).Get("json")
+}
+
+// fieldNames joins a field's declared names (a single ast.Field can
+// declare several: `A, B int`).
+func fieldNames(field *ast.Field) string {
+	names := make([]string, 0, len(field.Names))
+	for _, n := range field.Names {
+		names = append(names, n.Name)
+	}
+	if len(names) == 0 {
+		return "(embedded)"
+	}
+	return strings.Join(names, ", ")
+}

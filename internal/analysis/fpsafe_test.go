@@ -1,0 +1,9 @@
+package analysis
+
+import "testing"
+
+func TestFpSafe(t *testing.T) {
+	RunTest(t, NewFpSafe(),
+		"./testdata/src/fpsafe",
+		"./testdata/src/fpsafe/nofp")
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import "testing"
+
+// TestTreeClean runs the full suite over the real module — the same
+// gate `make lint` and CI apply — so a plain `go test ./...` catches a
+// violation introduced without running the linter.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	analyzers := []*Analyzer{
+		NewDeterIter(DeterministicPackages...),
+		NewHotAlloc(),
+		NewFpSafe(),
+		NewRegMeta("/internal/algorithms/"),
+	}
+	diags, err := RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("tree not lint-clean: %s", d)
+	}
+}
+
+func TestParseWants(t *testing.T) {
+	cases := []struct {
+		comment string
+		n       int
+		ok      bool
+	}{
+		{"// plain comment", 0, true},
+		{"// want `range over map`", 1, true},
+		{"x := 1 // want `a` `b`", 2, true},
+		{`// want "quoted \"escape\""`, 1, true},
+		{"//earmac:nondet // want `missing`", 1, true},
+		{"// want `unterminated", 0, false},
+		{"// want bare-word", 0, false},
+		{"// want `bad regexp (`", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseWants(c.comment)
+		if c.ok != (err == nil) {
+			t.Errorf("parseWants(%q): err = %v, want ok=%v", c.comment, err, c.ok)
+			continue
+		}
+		if err == nil && len(got) != c.n {
+			t.Errorf("parseWants(%q): %d regexps, want %d", c.comment, len(got), c.n)
+		}
+	}
+}

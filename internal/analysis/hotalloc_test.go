@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotAlloc(t *testing.T) {
+	RunTest(t, NewHotAlloc(), "./testdata/src/hotalloc")
+}

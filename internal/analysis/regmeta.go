@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NewRegMeta builds the regmeta analyzer scoped to packages whose
+// import path contains root ("/internal/algorithms/" for the real
+// tree; tests point it at fixture packages).
+//
+// Every algorithm package must self-register from an init function —
+// the registry derives the available-algorithm set from what is linked
+// in, so a package that compiles but never registers is silently
+// missing from every CLI, sweep, and capability listing. For each
+// registration the analyzer requires:
+//
+//   - the call is lexically inside func init() (registration at any
+//     other time races the registry's consumers);
+//   - the name argument is a non-empty string literal (a computed name
+//     defeats grepping and the static capability audit);
+//   - the meta argument is an AlgorithmMeta composite literal with
+//     field names, declaring at minimum a Summary, an explicit MinN,
+//     and exactly one cap source (EnergyCap, UsesK, or CapIsN — the
+//     CapFor contract), with MinK present whenever UsesK is set.
+//
+// Capability flags the facade consults (e.g. Tolerant) are fields of
+// registry.AlgorithmMeta, so their existence is already enforced by the
+// type checker; regmeta enforces the parts the compiler cannot see —
+// that registration happens at all, and that the declared metadata is
+// complete enough for CheckNK and CapFor to be meaningful.
+func NewRegMeta(root string) *Analyzer {
+	a := &Analyzer{
+		Name: "regmeta",
+		Doc:  "algorithm packages must register complete AlgorithmMeta from init",
+	}
+	a.Run = func(pass *Pass) error {
+		if !strings.Contains(pass.Pkg.Path(), root) {
+			return nil
+		}
+		registered := false
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				inInit := fd.Recv == nil && fd.Name.Name == "init"
+				ast.Inspect(fd, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || !isRegisterAlgorithm(pass, call) {
+						return true
+					}
+					registered = true
+					if !inInit {
+						pass.Reportf(call.Pos(),
+							"RegisterAlgorithm outside func init(): late registration races every registry consumer")
+					}
+					checkRegistration(pass, call)
+					return true
+				})
+			}
+		}
+		if !registered {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"algorithm package %s never calls registry.RegisterAlgorithm: it is linked in but invisible to the registry",
+				pass.Pkg.Name())
+		}
+		return nil
+	}
+	return a
+}
+
+// isRegisterAlgorithm matches calls to a function RegisterAlgorithm
+// exported by a package named registry.
+func isRegisterAlgorithm(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Name() == "RegisterAlgorithm" && fn.Pkg() != nil && fn.Pkg().Name() == "registry"
+}
+
+// checkRegistration validates one RegisterAlgorithm(name, meta, build)
+// call.
+func checkRegistration(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 3 {
+		return // the type checker already rejected it
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || tv.Value == nil ||
+		tv.Value.Kind() != constant.String || constant.StringVal(tv.Value) == "" {
+		pass.Reportf(call.Args[0].Pos(), "algorithm name must be a non-empty string literal")
+	}
+	meta, ok := call.Args[1].(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(call.Args[1].Pos(),
+			"AlgorithmMeta must be a composite literal so capabilities stay statically auditable")
+		return
+	}
+	fields := make(map[string]ast.Expr)
+	for _, elt := range meta.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			pass.Reportf(elt.Pos(), "AlgorithmMeta literal must use field names")
+			return
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			fields[id.Name] = kv.Value
+		}
+	}
+	if v, ok := fields["Summary"]; !ok || isEmptyString(pass, v) {
+		pass.Reportf(meta.Pos(), "AlgorithmMeta.Summary is required: the registry is the capability catalog")
+	}
+	if _, ok := fields["MinN"]; !ok {
+		pass.Reportf(meta.Pos(), "AlgorithmMeta.MinN is required: declare the smallest valid system size explicitly")
+	}
+	capSources := 0
+	for _, f := range []string{"EnergyCap", "UsesK", "CapIsN"} {
+		if _, ok := fields[f]; ok {
+			capSources++
+		}
+	}
+	if capSources != 1 {
+		pass.Reportf(meta.Pos(),
+			"AlgorithmMeta must declare exactly one cap source (EnergyCap, UsesK, or CapIsN), got %d", capSources)
+	}
+	_, usesK := fields["UsesK"]
+	if _, hasMinK := fields["MinK"]; usesK && !hasMinK {
+		pass.Reportf(meta.Pos(), "AlgorithmMeta.MinK is required when UsesK is set")
+	}
+}
+
+// isEmptyString reports whether e is a constant empty string.
+func isEmptyString(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	s, err := strconv.Unquote(tv.Value.ExactString())
+	return err == nil && s == ""
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestRegMeta(t *testing.T) {
+	RunTest(t, NewRegMeta("/testdata/src/regmeta/"),
+		"./testdata/src/regmeta/good",
+		"./testdata/src/regmeta/missing",
+		"./testdata/src/regmeta/incomplete")
+}

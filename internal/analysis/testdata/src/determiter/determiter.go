@@ -1,0 +1,63 @@
+// Package determiter is a golden-test fixture for the determiter
+// analyzer: every construct it forbids, in flagged and waived forms.
+// The `// want` comments are matched by analysis.RunTest.
+package determiter
+
+import (
+	"math/rand"
+	"time"
+)
+
+func MapRange(m map[int]int) int {
+	sum := 0
+	for k := range m { // want `range over map`
+		sum += k
+	}
+	for k := range m { //earmac:nondet -- commutative sum; iteration order cannot reach the result
+		sum += k
+	}
+	return sum
+}
+
+func Clock() time.Duration {
+	t := time.Now()      // want `time.Now: wall-clock`
+	return time.Since(t) // want `time.Since: wall-clock`
+}
+
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand source`
+}
+
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded constructor and *rand.Rand methods are fine
+	return rng.Intn(10)
+}
+
+func Spawn(f func()) {
+	go f() // want `go statement`
+}
+
+func Pick(a, b chan int) int {
+	select { // want `multi-case select`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func Recv(a chan int) int {
+	select { // a single-case select is deterministic
+	case v := <-a:
+		return v
+	}
+}
+
+func MissingReason(m map[int]bool) int {
+	n := 0
+	//earmac:nondet // want `missing its " -- reason" clause`
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,28 @@
+// Package fpsafe is a golden-test fixture for the fpsafe analyzer: a
+// Config schema with tag violations and a runtime-only field that
+// Fingerprint forgets to zero. The `// want` comments are matched by
+// analysis.RunTest.
+package fpsafe
+
+import "strings"
+
+type Config struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	N         int    `json:"n,omitempty"`
+	Rate      int    `json:"rate"`                // want `must be omitempty`
+	Camel     int    `json:"CamelCase,omitempty"` // want `is not lowercase`
+	Bare      int    `json:",omitempty"`          // want `json tag has no explicit name`
+	Untagged  int    // want `exported field has no json tag`
+	private   bool   // unexported fields may stay untagged
+
+	Trace   *strings.Builder `json:"-"`
+	Workers int              `json:"-"` // want `never zeroed in Fingerprint`
+}
+
+// Fingerprint zeroes Trace but forgets Workers.
+func (c Config) Fingerprint() string {
+	d := c
+	d.Trace = nil
+	d.private = false
+	return d.Algorithm
+}

@@ -1,0 +1,8 @@
+// Package nofp is a golden-test fixture for the fpsafe analyzer:
+// runtime-only fields with no Fingerprint method to zero them.
+package nofp
+
+type Config struct { // want `json:"-" fields but no Fingerprint`
+	Name  string `json:"name,omitempty"`
+	Debug bool   `json:"-"`
+}

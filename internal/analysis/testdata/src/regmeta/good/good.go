@@ -1,0 +1,21 @@
+// Package good is a golden-test fixture for the regmeta analyzer: a
+// complete, compliant registration that must produce no diagnostics.
+package good
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/registry"
+)
+
+func init() {
+	registry.RegisterAlgorithm("good-fixture", registry.AlgorithmMeta{
+		Summary:   "fixture algorithm with complete metadata",
+		Theorem:   "Thm 0",
+		EnergyCap: 4,
+		MinN:      2,
+	}, build)
+}
+
+func build(n, k int) (*core.System, error) {
+	return nil, nil
+}

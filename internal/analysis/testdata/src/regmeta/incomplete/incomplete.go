@@ -1,0 +1,41 @@
+// Package incomplete is a golden-test fixture for the regmeta
+// analyzer: registrations with missing or malformed metadata. The
+// `// want` comments are matched by analysis.RunTest.
+package incomplete
+
+import (
+	"earmac/internal/core"
+	"earmac/internal/registry"
+)
+
+var computed = registry.AlgorithmMeta{
+	Summary:   "metadata assembled outside the call",
+	EnergyCap: 2,
+	MinN:      2,
+}
+
+func init() {
+	registry.RegisterAlgorithm("", registry.AlgorithmMeta{ // want `non-empty string literal` `Summary is required` `MinN is required` `exactly one cap source`
+		Theorem: "Thm 0",
+	}, build)
+	registry.RegisterAlgorithm("k-fixture", registry.AlgorithmMeta{ // want `MinK is required when UsesK`
+		Summary: "k-dependent cap without a declared MinK",
+		UsesK:   true,
+		MinN:    2,
+	}, build)
+	registry.RegisterAlgorithm("computed-fixture", computed, build) // want `must be a composite literal`
+}
+
+func register() {
+	registry.RegisterAlgorithm("late-fixture", registry.AlgorithmMeta{ // want `outside func init`
+		Summary:   "registration not reachable from init",
+		EnergyCap: 1,
+		MinN:      2,
+	}, build)
+}
+
+var _ = register
+
+func build(n, k int) (*core.System, error) {
+	return nil, nil
+}

@@ -1,0 +1,8 @@
+// Package missing is a golden-test fixture for the regmeta analyzer:
+// an algorithm package that compiles but never registers itself.
+package missing // want `never calls registry.RegisterAlgorithm`
+
+// New would be the constructor, but nothing wires it to the registry.
+func New(n, k int) (int, error) {
+	return n + k, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"earmac/internal/mac"
 	"earmac/internal/metrics"
@@ -613,9 +614,17 @@ func (s *Sim) CheckConservation() error {
 			}
 		}
 	}
-	for id, p := range s.live {
+	// Check live packets in id order, so multi-packet violation reports
+	// are deterministic (violations land in reports and trace footers;
+	// map order must never reach them).
+	ids := make([]int64, 0, len(s.live))
+	for id := range s.live { //earmac:nondet -- key collection only; ids are sorted before any observable use
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
 		if seen[id] != 1 {
-			if err := s.violate("in-flight packet %v held by %d stations", p, seen[id]); err != nil {
+			if err := s.violate("in-flight packet %v held by %d stations", s.live[id], seen[id]); err != nil {
 				return err
 			}
 		}

@@ -73,11 +73,13 @@ type station struct {
 	spent int64 // switched-on rounds consumed against EnergyBudget
 }
 
+//earmac:hotpath
 func (s *station) Inject(p mac.Packet) {
 	s.idle = 0 // traffic wakes the station this very round
 	s.inner.Inject(p)
 }
 
+//earmac:hotpath
 func (s *station) Act(round int64) core.Action {
 	g := s.g
 	if round != g.curRound {
@@ -111,6 +113,7 @@ func (s *station) sleeping(round int64) bool {
 	return false
 }
 
+//earmac:hotpath
 func (s *station) Observe(round int64, fb mac.Feedback) { s.inner.Observe(round, fb) }
 
 func (s *station) QueueLen() int { return s.inner.QueueLen() }

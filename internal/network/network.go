@@ -163,6 +163,7 @@ func (t *metaTable) compactOrGrow() {
 		size = metaMinRing
 	}
 	old := t.ring
+	//earmac:alloc -- amortized ring doubling; steady state never reaches it (TestNetworkZeroAllocs)
 	t.ring = make([]netPacket, size)
 	for i := range t.ring {
 		t.ring[i].destCh = -1
@@ -350,6 +351,8 @@ type feed struct {
 func (f *feed) Inject(round int64) []core.Injection { return f.InjectAppend(round, nil) }
 
 // InjectAppend implements core.InjectAppender.
+//
+//earmac:hotpath
 func (f *feed) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	cs := f.cs
 	cs.entries = f.net.entry.AppendEntries(round, f.ch, cs.entries[:0])
@@ -366,6 +369,8 @@ type relayFeed struct {
 }
 
 // InjectAppend implements core.InjectAppender.
+//
+//earmac:hotpath
 func (r *relayFeed) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	cs := r.cs
 	for _, p := range cs.arriving {
@@ -387,6 +392,7 @@ func (n *Network) admit(round int64, ch int, cs *chanState, in core.Injection, b
 	if in.Station < 0 || in.Station >= total || in.Dest < 0 || in.Dest >= total ||
 		n.topo.ChannelOf(in.Station) != ch {
 		cs.violations = append(cs.violations,
+			//earmac:alloc -- violation path: only hand-edited replay traces reach it, never a live adversary
 			fmt.Sprintf("round %d channel %d: entry injection out of range: %+v", round, ch, in))
 		return buf
 	}
@@ -407,6 +413,8 @@ func (n *Network) admit(round int64, ch int, cs *chanState, in core.Injection, b
 // delivery either completes a packet's journey (buffered for the
 // post-barrier latency fold) or parks it in the channel's outbox,
 // tagged with the next channel on its path, to arrive there next round.
+//
+//earmac:hotpath
 func (n *Network) onDelivery(cs *chanState, ch int, round int64, p mac.Packet) {
 	m, ok := cs.meta.take(p.ID)
 	if !ok {
@@ -437,6 +445,8 @@ func (n *Network) onDelivery(cs *chanState, ch int, round int64, p mac.Packet) {
 // packet's mirror-table slot; the channel tracker already counted the
 // drop, and the aggregate Tracker fold sums those counts end-to-end
 // (a packet dies at most once, so the sum is exact).
+//
+//earmac:hotpath
 func (n *Network) onDrop(cs *chanState, ch int, p mac.Packet) {
 	if _, ok := cs.meta.take(p.ID); !ok {
 		panic(fmt.Sprintf("network: channel %d dropped unregistered packet %v", ch, p))
@@ -447,6 +457,8 @@ func (n *Network) onDrop(cs *chanState, ch int, p mac.Packet) {
 // It touches only chanState c (plus the immutable topology and the
 // Source's channel-c state), so channels step concurrently without
 // locks; everything the fold needs is parked in the chanState.
+//
+//earmac:hotpath
 func (n *Network) stepChannel(c int) {
 	cs := n.chans[c]
 	cs.admitted = 0
@@ -469,6 +481,8 @@ func (n *Network) stepChannel(c int) {
 // the aggregate tracker in ascending channel order. Phases 1 and 3
 // iterate channels identically at any worker count, which is why every
 // output is bit-identical to the serial loop's.
+//
+//earmac:hotpath
 func (n *Network) Step() error {
 	// (1) Disruption flags for the round, computed serially so every
 	// channel's sim sees its flags before dispatch, then the relay
@@ -549,6 +563,7 @@ func (n *Network) Step() error {
 	}
 	for c, cs := range chans {
 		if cs.err != nil {
+			//earmac:alloc -- error propagation: a channel error aborts the run
 			return fmt.Errorf("channel %d: %w", c, cs.err)
 		}
 	}

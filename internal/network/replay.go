@@ -58,6 +58,8 @@ func NewReplaySource(t *scenario.Trace) *ReplaySource {
 // queries rounds in increasing order, matching the trace's event order;
 // events for rounds the driver skipped are passed over. Calls for
 // distinct channels are independent and may run concurrently.
+//
+//earmac:hotpath
 func (r *ReplaySource) AppendEntries(round int64, ch int, buf []core.Injection) []core.Injection {
 	if ch < 0 || ch >= len(r.byCh) {
 		return buf

@@ -73,6 +73,7 @@ func (q *Queue) alloc(p mac.Packet) int32 {
 // dest returns the destination list for d, growing the index if needed.
 func (q *Queue) dest(d int) *destList {
 	if d >= len(q.byDest) {
+		//earmac:alloc -- amortized index growth past the New(nDests) hint; sized callers never reach it
 		grown := make([]destList, d+1)
 		copy(grown, q.byDest)
 		q.byDest = grown
@@ -81,9 +82,13 @@ func (q *Queue) dest(d int) *destList {
 }
 
 // Len returns the number of queued packets.
+//
+//earmac:hotpath
 func (q *Queue) Len() int { return q.size }
 
 // Has reports whether the packet with the given ID is queued.
+//
+//earmac:hotpath
 func (q *Queue) Has(id int64) bool { _, ok := q.byID[id]; return ok }
 
 // Get returns the queued packet with the given ID.
@@ -96,6 +101,8 @@ func (q *Queue) Get(id int64) (mac.Packet, bool) {
 }
 
 // Count returns the number of queued packets with the given destination.
+//
+//earmac:hotpath
 func (q *Queue) Count(dest int) int {
 	if dest < 0 || dest >= len(q.byDest) {
 		return 0
@@ -120,6 +127,8 @@ func (q *Queue) CountLess(dest int) int {
 // is exactly-once by design and a duplicate indicates an algorithm bug.
 // A negative destination panics, since the per-destination index is
 // keyed by station name.
+//
+//earmac:hotpath
 func (q *Queue) Push(p mac.Packet) {
 	if _, dup := q.byID[p.ID]; dup {
 		panic(fmt.Sprintf("pktq: duplicate packet %v", p))
@@ -149,6 +158,8 @@ func (q *Queue) Push(p mac.Packet) {
 }
 
 // Front returns the oldest queued packet without removing it.
+//
+//earmac:hotpath
 func (q *Queue) Front() (mac.Packet, bool) {
 	if q.head == none {
 		return mac.Packet{}, false
@@ -158,6 +169,8 @@ func (q *Queue) Front() (mac.Packet, bool) {
 
 // FrontTo returns the oldest queued packet destined to dest without
 // removing it.
+//
+//earmac:hotpath
 func (q *Queue) FrontTo(dest int) (mac.Packet, bool) {
 	if dest < 0 || dest >= len(q.byDest) {
 		return mac.Packet{}, false
@@ -170,6 +183,8 @@ func (q *Queue) FrontTo(dest int) (mac.Packet, bool) {
 }
 
 // PopFront removes and returns the oldest queued packet.
+//
+//earmac:hotpath
 func (q *Queue) PopFront() (mac.Packet, bool) {
 	if q.head == none {
 		return mac.Packet{}, false
@@ -180,6 +195,8 @@ func (q *Queue) PopFront() (mac.Packet, bool) {
 }
 
 // PopFrontTo removes and returns the oldest packet destined to dest.
+//
+//earmac:hotpath
 func (q *Queue) PopFrontTo(dest int) (mac.Packet, bool) {
 	if dest < 0 || dest >= len(q.byDest) {
 		return mac.Packet{}, false
@@ -196,6 +213,8 @@ func (q *Queue) PopFrontTo(dest int) (mac.Packet, bool) {
 // PopPrefer removes and returns the oldest packet destined to dest if one
 // exists, and otherwise the oldest packet overall. Used by coded transfer,
 // where sending a packet addressed to the listener delivers it for free.
+//
+//earmac:hotpath
 func (q *Queue) PopPrefer(dest int) (mac.Packet, bool) {
 	if p, ok := q.PopFrontTo(dest); ok {
 		return p, true
@@ -205,6 +224,8 @@ func (q *Queue) PopPrefer(dest int) (mac.Packet, bool) {
 
 // Remove deletes the packet with the given ID, reporting whether it was
 // present.
+//
+//earmac:hotpath
 func (q *Queue) Remove(id int64) bool {
 	n, ok := q.byID[id]
 	if !ok {
@@ -257,6 +278,8 @@ func (q *Queue) Snapshot() []mac.Packet {
 
 // AppendTo appends the queued packets in arrival order to buf and returns
 // the extended slice — the allocation-free variant of Snapshot.
+//
+//earmac:hotpath
 func (q *Queue) AppendTo(buf []mac.Packet) []mac.Packet {
 	for n := q.head; n != none; n = q.nodes[n].next {
 		buf = append(buf, q.nodes[n].pkt)

@@ -573,6 +573,8 @@ func (r *Replayer) Inject(round int64) []core.Injection {
 // are not injections and are skipped; jams replay through the façade's
 // jam-replay disruptor, outages and sleep are derived state recomputed
 // during the replay.
+//
+//earmac:hotpath
 func (r *Replayer) InjectAppend(round int64, buf []core.Injection) []core.Injection {
 	for r.cur < len(r.events) {
 		ev := &r.events[r.cur]

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Lint smoke: prove earmac-lint actually gates before trusting its
+# green. The linter must (1) exit nonzero on the committed hotalloc
+# fixture, which is seeded with violations, and (2) exit zero on the
+# real tree. A linter that silently loads nothing would pass (2) alone.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "lint-smoke: seeded fixture must fail"
+if go run ./cmd/earmac-lint ./internal/analysis/testdata/src/hotalloc >"$out" 2>&1; then
+    echo "lint-smoke: FAIL - linter exited 0 on a fixture seeded with violations" >&2
+    cat "$out" >&2
+    exit 1
+fi
+if ! grep -q 'append to unsized slice' "$out"; then
+    echo "lint-smoke: FAIL - expected unsized-append finding missing" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+echo "lint-smoke: real tree must be clean"
+go run ./cmd/earmac-lint ./...
+
+echo "lint-smoke: OK"
