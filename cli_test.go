@@ -273,6 +273,33 @@ func TestCLITraceAuditGolden(t *testing.T) {
 	checkGolden(t, "trace-audit.txt", out)
 }
 
+// TestCLITraceDiffGolden pins the earmac-trace diff subcommand: a
+// self-diff reports identity and exits 0, and diffing two structurally
+// different corpus traces reports the header/config fields, the first
+// diverging event, and the footer counter deltas, exiting 1. Both
+// outputs are golden.
+func TestCLITraceDiffGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out via go run")
+	}
+	out := runCLI(t, "run", "./cmd/earmac-trace", "diff",
+		"testdata/traces/aloha-stochastic.trace.jsonl",
+		"testdata/traces/aloha-stochastic.trace.jsonl")
+	checkGolden(t, "trace-diff-identical.txt", out)
+
+	cmd := exec.Command("go", "run", "./cmd/earmac-trace", "diff",
+		"testdata/traces/aloha-stochastic.trace.jsonl",
+		"testdata/traces/dis-net-line-aloha.trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 1 {
+		t.Fatalf("diff of different traces: err %v, want exit status 1\nstderr:\n%s", err, stderr.String())
+	}
+	checkGolden(t, "trace-diff.txt", stdout.Bytes())
+}
+
 // And the sweep CSV error path: -mode channels without -topology fails
 // fast instead of sweeping a single channel silently.
 func TestCLISweepChannelsNeedsTopology(t *testing.T) {

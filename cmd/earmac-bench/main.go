@@ -46,6 +46,7 @@ import (
 	"earmac/internal/metrics"
 	"earmac/internal/network"
 	"earmac/internal/pktq"
+	"earmac/internal/prof"
 	"earmac/internal/ratio"
 )
 
@@ -59,11 +60,22 @@ func main() {
 		speedTol = flag.Float64("speed-tol", benchcmp.DefaultSpeedDropTolerance,
 			"permitted relative Mrounds/s drop vs the baseline (0 = gate any drop)")
 		repsFlag = flag.Int("reps", 5, "repetitions per row (best throughput wins, damping scheduler noise)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *quick && *full {
 		fail(fmt.Errorf("-quick and -full are mutually exclusive"))
 	}
+	ps, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := ps.Stop(); err != nil {
+			fail(err)
+		}
+	}()
 	scale := expt.Full
 	if *quick {
 		scale = expt.Quick
@@ -94,8 +106,10 @@ func main() {
 	for _, spec := range expt.Table1(scale) {
 		file.Rows = append(file.Rows, benchSpec(spec, reps))
 	}
+	file.Rows = append(file.Rows, sparseRows(scale, reps)...)
 	file.Rows = append(file.Rows, substrateRows(scale, reps)...)
 	file.Rows = append(file.Rows, networkRows(scale, reps)...)
+	assertTwins(file.Rows)
 	for _, row := range file.Rows {
 		fmt.Fprintf(os.Stderr, "earmac-bench: %-14s %8.3f Mrounds/s  %7.4f allocs/round  queue_max=%d\n",
 			row.ID, row.MroundsPerS, row.AllocsPerRound, row.QueueMax)
@@ -121,10 +135,14 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "earmac-bench: compared %d rows vs %s (calibration ratio %.2f)\n",
 			res.Compared, *baseline, res.Ratio)
+		for _, id := range res.New {
+			fmt.Fprintf(os.Stderr, "earmac-bench: new row %s (not in baseline; informational)\n", id)
+		}
 		if !res.OK() {
 			for _, f := range res.Findings {
 				fmt.Fprintf(os.Stderr, "earmac-bench: REGRESSION %s\n", f)
 			}
+			ps.Stop() // os.Exit skips the deferred flush
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "earmac-bench: no regressions")
@@ -186,12 +204,19 @@ func calibrate(reps int) float64 {
 // throughput and the fewest allocations (scheduler noise only ever
 // slows a run down or interleaves a GC; it never speeds one up).
 func measure(id, label string, build func() (*core.System, core.Adversary), rounds int64, reps int) benchcmp.Row {
+	return measureOpt(id, label, build, rounds, reps, false)
+}
+
+// measureOpt is measure with the quiescence engine's escape hatch
+// exposed, so a ".noskip" twin can run the identical configuration on
+// the classic per-round loop.
+func measureOpt(id, label string, build func() (*core.System, core.Adversary), rounds int64, reps int, noskip bool) benchcmp.Row {
 	row := benchcmp.Row{ID: id, Label: label, Rounds: rounds}
 	for rep := 0; rep < reps; rep++ {
 		sys, adv := build()
 		tr := metrics.NewTracker()
 		tr.SampleEvery = 0
-		sim := core.NewSim(sys, adv, core.Options{Tracker: tr})
+		sim := core.NewSim(sys, adv, core.Options{Tracker: tr, NoSkip: noskip})
 
 		var before, after runtime.MemStats
 		runtime.GC()
@@ -234,6 +259,32 @@ func benchSpec(s expt.Spec, reps int) benchcmp.Row {
 		}
 		return sys, adv
 	}, s.Rounds, reps)
+}
+
+// sparseRows measures the quiescence fast-forward engine (DESIGN.md
+// §16) on a sparse single-channel workload: at ρ = 1/1024 the entry
+// bucket starves for ~1024 rounds after each spend, each injected
+// packet drains within a few dozen rounds, and the engine's closed-form
+// span skip covers almost the whole run in O(1) jumps. The ".noskip"
+// twin runs the identical configuration on the classic per-round loop;
+// assertTwins gates their deterministic outputs bit-identical on every
+// bench run, the same contract the ".ser" rows pin for worker counts.
+func sparseRows(scale expt.Scale, reps int) []benchcmp.Row {
+	rounds := int64(2000000)
+	if scale == expt.Full {
+		rounds *= 4
+	}
+	build := func() (*core.System, core.Adversary) {
+		sys, err := ksubsets.New(6, 3)
+		if err != nil {
+			fail(err)
+		}
+		return sys, adversary.New(adversary.T(1, 1024, 1), adversary.Uniform(6, 42))
+	}
+	return []benchcmp.Row{
+		measureOpt("T1.sparse", "3-subsets sparse @ ρ=1/1024 β=1, n=6 (span skipping)", build, rounds, reps, false),
+		measureOpt("T1.sparse.noskip", "3-subsets sparse @ ρ=1/1024 β=1, n=6, per-round loop", build, rounds, reps, true),
+	}
 }
 
 // substrateRows benchmarks the simulator substrate: the prior-work
@@ -313,32 +364,45 @@ func networkRows(scale expt.Scale, reps int) []benchcmp.Row {
 		beta      int64
 		rounds    int64
 		workers   int
-		jam       bool
+		mode      string // "" plain orchestra, "jam" ISSUE 8 loop, "frontier" sparse jam+duty
+		noskip    bool
 	}{
 		{"NET.line4", "orchestra line ×4 @ ρ=1/2 β=4, n=6, net-workers=auto",
-			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 0, false},
+			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 0, "", false},
 		{"NET.line4.ser", "orchestra line ×4 @ ρ=1/2 β=4, n=6, serial",
-			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 1, false},
+			network.Spec{Kind: network.Line, Channels: 4, N: 6}, 4, 100000, 1, "", false},
 		{"NET.star64", "orchestra star ×64 @ ρ=1/2 β=64, n=6, net-workers=auto",
-			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 0, false},
+			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 0, "", false},
 		{"NET.star64.ser", "orchestra star ×64 @ ρ=1/2 β=64, n=6, serial",
-			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 1, false},
+			network.Spec{Kind: network.Star, Channels: 64, N: 6}, 64, 20000, 1, "", false},
 		{"NET.grid64", "orchestra grid 8×8 @ ρ=1/2 β=64, n=6, net-workers=auto",
-			network.Spec{Kind: network.Grid, Channels: 64, N: 6}, 64, 20000, 0, false},
+			network.Spec{Kind: network.Grid, Channels: 64, N: 6}, 64, 20000, 0, "", false},
 		{"NET.rand64", "orchestra random ×64 seed 9 @ ρ=1/2 β=64, n=6, net-workers=auto",
-			network.Spec{Kind: network.Random, Channels: 64, N: 6, Seed: 9}, 64, 20000, 0, false},
+			network.Spec{Kind: network.Random, Channels: 64, N: 6, Seed: 9}, 64, 20000, 0, "", false},
 		{"NET.clique1024", "orchestra clique ×1024 @ ρ=1/2 β=1024, n=6, net-workers=auto",
-			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 0, false},
+			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 0, "", false},
 		{"NET.clique1024.ser", "orchestra clique ×1024 @ ρ=1/2 β=1024, n=6, serial",
-			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 1, false},
+			network.Spec{Kind: network.Clique, Channels: 1024, N: 6}, 1024, 1500, 1, "", false},
 		// The ISSUE 8 disruption loop: duty-cycled aloha (the Tolerant
 		// algorithm) under the budgeted jammer — jam flag selection,
 		// disrupt plumbing, drop reclamation, and the duty wrapper all on
 		// the measured path.
 		{"NET.jam16", "aloha line ×16 jammed @ ρ=1/4 β=16 ρ_j=1/4 duty 32/16, n=6, net-workers=auto",
-			network.Spec{Kind: network.Line, Channels: 16, N: 6}, 16, 50000, 0, true},
+			network.Spec{Kind: network.Line, Channels: 16, N: 6}, 16, 50000, 0, "jam", false},
 		{"NET.jam16.ser", "aloha line ×16 jammed @ ρ=1/4 β=16 ρ_j=1/4 duty 32/16, n=6, serial",
-			network.Spec{Kind: network.Line, Channels: 16, N: 6}, 16, 50000, 1, true},
+			network.Spec{Kind: network.Line, Channels: 16, N: 6}, 16, 50000, 1, "jam", false},
+		// The energy frontier under the quiescence engine: the ISSUE 8
+		// jam+duty shape in its sparse regime — n=24 per channel at a
+		// global entry rate of ρ=1/1024 and a long duty sleep, where the
+		// duty wrapper's zero-energy idle profile turns almost every
+		// round — jammed rounds included — into an O(1) quiescent tick
+		// per channel (the live jammer pins span skipping, so this row
+		// measures tier 1). The ".noskip" twin forces the per-round O(n)
+		// sweep; assertTwins gates the pair bit-identical on every run.
+		{"NET.frontier16", "aloha line ×16 jammed @ ρ=1/1024 β=16 ρ_j=1/4 duty 8/256, n=24, quiescent ticks",
+			network.Spec{Kind: network.Line, Channels: 16, N: 24}, 16, 50000, 1, "frontier", false},
+		{"NET.frontier16.noskip", "aloha line ×16 jammed @ ρ=1/1024 β=16 ρ_j=1/4 duty 8/256, n=24, per-round loop",
+			network.Spec{Kind: network.Line, Channels: 16, N: 24}, 16, 50000, 1, "frontier", true},
 	}
 	// Compile each distinct topology once: the Topology is immutable and
 	// shared across repetitions and worker-count twins (the clique-1024
@@ -355,30 +419,53 @@ func networkRows(scale expt.Scale, reps int) []benchcmp.Row {
 			}
 			topos[key] = topo
 		}
-		rows = append(rows, measureNet(c.id, c.label, topo, c.beta, c.rounds*mult, c.workers, reps, c.jam))
-	}
-	for i, r := range rows {
-		base := strings.TrimSuffix(r.ID, ".ser")
-		if base == r.ID {
-			continue
-		}
-		for _, p := range rows[:i] {
-			if p.ID == base && (p.QueueMax != r.QueueMax || p.Energy != r.Energy) {
-				fail(fmt.Errorf("%s and %s diverge: queue_max %d vs %d, energy %v vs %v (worker-count independence broken)",
-					p.ID, r.ID, p.QueueMax, r.QueueMax, p.Energy, r.Energy))
-			}
-		}
+		rows = append(rows, measureNet(c.id, c.label, topo, c.beta, c.rounds*mult, c.workers, reps, c.mode, c.noskip))
 	}
 	return rows
+}
+
+// assertTwins enforces the twin contracts on every bench run, CI's gate
+// included: a ".ser" row must match its parallel base row (the
+// worker-count-independence contract, DESIGN.md §13) and a ".noskip"
+// row must match its fast-forward base row (the quiescence-engine
+// bit-identity contract, DESIGN.md §16) on the deterministic outputs.
+func assertTwins(rows []benchcmp.Row) {
+	byID := make(map[string]benchcmp.Row, len(rows))
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	for _, r := range rows {
+		var base, contract string
+		switch {
+		case strings.HasSuffix(r.ID, ".ser"):
+			base, contract = strings.TrimSuffix(r.ID, ".ser"), "worker-count independence"
+		case strings.HasSuffix(r.ID, ".noskip"):
+			base, contract = strings.TrimSuffix(r.ID, ".noskip"), "quiescence-engine bit-identity"
+		default:
+			continue
+		}
+		p, ok := byID[base]
+		if !ok {
+			fail(fmt.Errorf("twin row %s has no base row %s", r.ID, base))
+		}
+		if p.QueueMax != r.QueueMax || p.Energy != r.Energy {
+			fail(fmt.Errorf("%s and %s diverge: queue_max %d vs %d, energy %v vs %v (%s broken)",
+				p.ID, r.ID, p.QueueMax, r.QueueMax, p.Energy, r.Energy, contract))
+		}
+	}
 }
 
 // measureNet is measure for a network row: fresh adversary and channel
 // systems per repetition over a shared compiled topology, a warmup
 // window before the allocation accounting, best-of-reps throughput.
-// With jam set the row runs the disruption loop instead: duty-cycled
-// aloha replica sets at ρ = 1/4 under a fresh (ρ_j = 1/4, β_j = 2)
-// jammer per repetition, deterministic in the fixed seeds like the rest.
-func measureNet(id, label string, topo *network.Topology, beta, rounds int64, workers, reps int, jam bool) benchcmp.Row {
+// Mode "jam" runs the disruption loop instead: duty-cycled aloha
+// replica sets at ρ = 1/4 under a fresh (ρ_j = 1/4, β_j = 2) jammer per
+// repetition, deterministic in the fixed seeds like the rest. Mode
+// "frontier" is the same machinery in its sparse regime — ρ = 1/1024
+// entries and a long (8/256) duty cycle, so nearly every round is an
+// O(1) quiescent tick when the engine is on. noskip forces the classic
+// per-round loop (network.Options.NoSkip) for the quiescence twin rows.
+func measureNet(id, label string, topo *network.Topology, beta, rounds int64, workers, reps int, mode string, noskip bool) benchcmp.Row {
 	warmup := rounds / 10
 	if warmup > 2000 {
 		warmup = 2000
@@ -395,15 +482,19 @@ func measureNet(id, label string, topo *network.Topology, beta, rounds int64, wo
 		entry, build := adversary.T(1, 2, beta), func(ch int) (*core.System, error) {
 			return orchestra.New(topo.StationsPerChannel())
 		}
-		opts := network.Options{SampleEvery: -1, Workers: workers}
-		if jam {
-			entry = adversary.T(1, 4, beta)
+		opts := network.Options{SampleEvery: -1, Workers: workers, NoSkip: noskip}
+		if mode == "jam" || mode == "frontier" {
+			entryDen, dutyParams := int64(4), duty.Params{SleepAfterIdle: 32, WakeEvery: 16}
+			if mode == "frontier" {
+				entryDen, dutyParams = 1024, duty.Params{SleepAfterIdle: 8, WakeEvery: 256}
+			}
+			entry = adversary.T(1, entryDen, beta)
 			build = func(ch int) (*core.System, error) {
 				sys, err := randmac.NewSeeded(topo.StationsPerChannel(), 3, 17)
 				if err != nil {
 					return nil, err
 				}
-				sys, _ = duty.Wrap(sys, duty.Params{SleepAfterIdle: 32, WakeEvery: 16})
+				sys, _ = duty.Wrap(sys, dutyParams)
 				return sys, nil
 			}
 			opts.Disruptor = network.NewJammer(adversary.T(1, 4, 2), topo.Channels(), 31)

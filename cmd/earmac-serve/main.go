@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only via -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -66,8 +67,22 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 5*time.Minute, "coordinator: per-attempt deadline for one cell dispatch")
 		retries     = flag.Int("retries", 3, "coordinator: extra attempts for a retryable cell failure, re-dispatched to another worker")
 		hedgeAfter  = flag.Duration("hedge-after", 30*time.Second, "coordinator: race a second attempt on another worker after this long (negative disables)")
+
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	// The debug endpoints live on their own listener so the profiling
+	// surface is never exposed on the service address; net/http/pprof
+	// registers on the default mux, which nothing else uses.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "earmac-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "earmac-serve: pprof:", err)
+			}
+		}()
+	}
 
 	if *coordinator {
 		runCoordinator(*addr, *workers, cluster.Options{

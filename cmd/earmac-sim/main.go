@@ -42,6 +42,7 @@ import (
 	"strings"
 
 	"earmac"
+	"earmac/internal/prof"
 )
 
 func main() {
@@ -76,6 +77,8 @@ func main() {
 		phases   = flag.String("phases", "", "phase schedule pattern:rounds[,pattern:rounds...] (overrides -pattern; last rounds may be 0 = rest of run)")
 		record   = flag.String("record", "", "record a replayable injection trace (JSONL) to this file")
 		replay   = flag.String("replay", "", "replay a recorded trace; the trace's config supplies the scenario")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -192,9 +195,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	ps, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "earmac-sim:", err)
+		os.Exit(2)
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 	rep, err := earmac.RunContext(ctx, cfg)
+	// Profiles cover exactly the simulation; flush them before any of
+	// the exit paths below (os.Exit skips deferred calls).
+	if perr := ps.Stop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "earmac-sim:", perr)
+	}
 	interrupted := errors.Is(err, context.Canceled)
 	if recordFile != nil {
 		if cerr := recordFile.Close(); cerr != nil && err == nil {

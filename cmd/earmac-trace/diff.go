@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+
+	"earmac"
+	"earmac/internal/metrics"
+	"earmac/internal/scenario"
+)
+
+// diff compares two trace files structurally and prints a report:
+// header/config field differences, the first diverging event, and the
+// footer counter deltas. It returns true when the traces are identical.
+// Read errors exit with status 2 like the audit subcommand.
+func diff(pathA, pathB string) bool {
+	a, b := readTrace(pathA), readTrace(pathB)
+	same := true
+
+	for _, d := range diffHeaders(a.Header, b.Header) {
+		fmt.Println(d)
+		same = false
+	}
+
+	if d, ok := firstEventDiff(a.Events, b.Events); !ok {
+		fmt.Println(d)
+		same = false
+	}
+
+	for _, d := range diffFooters(a.Footer, b.Footer) {
+		fmt.Println(d)
+		same = false
+	}
+
+	if same {
+		fmt.Printf("traces identical: %d events, footer matches\n", len(a.Events))
+	}
+	return same
+}
+
+func readTrace(path string) *earmac.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := earmac.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fail(fmt.Errorf("%s: %v", path, err))
+	}
+	return tr
+}
+
+// diffHeaders reports the fixed header fields that differ, then the
+// embedded config objects key by key (the config is schema-owned by the
+// façade, so it is compared as JSON rather than as a struct).
+func diffHeaders(a, b scenario.Header) []string {
+	var out []string
+	for _, f := range []struct {
+		name string
+		a, b int64
+	}{
+		{"version", int64(a.Version), int64(b.Version)},
+		{"n", int64(a.N), int64(b.N)},
+		{"rounds", a.Rounds, b.Rounds},
+		{"channels", int64(a.Channels), int64(b.Channels)},
+	} {
+		if f.a != f.b {
+			out = append(out, fmt.Sprintf("header %s: %d vs %d", f.name, f.a, f.b))
+		}
+	}
+	out = append(out, diffConfigs(a.Config, b.Config)...)
+	return out
+}
+
+func diffConfigs(a, b json.RawMessage) []string {
+	ma, mb := configMap(a), configMap(b)
+	keys := make(map[string]bool, len(ma)+len(mb))
+	for k := range ma {
+		keys[k] = true
+	}
+	for k := range mb {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var out []string
+	for _, k := range sorted {
+		va, oka := ma[k]
+		vb, okb := mb[k]
+		switch {
+		case !oka:
+			out = append(out, fmt.Sprintf("config %s: (absent) vs %v", k, vb))
+		case !okb:
+			out = append(out, fmt.Sprintf("config %s: %v vs (absent)", k, va))
+		case !reflect.DeepEqual(va, vb):
+			out = append(out, fmt.Sprintf("config %s: %v vs %v", k, va, vb))
+		}
+	}
+	return out
+}
+
+func configMap(raw json.RawMessage) map[string]any {
+	if len(raw) == 0 {
+		return nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		fail(fmt.Errorf("header config: %v", err))
+	}
+	return m
+}
+
+// firstEventDiff locates the first position where the two event streams
+// disagree and renders both sides; ok is true when the streams are
+// identical. One diverging event is enough — everything after the first
+// divergence differs for cascading reasons, not for the root cause.
+func firstEventDiff(a, b []scenario.Event) (string, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return fmt.Sprintf("first diverging event at index %d:\n  a: %s\n  b: %s",
+				i, renderEvent(a[i]), renderEvent(b[i])), false
+		}
+	}
+	if len(a) != len(b) {
+		longer, side := a, "a"
+		if len(b) > len(a) {
+			longer, side = b, "b"
+		}
+		return fmt.Sprintf("event streams diverge at index %d: %s has %d extra event(s), first: %s",
+			n, side, len(longer)-n, renderEvent(longer[n])), false
+	}
+	return "", true
+}
+
+func renderEvent(e scenario.Event) string {
+	if e.Kind != "" {
+		return fmt.Sprintf("round %d ch %d kind %s dur %d asleep %d", e.Round, e.Channel, e.Kind, e.Dur, e.Asleep)
+	}
+	return fmt.Sprintf("round %d ch %d injs %v", e.Round, e.Channel, e.Injs)
+}
+
+// diffFooters reports the footer counter deltas field by field (the
+// flat Counters block plus the footer's own injection total), walking
+// the struct by reflection so a new counter can never be forgotten
+// here. Latency histogram buckets are compared individually.
+func diffFooters(a, b *scenario.Footer) []string {
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case a == nil || b == nil:
+		return []string{fmt.Sprintf("footer: present %v vs %v", a != nil, b != nil)}
+	}
+	var out []string
+	if a.Injected != b.Injected {
+		out = append(out, fmt.Sprintf("footer injected: %d vs %d (%+d)", a.Injected, b.Injected, b.Injected-a.Injected))
+	}
+	ca, cb := a.Counters, b.Counters
+	switch {
+	case ca == nil && cb == nil:
+		return out
+	case ca == nil || cb == nil:
+		return append(out, fmt.Sprintf("footer counters: present %v vs %v", ca != nil, cb != nil))
+	}
+	va, vb := reflect.ValueOf(*ca), reflect.ValueOf(*cb)
+	typ := reflect.TypeOf(metrics.Counters{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if name == "LatHist" {
+			ha := va.Field(i).Interface().([64]int64)
+			hb := vb.Field(i).Interface().([64]int64)
+			for bucket := range ha {
+				if ha[bucket] != hb[bucket] {
+					out = append(out, fmt.Sprintf("footer LatHist[%d]: %d vs %d (%+d)",
+						bucket, ha[bucket], hb[bucket], hb[bucket]-ha[bucket]))
+				}
+			}
+			continue
+		}
+		x, y := va.Field(i).Int(), vb.Field(i).Int()
+		if x != y {
+			out = append(out, fmt.Sprintf("footer %s: %d vs %d (%+d)", name, x, y, y-x))
+		}
+	}
+	return out
+}

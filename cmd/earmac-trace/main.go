@@ -9,13 +9,21 @@
 //     burst is floored at 1 per channel (see network.SplitType);
 //   - the jam stream (trace v3) against the jamming budget (ρ_j, β_j).
 //
+// The diff subcommand compares two traces structurally — header and
+// config fields, the first diverging event, and the footer counter
+// deltas — so a broken bit-identity contract (a replay that drifted, a
+// skip-path divergence) is localized to the first round where the two
+// runs disagree instead of a wall of JSONL:
+//
 // Usage:
 //
 //	earmac-trace audit run.trace.jsonl
 //	earmac-trace audit traces/*.trace.jsonl
+//	earmac-trace diff a.trace.jsonl b.trace.jsonl
 //
-// The exit status is 0 when every file passes, 1 when any stream
-// violates its budget, 2 on usage or read errors.
+// The exit status is 0 when every file passes (audit) or the traces are
+// identical (diff), 1 on a budget violation or difference, 2 on usage
+// or read errors.
 package main
 
 import (
@@ -30,19 +38,26 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 3 || os.Args[1] != "audit" {
-		fmt.Fprintln(os.Stderr, "usage: earmac-trace audit <trace.jsonl>...")
-		os.Exit(2)
-	}
-	failed := false
-	for _, path := range os.Args[2:] {
-		if err := audit(path); err != nil {
-			fmt.Printf("%s: VIOLATION: %v\n", path, err)
-			failed = true
+	switch {
+	case len(os.Args) >= 3 && os.Args[1] == "audit":
+		failed := false
+		for _, path := range os.Args[2:] {
+			if err := audit(path); err != nil {
+				fmt.Printf("%s: VIOLATION: %v\n", path, err)
+				failed = true
+			}
 		}
-	}
-	if failed {
-		os.Exit(1)
+		if failed {
+			os.Exit(1)
+		}
+	case len(os.Args) == 4 && os.Args[1] == "diff":
+		if !diff(os.Args[2], os.Args[3]) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: earmac-trace audit <trace.jsonl>...")
+		fmt.Fprintln(os.Stderr, "       earmac-trace diff <a.trace.jsonl> <b.trace.jsonl>")
+		os.Exit(2)
 	}
 }
 

@@ -183,6 +183,13 @@ type Config struct {
 	// are ignored for injection (they still describe the recorded run).
 	// Use ReplayConfig to assemble a faithful Config from a trace.
 	Replay *Trace `json:"-"`
+	// NoSkip disables the quiescence fast-forward engine (DESIGN.md
+	// §16), forcing the classic per-round loop even where the simulator
+	// could prove idle rounds skippable. The engine is bit-identical by
+	// construction — reports, traces, and recordings match at either
+	// setting — so this is a pure throughput knob: runtime-only,
+	// excluded from the JSON schema and from Fingerprint.
+	NoSkip bool `json:"-"`
 	// NetWorkers sets how many worker goroutines step a network's
 	// channels each round: 0 means GOMAXPROCS, 1 forces the serial
 	// loop, k > 1 uses min(k, Channels) persistent workers. Ignored
@@ -381,6 +388,7 @@ func prepare(cfg Config) (run, error) {
 		Tracer:            tracer,
 		ForceChecked:      cfg.ForceChecked,
 		InjectionObserver: injObs,
+		NoSkip:            cfg.NoSkip,
 	}
 	// Disruption on the classic single channel: the jammer (or a trace
 	// replay of one) and the outage schedule address channel 0. The
@@ -422,6 +430,26 @@ func prepare(cfg Config) (run, error) {
 				}
 			}
 			return d
+		}
+		// Span skipping past disrupted stretches needs a horizon over
+		// every disruption source. A replayed jam stream (JamReplay)
+		// knows its future; a live Jammer spends budget every round and
+		// has none, which pins spans (quiescent ticks still consult the
+		// closure round by round, so jam accounting stays exact).
+		jh, jok := disruptor.(network.JamHorizon)
+		if disruptor == nil || jok {
+			opts.DisruptHorizon = func(from int64) int64 {
+				next := int64(-1)
+				if jok {
+					next = jh.NextJamRound(from)
+				}
+				if outs != nil {
+					if nd := outs.NextDisrupted(0, from); nd >= 0 && (next < 0 || nd < next) {
+						next = nd
+					}
+				}
+				return next
+			}
 		}
 	}
 	if grp != nil && enc != nil {
@@ -536,6 +564,7 @@ func prepareNetwork(cfg Config) (run, error) {
 		ForceChecked:  cfg.ForceChecked,
 		SampleEvery:   cfg.Rounds / 512,
 		Workers:       cfg.NetWorkers,
+		NoSkip:        cfg.NoSkip,
 		TrackStations: true,
 		Recorder:      rec,
 		Tracer:        tracer,

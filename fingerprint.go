@@ -44,6 +44,7 @@ func (c Config) Fingerprint() string {
 	d.Trace, d.RecordTo, d.Replay, d.OnProgress = nil, nil, nil, nil
 	d.TraceFrom, d.TraceUpTo, d.ProgressEvery = 0, 0, 0
 	d.NetWorkers = 0 // parallelism never changes the result
+	d.NoSkip = false // the fast-forward engine never changes the result
 	raw, err := json.Marshal(d)
 	if err != nil {
 		// Unreachable: after the zeroing above Config contains only

@@ -112,3 +112,35 @@ func (b *Bucket) Spend(m int) {
 
 // Credit returns the current credit (for tests).
 func (b *Bucket) Credit() ratio.Rat { return ratio.New(b.credit, b.den) }
+
+// RoundsToCredit returns how many further zero-injection rounds must
+// pass before a Tick yields a budget of at least one packet: 0 means
+// the very next round, -1 that the bucket can never afford a packet
+// again (ρ = 0 with spent credit, or ρ + β < 1). Exact over draw-free
+// stretches — the quiescence engine's bucket horizon. The credit
+// invariant credit <= cap holds between rounds (Spend re-caps), so the
+// credit before the j-th future Tick is min(credit + j·ρ, β) and the
+// threshold is min(credit + j·ρ, β) + ρ >= 1.
+func (b *Bucket) RoundsToCredit() int64 {
+	if b.credit+b.gain >= b.den {
+		return 0
+	}
+	if b.gain == 0 || b.cap+b.gain < b.den {
+		return -1
+	}
+	return (b.den - b.credit - 1) / b.gain // ceil((den - gain - credit) / gain)
+}
+
+// SkipRounds advances the bucket past m zero-injection rounds in one
+// step: exactly m Tick/Spend(0) pairs, each adding ρ and re-capping
+// the credit at β.
+func (b *Bucket) SkipRounds(m int64) {
+	if m <= 0 || b.gain == 0 {
+		return
+	}
+	if m > (b.cap-b.credit)/b.gain {
+		b.credit = b.cap
+		return
+	}
+	b.credit += m * b.gain
+}

@@ -157,25 +157,74 @@ func RoundRobin(n int) Pattern {
 
 // Bursty saves credit and dumps the whole budget every period rounds,
 // exercising the burstiness component β of the adversary type.
-func Bursty(inner Pattern, period int64) Pattern {
-	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
-		if round%period != period-1 {
-			return buf
-		}
-		return DrawAppend(inner, round, budget, buf)
-	})
+func Bursty(inner Pattern, period int64) Pattern { return &burstyPat{inner, period} }
+
+type burstyPat struct {
+	inner  Pattern
+	period int64
+}
+
+// Draw implements Pattern.
+func (b *burstyPat) Draw(round int64, budget int) []core.Injection {
+	return b.DrawAppend(round, budget, nil)
+}
+
+// DrawAppend implements BufferedPattern.
+//
+//earmac:hotpath
+func (b *burstyPat) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
+	if round%b.period != b.period-1 {
+		return buf
+	}
+	return DrawAppend(b.inner, round, budget, buf)
+}
+
+// NextDrawRound implements PatternSkipper: the first burst boundary at
+// or after the inner pattern's own horizon. Off-boundary rounds never
+// reach the inner pattern, so they are draw-free by construction.
+func (b *burstyPat) NextDrawRound(from int64) int64 {
+	nr := NextDraw(b.inner, nextCongruent(from, b.period, b.period-1))
+	if nr < 0 {
+		return -1
+	}
+	return nextCongruent(nr, b.period, b.period-1)
 }
 
 // Paced scales the effective rate: it draws from the inner pattern only
 // every stride rounds, letting the bucket otherwise sit at cap. Useful to
 // drive a (ρ, β) adversary below its permitted rate.
-func Paced(inner Pattern, stride int64) Pattern {
-	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
-		if stride > 1 && round%stride != 0 {
-			return buf
-		}
-		return DrawAppend(inner, round, budget, buf)
-	})
+func Paced(inner Pattern, stride int64) Pattern { return &pacedPat{inner, stride} }
+
+type pacedPat struct {
+	inner  Pattern
+	stride int64
+}
+
+// Draw implements Pattern.
+func (p *pacedPat) Draw(round int64, budget int) []core.Injection {
+	return p.DrawAppend(round, budget, nil)
+}
+
+// DrawAppend implements BufferedPattern.
+//
+//earmac:hotpath
+func (p *pacedPat) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
+	if p.stride > 1 && round%p.stride != 0 {
+		return buf
+	}
+	return DrawAppend(p.inner, round, budget, buf)
+}
+
+// NextDrawRound implements PatternSkipper.
+func (p *pacedPat) NextDrawRound(from int64) int64 {
+	if p.stride <= 1 {
+		return NextDraw(p.inner, from)
+	}
+	nr := NextDraw(p.inner, nextCongruent(from, p.stride, 0))
+	if nr < 0 {
+		return -1
+	}
+	return nextCongruent(nr, p.stride, 0)
 }
 
 // Diurnal gates an inner pattern with a duty cycle: injections flow only
@@ -184,21 +233,87 @@ func Paced(inner Pattern, stride int64) Pattern {
 // The leaky bucket still enforces the overall (ρ, β) type; during the
 // active phase the bucket's accumulated credit drains as a burst.
 func Diurnal(inner Pattern, period, dutyNum, dutyDen int64) Pattern {
-	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
-		if (round%period)*dutyDen >= period*dutyNum {
-			return buf
-		}
-		return DrawAppend(inner, round, budget, buf)
-	})
+	return &diurnalPat{inner, period, dutyNum, dutyDen}
+}
+
+type diurnalPat struct {
+	inner   Pattern
+	period  int64
+	dutyNum int64
+	dutyDen int64
+}
+
+// Draw implements Pattern.
+func (d *diurnalPat) Draw(round int64, budget int) []core.Injection {
+	return d.DrawAppend(round, budget, nil)
+}
+
+// DrawAppend implements BufferedPattern.
+//
+//earmac:hotpath
+func (d *diurnalPat) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
+	if (round%d.period)*d.dutyDen >= d.period*d.dutyNum {
+		return buf
+	}
+	return DrawAppend(d.inner, round, budget, buf)
+}
+
+// nextActive returns the first round >= from inside an active window.
+// The active window is a prefix of each period, so an inactive round's
+// successor window opens at the next period boundary.
+func (d *diurnalPat) nextActive(from int64) int64 {
+	if (from%d.period)*d.dutyDen < d.period*d.dutyNum {
+		return from
+	}
+	return (from/d.period + 1) * d.period
+}
+
+// NextDrawRound implements PatternSkipper.
+func (d *diurnalPat) NextDrawRound(from int64) int64 {
+	if d.dutyNum <= 0 {
+		return -1
+	}
+	nr := NextDraw(d.inner, d.nextActive(from))
+	if nr < 0 {
+		return -1
+	}
+	return d.nextActive(nr)
 }
 
 // Stop disables injections from the given round on, so the system can be
 // drained to verify eventual delivery.
-func Stop(inner Pattern, after int64) Pattern {
-	return AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
-		if round >= after {
-			return buf
-		}
-		return DrawAppend(inner, round, budget, buf)
-	})
+func Stop(inner Pattern, after int64) Pattern { return &stopPat{inner, after} }
+
+type stopPat struct {
+	inner Pattern
+	after int64
+}
+
+// Draw implements Pattern.
+func (s *stopPat) Draw(round int64, budget int) []core.Injection {
+	return s.DrawAppend(round, budget, nil)
+}
+
+// DrawAppend implements BufferedPattern.
+//
+//earmac:hotpath
+func (s *stopPat) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
+	if round >= s.after {
+		return buf
+	}
+	return DrawAppend(s.inner, round, budget, buf)
+}
+
+// NextDrawRound implements PatternSkipper. Once the stop round is
+// reached the pattern never draws again — the horizon every drain
+// phase of a benchmark run skips to its end on.
+func (s *stopPat) NextDrawRound(from int64) int64 {
+	if from >= s.after {
+		return -1
+	}
+	nr := NextDraw(s.inner, from)
+	if nr < 0 || nr >= s.after {
+		return -1
+	}
+	return nr
 }

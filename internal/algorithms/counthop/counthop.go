@@ -99,7 +99,88 @@ func New(n int) (*core.System, error) {
 			Direct:    true,
 		},
 		Stations: stations,
+		// Idle rounds are control-only ("light") heard rounds: with every
+		// queue empty each stage runs n−1 zero-count reports and n−1
+		// offset broadcasts, then skips substage 3 — a 2(n−1)-round cycle
+		// anchored at the coordinator's replicated cursor.
+		Idle: core.IdleProfileFunc(stations[coordinator].(*station).appendIdleCycle),
 	}, nil
+}
+
+// cyclePos maps the replicated cursor to its position within the
+// 2(n−1)-round idle cycle. Only valid in substages 1 and 2 (Quiescent
+// declines in substage 3).
+func (s *station) cyclePos() int64 {
+	if s.sub == subOffsets {
+		return int64(s.n-1) + int64(s.idx)
+	}
+	return int64(s.idx)
+}
+
+// appendIdleCycle implements core.IdleProfiler via the coordinator's
+// replicated cursor (identical at every station while quiescent). Entry
+// j describes round from+j; the cursor is post-Act of round from−1, so
+// the position at from is one advance ahead.
+func (s *station) appendIdleCycle(from int64, buf []core.IdleRound) []core.IdleRound {
+	if !s.started || s.bootstrap > 0 || s.sub == subSend {
+		return buf // decline: not in the steady idle cycle
+	}
+	p := int64(2 * (s.n - 1))
+	q0 := (s.cyclePos() + 1) % p
+	for j := int64(0); j < p; j++ {
+		e := core.IdleRound{Energy: 2, Light: true, CtrlBits: s.ctrlCount.Bits()}
+		if (q0+j)%p >= int64(s.n-1) {
+			e.CtrlBits = s.ctrlOffset.Bits()
+		}
+		buf = append(buf, e)
+	}
+	return buf
+}
+
+// Quiescent implements mac.Skipper. The substage-3 tail (idx == total,
+// cursor not yet advanced past the stage) declines for one round; the
+// next sweep moves the cursor into the following stage.
+func (s *station) Quiescent() bool {
+	return s.started && s.bootstrap == 0 && s.sub != subSend &&
+		s.pendingTx < 0 && s.oldQ.Len() == 0 && s.newQ.Len() == 0
+}
+
+// SkipIdle implements mac.Skipper: with all queues empty the replicated
+// state is a pure function of the cycle position (counts and offsets are
+// all zero, substage 3 is empty), so m rounds of advance-and-observe
+// collapse to modular arithmetic plus a positional reset of the
+// per-stage fields.
+func (s *station) SkipIdle(from, to int64) {
+	p := int64(2 * (s.n - 1))
+	pf := s.cyclePos() + (to - from) // advances entering rounds from..to−1
+	wraps := pf / p
+	qf := pf % p
+	s.v = int((int64(s.v) + wraps) % int64(s.n))
+	s.myCount = 0
+	if qf < int64(s.n-1) {
+		s.sub, s.idx = subCounts, int(qf)
+		s.total = -1
+		s.offset = -1
+		if s.id == coordinator {
+			s.offset = 0
+		}
+	} else {
+		s.sub, s.idx = subOffsets, int(qf)-(s.n-1)
+		// A worker knows its offset and the stage total once the
+		// coordinator's broadcast for it has happened (rounds 0..idx).
+		if s.id == coordinator || s.id <= s.idx+1 {
+			s.offset, s.total = 0, 0
+		} else {
+			s.offset, s.total = -1, -1
+		}
+	}
+	if s.id == coordinator {
+		for i := range s.counts {
+			s.counts[i] = 0
+			s.offsets[i] = 0
+		}
+	}
+	s.curRound = to - 1
 }
 
 func (s *station) Inject(p mac.Packet) { s.newQ.Push(p) }

@@ -237,6 +237,45 @@ func (s *station) QueueLen() int {
 	return total
 }
 
+// Quiescent implements mac.Skipper: with every pair-queue empty, each
+// on-duty round ends in silence and the only transition is an
+// ObserveSilence on the active pair's ring.
+func (s *station) Quiescent() bool {
+	if s.pendingTx >= 0 {
+		return false
+	}
+	for _, sub := range s.subs {
+		if sub.q.Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countCongruent counts rounds r in [from, to) with r % mod == res.
+func countCongruent(from, to, mod, res int64) int64 {
+	f := func(x int64) int64 {
+		if x <= res {
+			return 0
+		}
+		return (x-res-1)/mod + 1
+	}
+	return f(to) - f(from)
+}
+
+// SkipIdle implements mac.Skipper: each membership's ring saw one silence
+// per round its pair was active. cycle and the cursor are left stale —
+// Act self-corrects exactly as after a long off stretch: a cycle change
+// resets the cursor, a same-cycle wake-up resumes the monotone scan.
+func (s *station) SkipIdle(from, to int64) {
+	np := int64(s.lay.NumPairs)
+	for i, p := range s.pairs {
+		if m := countCongruent(from, to, np, int64(p)); m > 0 {
+			s.rings[i].SkipSilences(m)
+		}
+	}
+}
+
 func (s *station) HeldPackets() []mac.Packet {
 	var out []mac.Packet
 	for _, sub := range s.subs {
@@ -267,5 +306,7 @@ func New(n, k int) (*core.System, error) {
 		},
 		Stations: stations,
 		Schedule: lay.Schedule(),
+		// Idle rounds: the k members of the active pair listen in silence.
+		Idle: core.ConstIdle{Energy: lay.K},
 	}, nil
 }

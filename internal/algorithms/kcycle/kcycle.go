@@ -264,6 +264,48 @@ func (s *station) QueueLen() int {
 	return total
 }
 
+// Quiescent implements mac.Skipper: with every group-queue empty, each
+// on-duty round ends in silence and the only transition is an
+// ObserveSilence on the active group's ring.
+func (s *station) Quiescent() bool {
+	if s.pendingTx >= 0 {
+		return false
+	}
+	for _, gq := range s.subs {
+		if gq.q.Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countActive counts rounds r in [from, to) with (r/delta) % l == g —
+// the rounds group g is active for a station fast-forwarding past them.
+func countActive(from, to, delta, l, g int64) int64 {
+	f := func(x int64) int64 {
+		p := delta * l
+		q, rem := x/p, x%p
+		in := rem - g*delta
+		if in < 0 {
+			in = 0
+		} else if in > delta {
+			in = delta
+		}
+		return q*delta + in
+	}
+	return f(to) - f(from)
+}
+
+// SkipIdle implements mac.Skipper: each membership's ring saw one silence
+// per round its group was active.
+func (s *station) SkipIdle(from, to int64) {
+	for i, g := range s.groups {
+		if m := countActive(from, to, s.lay.Delta, int64(s.lay.L), int64(g)); m > 0 {
+			s.rings[i].SkipSilences(m)
+		}
+	}
+}
+
 func (s *station) HeldPackets() []mac.Packet {
 	var out []mac.Packet
 	for _, gq := range s.subs {
@@ -293,5 +335,16 @@ func New(n, k int) (*core.System, error) {
 		},
 		Stations: stations,
 		Schedule: lay.Schedule(),
+		// Idle rounds are silent with the active group's members on;
+		// groups differ in size (the last wraps around), so the profile
+		// cycles over one full activation super-period of δ·ℓ rounds.
+		Idle: core.IdleProfileFunc(func(from int64, buf []core.IdleRound) []core.IdleRound {
+			for j := int64(0); j < lay.Delta*int64(lay.L); j++ {
+				buf = append(buf, core.IdleRound{
+					Energy: len(lay.members[lay.ActiveGroup(from+j)]),
+				})
+			}
+			return buf
+		}),
 	}, nil
 }

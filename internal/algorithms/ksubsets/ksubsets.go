@@ -151,6 +151,10 @@ type threadEngine interface {
 	// BigBit returns the control bits to attach given the holder's queue
 	// length, or nil for the plain-packet variant.
 	BigBit(queueLen int) mac.Control
+	// SkipSilences batch-applies m ObserveSilence transitions — the
+	// quiescence engine's closed form for idle stretches, where every
+	// holder is empty and every thread round is silent.
+	SkipSilences(m int64)
 }
 
 // mbtfEngine reuses one control buffer across rounds: receivers read the
@@ -172,6 +176,7 @@ func (e *mbtfEngine) BigBit(queueLen int) mac.Control {
 	e.ctrl.SetBit(0, queueLen >= e.m.Threshold())
 	return e.ctrl
 }
+func (e *mbtfEngine) SkipSilences(m int64) { e.m.SkipSilences(m) }
 
 type rrwEngine struct{ r *broadcast.Ring }
 
@@ -179,6 +184,7 @@ func (e rrwEngine) Holder() int              { return e.r.Holder() }
 func (e rrwEngine) ObserveHeard(mac.Control) { e.r.ObserveHeard() }
 func (e rrwEngine) ObserveSilence()          { e.r.ObserveSilence() }
 func (e rrwEngine) BigBit(int) mac.Control   { return nil }
+func (e rrwEngine) SkipSilences(m int64)     { e.r.SkipSilences(m) }
 
 type station struct {
 	id  int
@@ -302,6 +308,53 @@ func (s *station) QueueLen() int {
 	return total
 }
 
+// Quiescent implements mac.Skipper: with nothing staged or queued, every
+// on-duty round finds an empty holder — the station listens and the only
+// engine transition is ObserveSilence.
+func (s *station) Quiescent() bool {
+	if len(s.staging) != 0 || s.pendingTx >= 0 {
+		return false
+	}
+	for _, q := range s.queues {
+		if q.Len() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// countCongruent counts rounds r in [from, to) with r % mod == res.
+func countCongruent(from, to, mod, res int64) int64 {
+	f := func(x int64) int64 {
+		if x <= res {
+			return 0
+		}
+		return (x-res-1)/mod + 1
+	}
+	return f(to) - f(from)
+}
+
+// SkipIdle implements mac.Skipper: each membership's engine saw one
+// silence per round its thread was on duty, and curPhase/cursor take
+// their exact post-Act(to−1) values. The phase must NOT be left stale:
+// a wake-up round injects before it acts, and a stale phase would make
+// Act allocate the fresh packet a phase early instead of staging it
+// until the next real boundary.
+func (s *station) SkipIdle(from, to int64) {
+	g := int64(s.lay.Gamma)
+	for i, t := range s.threads {
+		if m := countCongruent(from, to, g, int64(t)); m > 0 {
+			s.engines[i].SkipSilences(m)
+		}
+	}
+	s.curPhase = (to - 1) / g
+	t := int32((to - 1) % g)
+	s.cursor = 0
+	for s.cursor < len(s.threads) && s.threads[s.cursor] < t {
+		s.cursor++
+	}
+}
+
 func (s *station) HeldPackets() []mac.Packet {
 	out := make([]mac.Packet, 0, s.QueueLen())
 	out = append(out, s.staging...)
@@ -334,6 +387,9 @@ func build(n, k int, rrw bool) (*core.System, error) {
 		},
 		Stations: stations,
 		Schedule: lay.Schedule(),
+		// Idle rounds: the k members of the active thread listen in
+		// silence (empty holders never transmit).
+		Idle: core.ConstIdle{Energy: k},
 	}, nil
 }
 

@@ -96,6 +96,15 @@ func New(n int) (*core.System, error) {
 			Direct:    true,
 		},
 		Stations: stations,
+		// Idle rounds are light: the conductor transmits an all-zero
+		// teaching message, the round's learner listens, and no receiver
+		// is scheduled (all taught masks are provably all-false while
+		// quiescent — see Quiescent).
+		Idle: core.ConstIdle{
+			Energy:   2,
+			Light:    true,
+			CtrlBits: stations[0].(*station).ctrl.Bits(),
+		},
 	}, nil
 }
 
@@ -272,6 +281,40 @@ func (s *station) nextMaskBuf(conductor int) []bool {
 func (s *station) QueueLen() int {
 	return len(s.staging) + s.pending.Len() + len(s.fresh) +
 		(len(s.sigmaCur) - s.delivered) + len(s.sigmaNext)
+}
+
+// Quiescent implements mac.Skipper. Requiring len(sigmaCur) == 0 — not
+// merely delivered == len(sigmaCur) — makes every taught mask provably
+// all-false: a mask's set bits mirror the schedule that is now the
+// teacher's sigmaCur, so empty schedules everywhere mean no musician is
+// ever scheduled to receive, and idle learning rounds rewrite all-false
+// masks with all-false masks (a write SkipIdle may therefore elide; the
+// buffer-flip bookkeeping it also skips is unobservable). The conductor
+// with a just-delivered schedule declines until its season ends.
+func (s *station) Quiescent() bool {
+	return len(s.staging) == 0 && s.pending.Len() == 0 && len(s.fresh) == 0 &&
+		len(s.sigmaCur) == 0 && len(s.sigmaNext) == 0 &&
+		!s.pendingTx && !s.announceBig && !s.seasonBig && s.curSeason >= 0
+}
+
+// SkipIdle implements mac.Skipper: each skipped season boundary advanced
+// the baton by one (nobody is big while quiescent), and every idle
+// round's remaining effects — empty-schedule drains, all-false mask
+// writes — are no-ops on quiescent state. The final partial season's
+// startSeason effects reduce to repointing the active mask.
+func (s *station) SkipIdle(from, to int64) {
+	sTo := (to - 1) / s.seasonLen()
+	b := sTo - s.curSeason
+	if b <= 0 {
+		return
+	}
+	s.list.AdvanceBy(b)
+	s.curSeason = sTo
+	if h := s.list.Holder(); h == s.id {
+		s.activeMask = nil
+	} else {
+		s.activeMask = s.taught[h]
+	}
 }
 
 func (s *station) HeldPackets() []mac.Packet {

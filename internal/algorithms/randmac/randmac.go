@@ -161,6 +161,21 @@ func (s *station) QueueLen() int { return s.q.Len() }
 
 func (s *station) HeldPackets() []mac.Packet { return s.q.Snapshot() }
 
+// Quiescent implements mac.Skipper: an empty station neither draws
+// randomness nor transmits — a switched-on idle round scans the
+// on-set, finds no packet, and listens, leaving no state behind (the
+// ALOHA gamble runs only when a sendable packet exists, so the RNG
+// stream is untouched by idle rounds).
+func (s *station) Quiescent() bool { return s.q.Len() == 0 && s.pendingTx < 0 }
+
+// SkipIdle implements mac.Skipper: idle rounds are stateless.
+func (s *station) SkipIdle(from, to int64) {}
+
+// FeedbackFreeIdle implements mac.FeedbackFreeIdler: idle rounds never
+// consult channel feedback, so the duty-cycle wrapper may fast-forward
+// sleeping stations too.
+func (s *station) FeedbackFreeIdle() bool { return true }
+
 // New builds the randomized baseline for n stations under energy cap k.
 func New(n, k int) (*core.System, error) {
 	return NewSeeded(n, k, 0x6ea7_c0de)
@@ -193,5 +208,7 @@ func NewSeeded(n, k int, seed uint64) (*core.System, error) {
 		},
 		Stations: stations,
 		Schedule: lay.Schedule(),
+		// Idle rounds: the k scheduled stations listen in silence.
+		Idle: core.ConstIdle{Energy: k},
 	}, nil
 }

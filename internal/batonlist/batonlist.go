@@ -50,6 +50,17 @@ func (l *List) PosOf(station int) int {
 // Advance passes the baton to the next station in cyclic order.
 func (l *List) Advance() { l.pos = (l.pos + 1) % len(l.order) }
 
+// AdvanceBy passes the baton m positions forward in one step — the
+// closed form of m Advance calls, used by the quiescence engine to
+// fast-forward idle seasons.
+func (l *List) AdvanceBy(m int64) {
+	if m <= 0 {
+		return
+	}
+	n := int64(len(l.order))
+	l.pos = int((int64(l.pos) + m%n) % n)
+}
+
 // MoveHolderToFront moves the holder to the front of the list, keeping the
 // baton with it. Stations that were ahead of it shift one position back
 // (away from the front), exactly as in the paper: "each station at the

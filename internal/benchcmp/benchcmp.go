@@ -159,6 +159,11 @@ type Result struct {
 	Ratio float64
 	// Findings lists the regressions, ordered by row ID.
 	Findings []Finding
+	// New lists the IDs of rows present only in the current run, sorted.
+	// New rows are informational, never a regression: adding a benchmark
+	// must not require a two-step baseline dance, the row simply starts
+	// gating once the baseline is regenerated with it.
+	New []string
 }
 
 // OK reports whether no regression was found.
@@ -166,7 +171,8 @@ func (r Result) OK() bool { return len(r.Findings) == 0 }
 
 // Compare checks the current run against the baseline. Rows are matched
 // by ID; rows only present in the current run (new benchmarks) are
-// ignored, rows only present in the baseline are reported as missing.
+// reported in Result.New (informational, never a finding), rows only
+// present in the baseline are reported as missing.
 func Compare(base, cur File, opt Options) Result {
 	opt = opt.withDefaults()
 	ratio := 1.0
@@ -177,7 +183,16 @@ func Compare(base, cur File, opt Options) Result {
 	for _, r := range cur.Rows {
 		curByID[r.ID] = r
 	}
+	baseByID := make(map[string]Row, len(base.Rows))
+	for _, r := range base.Rows {
+		baseByID[r.ID] = r
+	}
 	res := Result{Ratio: ratio}
+	for _, c := range sortedRows(cur.Rows) {
+		if _, ok := baseByID[c.ID]; !ok {
+			res.New = append(res.New, c.ID)
+		}
+	}
 	for _, b := range sortedRows(base.Rows) {
 		c, ok := curByID[b.ID]
 		if !ok {

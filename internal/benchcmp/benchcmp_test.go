@@ -110,6 +110,9 @@ func TestCompareMissingAndNewRows(t *testing.T) {
 	if len(kinds["new"]) != 0 {
 		t.Error("new row flagged")
 	}
+	if len(res.New) != 1 || res.New[0] != "new" {
+		t.Errorf("New = %v, want [new]", res.New)
+	}
 	if res.Compared != 1 {
 		t.Errorf("Compared = %d, want 1", res.Compared)
 	}

@@ -53,6 +53,16 @@ func (m *MBTF) ObserveHeard(big bool) {
 // ObserveSilence advances the token: the holder was empty.
 func (m *MBTF) ObserveSilence() { m.advance() }
 
+// SkipSilences applies m consecutive ObserveSilence transitions in
+// closed form (see Ring.SkipSilences).
+func (m *MBTF) SkipSilences(count int64) {
+	if count <= 0 {
+		return
+	}
+	n := int64(len(m.members))
+	m.pos = int((int64(m.pos) + count%n) % n)
+}
+
 // Equal reports replica equality.
 func (m *MBTF) Equal(o *MBTF) bool {
 	if m.pos != o.pos || m.threshold != o.threshold || len(m.members) != len(o.members) {

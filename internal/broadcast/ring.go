@@ -61,6 +61,20 @@ func (r *Ring) ObserveSilence() (phaseDone bool) {
 // holder.
 func (r *Ring) ObserveHeard() {}
 
+// SkipSilences applies m consecutive ObserveSilence transitions in
+// closed form — the quiescence engine's batch observation for idle
+// stretches where every holder is provably empty.
+func (r *Ring) SkipSilences(m int64) {
+	if m <= 0 {
+		return
+	}
+	n := int64(len(r.members))
+	t := int64(r.turns) + m
+	r.pos = int((int64(r.pos) + m%n) % n)
+	r.phase += t / n
+	r.turns = int(t % n)
+}
+
 // Equal reports replica equality.
 func (r *Ring) Equal(o *Ring) bool {
 	if r.pos != o.pos || r.phase != o.phase || r.turns != o.turns || len(r.members) != len(o.members) {

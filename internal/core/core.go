@@ -89,6 +89,11 @@ type System struct {
 	Info     AlgorithmInfo
 	Stations []Protocol
 	Schedule sched.Schedule
+	// Idle, when non-nil, declares the system's periodic idle-round
+	// profile for the quiescence fast-forward engine (see skip.go).
+	// Constructors set it only when every station implements
+	// mac.Skipper; nil keeps the classic per-round loop.
+	Idle IdleProfiler
 }
 
 // N returns the number of stations.

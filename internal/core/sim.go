@@ -66,8 +66,23 @@ type Options struct {
 	// RoundEnd, when non-nil, runs at the very end of every round on
 	// both paths, after all statistics for the round are folded. It is
 	// the hook duty-cycle recorders use to observe per-round sleep
-	// state at a point where every station has acted.
+	// state at a point where every station has acted. Because it
+	// observes every round, it disables the quiescence fast-forward
+	// engine entirely.
 	RoundEnd func(round int64)
+	// NoSkip disables the quiescence fast-forward engine (quiesce.go)
+	// even when the system declares an idle profile, forcing the
+	// classic per-round loop. The engine is bit-identical by
+	// construction; the flag exists as an escape hatch and for the
+	// equivalence tests.
+	NoSkip bool
+	// DisruptHorizon, when non-nil alongside Disrupted, returns a
+	// lower bound on the earliest round >= from whose Disrupted
+	// consult may return nonzero (-1: never). It gates the span-skip
+	// tier: a Disrupted hook without a horizon pins spans, because the
+	// hook may have per-round side effects the engine cannot replay
+	// (quiescent ticks still consult it every round).
+	DisruptHorizon func(from int64) int64
 }
 
 // Disrupt is a bit set of reasons a round was externally disrupted.
@@ -128,6 +143,21 @@ type Sim struct {
 	// when conservation checking is enabled.
 	live      map[int64]mac.Packet
 	delivered map[int64]bool
+
+	// Quiescence fast-forward state (fast path only; see quiesce.go).
+	skipOK      bool          // engine enabled for this sim
+	quiescent   bool          // currently inside a quiescent stretch
+	qFrom       int64         // first round the stations have not executed
+	skippers    []mac.Skipper // per-station, populated only when skipOK
+	advSkip     EventSkipper  // adversary skip contract, when supported
+	dhor        func(from int64) int64
+	idleCycle   []IdleRound // reused idle-profile buffer
+	idleAnchor  int64       // round idleCycle[0] describes
+	idleBreakAt int64       // profile horizon (-1: indefinite)
+	prefEnergy  []int64     // prefix sums over idleCycle (span accrual)
+	prefLight   []int64
+	prefCtrl    []int64
+	cycleMaxE   int
 }
 
 // NewSim prepares a simulation starting at round 0.
@@ -162,6 +192,28 @@ func NewSim(sys *System, adv Adversary, opt Options) *Sim {
 		s.delivered = make(map[int64]bool)
 	}
 	s.fast = !opt.Strict && opt.CheckEvery <= 0 && opt.Tracer == nil && !opt.ForceChecked
+	s.dhor = opt.DisruptHorizon
+	if adv != nil {
+		s.advSkip, _ = adv.(EventSkipper)
+	}
+	// The fast-forward engine needs an idle profile, a Skipper at every
+	// station, and the absence of every per-round observer the engine
+	// cannot replay: RoundEnd and the adaptive-adversary hooks see each
+	// round individually, so any of them pins the loop to per-round.
+	if s.fast && !opt.NoSkip && sys.Idle != nil && opt.RoundEnd == nil &&
+		s.roundObs == nil && s.queueObs == nil && s.fbObs == nil {
+		skippers := make([]mac.Skipper, len(sys.Stations))
+		ok := true
+		for i, st := range sys.Stations {
+			if skippers[i], ok = st.(mac.Skipper); !ok {
+				break
+			}
+		}
+		if ok {
+			s.skippers = skippers
+			s.skipOK = true
+		}
+	}
 	return s
 }
 
@@ -179,6 +231,12 @@ func (s *Sim) System() *System { return s.sys }
 // tracer, not forced off).
 func (s *Sim) FastPath() bool { return s.fast }
 
+// SkipCapable reports whether the quiescence fast-forward engine was
+// enabled at construction: the fast path was selected, NoSkip is off,
+// the system declares an idle profile, every station implements
+// mac.Skipper, and no per-round observer pins the loop.
+func (s *Sim) SkipCapable() bool { return s.skipOK }
+
 func (s *Sim) violate(format string, args ...any) error {
 	s.tracker.Violate(format, args...)
 	if s.opt.Strict {
@@ -188,12 +246,20 @@ func (s *Sim) violate(format string, args ...any) error {
 }
 
 // Run executes the given number of rounds. In strict mode it stops at the
-// first model violation.
+// first model violation. On the fast path quiescent stretches advance by
+// O(1) ticks and closed-form span skips (quiesce.go); Run settles any
+// pending skip before returning, so station state is exact at the exit.
 func (s *Sim) Run(rounds int64) error {
 	if s.fast {
-		for i := int64(0); i < rounds; i++ {
-			s.stepFast()
+		end := s.round + rounds
+		for s.round < end {
+			if s.quiescent {
+				s.quiescentAdvance(end)
+			} else {
+				s.stepFast()
+			}
 		}
+		s.Settle()
 		return nil
 	}
 	for i := int64(0); i < rounds; i++ {
@@ -207,7 +273,11 @@ func (s *Sim) Run(rounds int64) error {
 // Step executes one round on whichever path was selected at NewSim.
 func (s *Sim) Step() error {
 	if s.fast {
-		s.stepFast()
+		if s.quiescent {
+			s.quiescentAdvance(s.round + 1)
+		} else {
+			s.stepFast()
+		}
 		return nil
 	}
 	return s.stepChecked()
@@ -260,13 +330,32 @@ func (s *Sim) NextPacketID() int64 { return s.nextID }
 // validation as the checked path (so tracker totals agree), but skips the
 // per-round schedule-conformance scan, conservation bookkeeping, and
 // tracing.
+//
+//earmac:hotpath
 func (s *Sim) stepFast() {
-	n := s.sys.N()
 	t := s.round
+	// 1. Adversarial injection (plus externally-sourced arrivals), and
+	// the round's disruption flags. The Disrupted consult commutes with
+	// the station sweep — it interacts with nothing before channel
+	// resolution — so hoisting it keeps both paths bit-identical while
+	// letting the quiescence engine share stepFastFrom on wake-up.
+	injs := s.gather(t)
+	var disrupted Disrupt
+	if s.disrupt != nil {
+		disrupted = s.disrupt(t)
+	}
+	s.stepFastFrom(t, injs, disrupted)
+}
+
+// stepFastFrom is the station sweep of one fast round: injections and
+// disruption flags have already been obtained for round t. It is the
+// shared tail of stepFast and the quiescence engine's wake-up path.
+//
+//earmac:hotpath
+func (s *Sim) stepFastFrom(t int64, injs []Injection, disrupted Disrupt) {
+	n := s.sys.N()
 	tr := s.tracker
 
-	// 1. Adversarial injection (plus externally-sourced arrivals).
-	injs := s.gather(t)
 	for _, in := range injs {
 		if in.Station < 0 || in.Station >= n || in.Dest < 0 || in.Dest >= n {
 			tr.Violate("injection out of range: %+v", in)
@@ -317,10 +406,6 @@ func (s *Sim) stepFast() {
 	// 4. Channel resolution and ground-truth delivery. An externally
 	// disrupted round (jam or outage) overrides the contention outcome:
 	// nothing is delivered and every listener observes a collision.
-	var disrupted Disrupt
-	if s.disrupt != nil {
-		disrupted = s.disrupt(t)
-	}
 	var fb mac.Feedback
 	switch {
 	case disrupted != 0:
@@ -392,6 +477,9 @@ func (s *Sim) stepFast() {
 		s.roundEnd(t)
 	}
 	s.round++
+	if s.skipOK && totalQueue == 0 && !s.quiescent {
+		s.tryEnterQuiescence()
+	}
 }
 
 // stepChecked executes one fully-validated round.

@@ -55,6 +55,27 @@ type Group struct {
 	curRound    int64
 	curAsleep   int
 	sleepRounds int64
+
+	// Quiescence fast-forward bookkeeping (set only when Wrap validated
+	// the inner system for duty-level skipping): innerOn is the inner
+	// idle profile's energy — the listens suppressed per slept round —
+	// and skippedTo guards the group-level accrual, which every
+	// station's SkipIdle reports but must apply exactly once.
+	innerOn   int
+	skippedTo int64
+}
+
+// skipIdle accrues the group counters for a skipped all-asleep stretch.
+func (g *Group) skipIdle(from, to int64) {
+	if to <= g.skippedTo {
+		return
+	}
+	if from < g.skippedTo {
+		from = g.skippedTo
+	}
+	g.sleepRounds += int64(g.innerOn) * (to - from)
+	g.curRound, g.curAsleep = to-1, g.innerOn
+	g.skippedTo = to
 }
 
 // Asleep returns the number of stations that suppressed their action in
@@ -69,8 +90,9 @@ func (g *Group) SleepRounds() int64 { return g.sleepRounds }
 type station struct {
 	g     *Group
 	inner core.Protocol
-	idle  int64 // consecutive rounds ended with an empty queue
-	spent int64 // switched-on rounds consumed against EnergyBudget
+	sk    mac.Skipper // inner as a Skipper when duty-level skip is validated, else nil
+	idle  int64       // consecutive rounds ended with an empty queue
+	spent int64       // switched-on rounds consumed against EnergyBudget
 }
 
 //earmac:hotpath
@@ -104,13 +126,38 @@ func (s *station) Act(round int64) core.Action {
 
 // sleeping decides whether a would-be listen round is suppressed.
 func (s *station) sleeping(round int64) bool {
-	if s.g.p.EnergyBudget > 0 && s.spent >= s.g.p.EnergyBudget {
+	if s.exhausted() {
 		return true // exhausted: no wake schedule brings it back
 	}
 	if s.g.p.SleepAfterIdle > 0 && s.idle >= s.g.p.SleepAfterIdle {
 		return !(s.g.p.WakeEvery > 0 && round%s.g.p.WakeEvery == 0)
 	}
 	return false
+}
+
+func (s *station) exhausted() bool {
+	return s.g.p.EnergyBudget > 0 && s.spent >= s.g.p.EnergyBudget
+}
+
+// Quiescent implements mac.Skipper: an empty station that is past its
+// sleep threshold (or out of budget) stays off every non-wake round, so
+// the system-wide idle round is silent with energy zero. The idle clock
+// only grows while empty, and exhaustion is permanent, so the state
+// persists across the skipped stretch.
+func (s *station) Quiescent() bool {
+	return s.sk != nil && s.sk.Quiescent() &&
+		(s.exhausted() || (s.g.p.SleepAfterIdle > 0 && s.idle >= s.g.p.SleepAfterIdle))
+}
+
+// SkipIdle implements mac.Skipper for a stretch the station slept
+// through: the inner protocol's idle evolution is feedback-free (Wrap
+// validated mac.FeedbackFreeIdler), the idle clock advances one per
+// round, no energy is spent, and the group accrues the suppressed
+// listens once.
+func (s *station) SkipIdle(from, to int64) {
+	s.sk.SkipIdle(from, to)
+	s.idle += to - from
+	s.g.skipIdle(from, to)
 }
 
 //earmac:hotpath
@@ -138,10 +185,68 @@ func Wrap(sys *core.System, p Params) (*core.System, *Group) {
 	}
 	g := &Group{p: p, curRound: -1}
 	stations := make([]core.Protocol, len(sys.Stations))
+	wrapped := make([]*station, len(sys.Stations))
 	for i, st := range sys.Stations {
-		stations[i] = &station{g: g, inner: st}
+		ws := &station{g: g, inner: st}
+		wrapped[i], stations[i] = ws, ws
 	}
 	info := sys.Info
 	info.Oblivious = false
-	return &core.System{Info: info, Stations: stations}, g
+	out := &core.System{Info: info, Stations: stations}
+	if inner, ok := skipProfile(sys); ok {
+		g.innerOn = inner.Energy
+		for i, st := range sys.Stations {
+			wrapped[i].sk = st.(mac.Skipper)
+		}
+		out.Idle = dutyIdle{g: g}
+	}
+	return out, g
+}
+
+// skipProfile decides whether the wrapped system supports quiescence
+// fast-forward, returning the inner idle round. It requires the inner
+// system to declare a constant silent idle profile (a light profile
+// means idle transmissions, which sleeping never suppresses) and every
+// inner station to be a mac.Skipper whose idle evolution is
+// feedback-free — duty-slept stations act every round but never
+// observe, so an inner SkipIdle that replays feedback effects would
+// diverge from the slept execution.
+func skipProfile(sys *core.System) (core.IdleRound, bool) {
+	if sys.Idle == nil {
+		return core.IdleRound{}, false
+	}
+	e, ok := core.IdleConstOf(sys.Idle)
+	if !ok || e.Light || e.CtrlBits != 0 {
+		return core.IdleRound{}, false
+	}
+	for _, st := range sys.Stations {
+		if _, ok := st.(mac.Skipper); !ok {
+			return core.IdleRound{}, false
+		}
+		f, ok := st.(mac.FeedbackFreeIdler)
+		if !ok || !f.FeedbackFreeIdle() {
+			return core.IdleRound{}, false
+		}
+	}
+	return e, true
+}
+
+// dutyIdle is the wrapped system's idle profile: with every station
+// asleep (Quiescent), each non-wake round is silent with energy zero.
+// WakeEvery rounds break the profile — the sleeping stations listen —
+// so they are reported as idle breaks and run a full station sweep.
+type dutyIdle struct{ g *Group }
+
+// AppendIdleCycle implements core.IdleProfiler.
+func (d dutyIdle) AppendIdleCycle(from int64, buf []core.IdleRound) []core.IdleRound {
+	return append(buf, core.IdleRound{})
+}
+
+// NextIdleBreak implements core.IdleHorizon.
+func (d dutyIdle) NextIdleBreak(from int64) int64 {
+	w := d.g.p.WakeEvery
+	if w <= 0 {
+		return -1
+	}
+	return from + (w-from%w)%w
 }

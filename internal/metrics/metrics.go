@@ -145,6 +145,29 @@ func (t *Tracker) ObserveRound(round int64, queue int64, energy int) {
 	}
 }
 
+// ObserveQuietSpan records m consecutive quiescent rounds [from,
+// from+m) in closed form: the total queue is zero throughout, the
+// per-round energies sum to energySum with per-round maximum
+// maxEnergy. It is bit-identical to m ObserveRound calls with queue 0
+// — a zero queue never displaces MaxQueue/MaxQueueRound, and samples
+// land on exactly the rounds the per-round loop would have sampled.
+//
+//earmac:hotpath
+func (t *Tracker) ObserveQuietSpan(from, m, energySum int64, maxEnergy int) {
+	t.Rounds += m
+	t.EnergySum += energySum
+	if int64(maxEnergy) > t.MaxEnergy {
+		t.MaxEnergy = int64(maxEnergy)
+	}
+	t.Counters.FinalQueue = 0
+	if t.SampleEvery > 0 {
+		first := from + (t.SampleEvery-from%t.SampleEvery)%t.SampleEvery
+		for r := first; r < from+m; r += t.SampleEvery {
+			t.samples = append(t.samples, QueueSample{Round: r, Queue: 0})
+		}
+	}
+}
+
 // ObserveInjections records packets injected this round.
 func (t *Tracker) ObserveInjections(count int) { t.Injected += int64(count) }
 

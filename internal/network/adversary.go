@@ -114,3 +114,23 @@ func (a *Adversary) AppendEntries(round int64, ch int, buf []core.Injection) []c
 	b.Spend(len(buf) - start)
 	return buf
 }
+
+// NextEntryRound implements SourceSkipper: channel ch's bucket is
+// credit-starved for a computable stretch (rounds the pattern is never
+// consulted on), and from the first affordable round the pattern's own
+// skipper, if any, bounds the next draw. Stochastic patterns without a
+// skipper return the first affordable round itself, pinning spans.
+func (a *Adversary) NextEntryRound(from int64, ch int) int64 {
+	j := a.buckets[ch].RoundsToCredit()
+	if j < 0 {
+		return -1
+	}
+	return adversary.NextDraw(a.pats[ch], from+j)
+}
+
+// SkipEntries implements SourceSkipper: each skipped round is
+// entry-free, so channel ch's bucket advances exactly as Tick+Spend(0)
+// per round would.
+func (a *Adversary) SkipEntries(from, to int64, ch int) {
+	a.buckets[ch].SkipRounds(to - from)
+}

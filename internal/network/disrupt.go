@@ -137,6 +137,17 @@ func (r *JamReplay) AppendJams(round int64, buf []int) []int {
 	return buf
 }
 
+// NextJamRound implements JamHorizon: the first recorded jam at round
+// >= from, or -1. Read-only — the cursor is left for AppendJams.
+func (r *JamReplay) NextJamRound(from int64) int64 {
+	for i := r.cur; i < len(r.events); i++ {
+		if r.events[i].Round >= from {
+			return r.events[i].Round
+		}
+	}
+	return -1
+}
+
 // Outage is one channel-dead window: channel Channel delivers nothing
 // during rounds [From, From+Rounds), and relay hand-offs destined for
 // it queue at the network layer until the window ends.
@@ -205,6 +216,22 @@ func (s *OutageSchedule) Active(ch int, round int64) (active, starts bool, dur i
 		return false, false, 0
 	}
 	return true, round == wins[i].From, wins[i].Rounds
+}
+
+// NextDisrupted returns the earliest round >= from at which channel ch
+// is inside an outage window, or -1 when none remains. Read-only: the
+// forward cursor is left for Active to advance.
+func (s *OutageSchedule) NextDisrupted(ch int, from int64) int64 {
+	wins := s.byCh[ch]
+	for i := s.cur[ch]; i < len(wins); i++ {
+		if from < wins[i].From {
+			return wins[i].From
+		}
+		if from < wins[i].From+wins[i].Rounds {
+			return from
+		}
+	}
+	return -1
 }
 
 // EventSink receives the disruption and sleep events Step emits after

@@ -72,6 +72,11 @@ type Options struct {
 	// (duty.Group.Asleep). Consulted in the fold, after every station
 	// has acted, to drive Events.Sleep transitions.
 	Sleepers func(ch int) int
+	// NoSkip disables the quiescence fast-forward engine: per-channel
+	// O(1) idle ticks and the network-level span barrier (DESIGN.md
+	// §16). The escape hatch for A/B timing comparisons — skipping is
+	// bit-identical, so results never depend on it.
+	NoSkip bool
 }
 
 // pending is one relayed packet waiting to enter its next channel.
@@ -239,10 +244,11 @@ type chanState struct {
 // §13 states the argument. Networks built with Workers != 1 own worker
 // goroutines — call Close when done.
 type Network struct {
-	topo  *Topology
-	chans []*chanState
-	entry Source
-	opt   Options
+	topo      *Topology
+	chans     []*chanState
+	entry     Source
+	entrySkip SourceSkipper // entry as a SourceSkipper, nil when it has no horizon
+	opt       Options
 
 	agg           *metrics.Tracker
 	round         int64
@@ -268,6 +274,7 @@ func New(topo *Topology, build func(ch int) (*core.System, error), entry Source,
 		opt:   opt,
 		agg:   metrics.NewTracker(),
 	}
+	n.entrySkip, _ = entry.(SourceSkipper)
 	switch {
 	case opt.SampleEvery < 0:
 		n.agg.SampleEvery = 0
@@ -298,11 +305,15 @@ func New(topo *Topology, build func(ch int) (*core.System, error), entry Source,
 		}
 		ch := c
 		copts := core.Options{
-			Strict:           opt.Strict,
-			CheckEvery:       opt.CheckEvery,
-			ForceChecked:     opt.ForceChecked,
-			Tracer:           tracer,
-			Tracker:          tr,
+			Strict:       opt.Strict,
+			CheckEvery:   opt.CheckEvery,
+			ForceChecked: opt.ForceChecked,
+			Tracer:       tracer,
+			Tracker:      tr,
+			// Sleep-event emission reads duty.Group.Asleep every round;
+			// quiescent ticks advance duty state lazily, so that pairing
+			// pins the channel to the classic per-round loop.
+			NoSkip:           opt.NoSkip || (opt.Events != nil && opt.Sleepers != nil),
 			ExtraInjections:  &cs.relay,
 			DeliveryObserver: func(round int64, p mac.Packet) { n.onDelivery(cs, ch, round, p) },
 			// Mid-route death (a duty-cycled destination missed an
@@ -595,13 +606,18 @@ func (n *Network) Step() error {
 	return nil
 }
 
-// Run executes the given number of rounds.
+// Run executes the given number of rounds. Between steps it attempts
+// the network-level span skip (see trySpan); at exit it settles every
+// channel so station state is exact at the Run boundary.
 func (n *Network) Run(rounds int64) error {
-	for i := int64(0); i < rounds; i++ {
+	end := n.round + rounds
+	for n.round < end {
 		if err := n.Step(); err != nil {
 			return err
 		}
+		n.trySpan(end)
 	}
+	n.settle()
 	return nil
 }
 

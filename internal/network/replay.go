@@ -78,3 +78,24 @@ func (r *ReplaySource) AppendEntries(round int64, ch int, buf []core.Injection) 
 	r.cur[ch] = i
 	return buf
 }
+
+// NextEntryRound implements SourceSkipper: the first recorded entry
+// event on channel ch at round >= from — exact, not just a bound. The
+// scan is read-only and starts at the channel cursor, which
+// AppendEntries keeps near the current round.
+func (r *ReplaySource) NextEntryRound(from int64, ch int) int64 {
+	if ch < 0 || ch >= len(r.byCh) {
+		return -1
+	}
+	evs := r.byCh[ch]
+	for i := r.cur[ch]; i < len(evs); i++ {
+		if evs[i].Round >= from {
+			return evs[i].Round
+		}
+	}
+	return -1
+}
+
+// SkipEntries implements SourceSkipper: replay cursors self-heal (the
+// next AppendEntries skips past passed rounds), so skipping is free.
+func (r *ReplaySource) SkipEntries(from, to int64, ch int) {}

@@ -30,11 +30,21 @@ import (
 // Quiet injects nothing; the leaky bucket sits at full credit β, so the
 // phase following a quiet one opens with the largest admissible burst.
 // It is the canonical first segment of a phased scenario.
-func Quiet() adversary.Pattern {
-	return adversary.AppendFunc(func(round int64, budget int, buf []core.Injection) []core.Injection {
-		return buf
-	})
+func Quiet() adversary.Pattern { return quietPat{} }
+
+type quietPat struct{}
+
+// Draw implements adversary.Pattern.
+func (quietPat) Draw(round int64, budget int) []core.Injection { return nil }
+
+// DrawAppend implements adversary.BufferedPattern.
+func (quietPat) DrawAppend(round int64, budget int, buf []core.Injection) []core.Injection {
+	return buf
 }
+
+// NextDrawRound implements adversary.PatternSkipper: a quiet phase
+// never draws, so the quiescence engine skips straight across it.
+func (quietPat) NextDrawRound(from int64) int64 { return -1 }
 
 // Bernoulli injects, each round, one packet with probability
 // p = min(1, pNum/pDen) — sources and destinations uniform over [0, n).
@@ -150,6 +160,60 @@ func (p *Phased) DrawAppend(round int64, budget int, buf []core.Injection) []cor
 		}
 	}
 	return buf // open-ended schedules always match the last segment
+}
+
+// segmentAt locates the segment active at global round r, returning
+// its index and the global round its current occurrence ends at (-1
+// for the open-ended final segment).
+func (p *Phased) segmentAt(r int64) (int, int64) {
+	local := r
+	var base int64
+	if p.period > 0 {
+		base = r - r%p.period
+		local = r % p.period
+	}
+	for i, end := range p.ends {
+		if end < 0 {
+			return i, -1
+		}
+		if local < end {
+			return i, base + end
+		}
+	}
+	// Unreachable: a cycling schedule has local < period = ends[last],
+	// a non-cycling one ends with -1.
+	return len(p.ends) - 1, -1
+}
+
+// NextDrawRound implements adversary.PatternSkipper: it walks the
+// schedule from the segment containing from, querying each segment's
+// pattern once, for at most one full pass. Segments whose pattern has
+// no skip support answer with their own start (a stochastic phase pins
+// the horizon, preserving its per-round RNG draws); if a full pass
+// yields nothing the next unexamined boundary is returned — a
+// conservative-early answer, which the contract allows.
+func (p *Phased) NextDrawRound(from int64) int64 {
+	r := from
+	never := true
+	for hops := 0; hops <= len(p.pats); hops++ {
+		i, end := p.segmentAt(r)
+		nr := adversary.NextDraw(p.pats[i], r)
+		if nr >= 0 {
+			never = false
+			if end < 0 || nr < end {
+				return nr
+			}
+		}
+		if end < 0 {
+			// Open-ended final segment that never draws again.
+			return -1
+		}
+		r = end
+	}
+	if never {
+		return -1
+	}
+	return r
 }
 
 // rateOf resolves the rate a stochastic builder targets: the contracted

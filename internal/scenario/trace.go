@@ -593,6 +593,24 @@ func (r *Replayer) InjectAppend(round int64, buf []core.Injection) []core.Inject
 	return buf
 }
 
+// NextEventRound implements core.EventSkipper: the round of the first
+// recorded injection event at or after from — exact, so replays skip
+// straight from one recorded event to the next. The scan starts at the
+// replay cursor, which InjectAppend keeps near the current round.
+func (r *Replayer) NextEventRound(from int64) int64 {
+	for i := r.cur; i < len(r.events); i++ {
+		ev := &r.events[i]
+		if ev.Kind == "" && ev.Round >= from {
+			return ev.Round
+		}
+	}
+	return -1
+}
+
+// SkipIdle implements core.EventSkipper. The replay cursor self-heals
+// over skipped rounds in InjectAppend, so nothing advances here.
+func (r *Replayer) SkipIdle(from, to int64) {}
+
 // CheckAdmissible verifies that every prefix of a single-channel trace
 // respects the (ρ, β) leaky-bucket contract, by driving the same
 // integer Bucket the live adversary clips against over the trace's
